@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces paper Table 4: static failure sites hardened by
+ * survival-mode ConAir, broken down by failure class.
+ *
+ * Absolute counts are smaller than the paper's (the kernels are
+ * miniatures of 681-KLoC applications), but the structure carries
+ * over: segfault sites (pointer-variable dereferences) dominate,
+ * deadlock sites are the rarest, assertion-heavy apps (HTTrack) stand
+ * out, and the database kernels are the largest.
+ */
+#include "bench/bench_util.h"
+
+#include "conair/driver.h"
+#include "frontend/compile.h"
+
+using namespace conair;
+using namespace conair::apps;
+using namespace conair::bench;
+
+int
+main()
+{
+    std::printf("=== Table 4: static failure sites hardened by "
+                "ConAir (survival mode) ===\n\n");
+
+    Table t({"App", "Assertion", "WrongOutput", "SegFault", "Deadlock",
+             "Total"});
+    for (const AppSpec &app : allApps()) {
+        HardenOptions opts; // survival defaults
+        PreparedApp p = prepareApp(app, opts);
+        const ca::SiteCounts &c = p.report.identified;
+        t.row({app.name, fmt("%u", c.assertion),
+               fmt("%u", c.wrongOutput), fmt("%u", c.segfault),
+               fmt("%u", c.deadlock), fmt("%u", c.total())});
+    }
+    t.print();
+    std::printf(
+        "\nPaper shape: the largest programs (MySQL) harden the most "
+        "sites, deadlock sites are the fewest, and counts track code "
+        "size.  (In the paper segfault sites dominate because its "
+        "full-size C/C++ apps reach almost everything through heap "
+        "pointers; the miniatures use direct globals more, so output "
+        "sites weigh more here.)\n");
+    return 0;
+}

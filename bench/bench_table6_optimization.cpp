@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces paper Table 6: the share of reexecution points removed by
+ * the §4.2 unnecessary-rollback optimization, separately for deadlock
+ * and non-deadlock failure sites, statically and dynamically.
+ *
+ * Methodology mirrors §6.2: each program is hardened twice (with and
+ * without the optimizer); dynamic counts come from one failure-forcing
+ * run of each binary.
+ */
+#include "bench/bench_util.h"
+
+using namespace conair;
+using namespace conair::apps;
+using namespace conair::bench;
+
+namespace {
+
+std::string
+pct(uint64_t removed, uint64_t total)
+{
+    if (total == 0)
+        return "N/A";
+    return fmt("%.0f%%", 100.0 * double(removed) / double(total));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Table 6: reexecution points removed by the "
+                "unnecessary-rollback optimization ===\n\n");
+
+    Table t({"App", "NonDL static", "NonDL dynamic", "DL static",
+             "DL dynamic"});
+
+    for (const AppSpec &app : allApps()) {
+        HardenOptions with;
+        PreparedApp pw = prepareApp(app, with);
+
+        HardenOptions without;
+        without.conair.optimize = false;
+        PreparedApp po = prepareApp(app, without);
+
+        // Static split comes straight from the pipeline reports.
+        unsigned ndl_w = pw.report.nonDeadlockPoints;
+        unsigned ndl_o = po.report.nonDeadlockPoints;
+        unsigned dl_w = pw.report.deadlockPoints;
+        unsigned dl_o = po.report.deadlockPoints;
+
+        // Dynamic: checkpoint executions in one failure-forcing run.
+        // The per-kind split uses the static ratio of each binary
+        // (points are shared across sites, like in the paper).
+        vm::RunResult rw = runBuggy(pw, 1);
+        vm::RunResult ro = runBuggy(po, 1);
+        auto share = [](uint64_t total, unsigned part, unsigned whole) {
+            return whole ? total * part / whole : 0;
+        };
+        uint64_t total_w = rw.stats.checkpointsExecuted;
+        uint64_t total_o = ro.stats.checkpointsExecuted;
+        uint64_t dyn_ndl_w = share(total_w, ndl_w, ndl_w + dl_w);
+        uint64_t dyn_ndl_o = share(total_o, ndl_o, ndl_o + dl_o);
+        uint64_t dyn_dl_w = total_w - dyn_ndl_w;
+        uint64_t dyn_dl_o = total_o - dyn_ndl_o;
+
+        t.row({app.name,
+               pct(ndl_o - std::min(ndl_o, ndl_w), ndl_o),
+               pct(dyn_ndl_o - std::min(dyn_ndl_o, dyn_ndl_w),
+                   dyn_ndl_o),
+               pct(dl_o - std::min(dl_o, dl_w), dl_o),
+               pct(dyn_dl_o - std::min(dyn_dl_o, dyn_dl_w), dyn_dl_o)});
+    }
+    t.print();
+    std::printf("\nPaper shape: deadlock points are heavily optimized "
+                "away (30-91%% static); non-deadlock points much less "
+                "(segfault sites always keep a qualifying pointer "
+                "re-read).\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deadlock recovery walkthrough (paper Fig 11 / §4.1 / §4.2) on the
+ * HawkNL kernel:
+ *
+ *  - the §4.2 optimizer keeps recovery code only at the acquisition
+ *    whose region re-acquires another lock (nlShutdown's), reverting
+ *    the hopeless one (nlClose's) to a plain lock;
+ *  - the surviving site becomes a timed lock; on timeout the runtime
+ *    backs off, *releases the region's locks* (compensation) and rolls
+ *    back, letting the peer finish.
+ *
+ * Build & run:  ./build/examples/deadlock_recovery
+ */
+#include <cstdio>
+
+#include "apps/harness.h"
+
+using namespace conair;
+using namespace conair::apps;
+
+int
+main()
+{
+    const AppSpec *app = findApp("HawkNL");
+    PreparedApp hardened = prepareApp(*app, HardenOptions{});
+
+    std::printf("--- §4.2 recoverability verdicts for the lock "
+                "sites ---\n");
+    for (const ca::SiteReport &site : hardened.report.sites) {
+        if (site.kind != ca::FailureKind::Deadlock)
+            continue;
+        std::printf("  %-22s -> %s\n", site.tag.c_str(),
+                    site.recoverable
+                        ? "timed lock + rollback (recoverable)"
+                        : "reverted to plain lock (no lock in "
+                          "region)");
+    }
+    std::printf("locks converted: %u, compensation hooks: %u\n\n",
+                hardened.report.transform.locksConverted,
+                hardened.report.transform.compensationHooks);
+
+    std::printf("--- original vs hardened under the ABBA schedule "
+                "---\n");
+    HardenOptions plain;
+    plain.applyConAir = false;
+    PreparedApp original = prepareApp(*app, plain);
+    vm::RunResult dead = runBuggy(original, 1);
+    std::printf("original: %s (%s)\n", vm::outcomeName(dead.outcome),
+                dead.failureMsg.c_str());
+
+    vm::RunResult ok = runBuggy(hardened, 1);
+    std::printf("hardened: %s, output: %s", vm::outcomeName(ok.outcome),
+                ok.output.c_str());
+    std::printf("  lock timeouts survived via backoff+rollback: %llu\n",
+                (unsigned long long)ok.stats.rollbacks);
+    std::printf("  locks released by compensation: %llu\n",
+                (unsigned long long)ok.stats.compensationUnlocks);
+    for (const vm::RecoveryEvent &ev : ok.stats.recoveries)
+        std::printf("  deadlock broken at %s after %llu retries "
+                    "(%.1f virtual us)\n",
+                    ev.siteTag.c_str(), (unsigned long long)ev.retries,
+                    ev.micros());
+    return ok.outcome == vm::Outcome::Success ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fix mode (paper §3.1.2): generating a safe temporary patch for a
+ * failure whose *root cause* is unknown.
+ *
+ * Workflow a developer would follow:
+ *   1. a user reports a crash in the MozillaXP-style component code,
+ *   2. one failing run yields the failure site (the crash location),
+ *   3. ConAir fix mode hardens exactly that site — here requiring the
+ *      §4.3 inter-procedural reexecution point in the caller,
+ *   4. the "patched" build survives the schedule that crashed before.
+ *
+ * The example prints the transformed functions so the inserted
+ * checkpoint (caller) and retry loop (callee) are visible — the code a
+ * temporary patch would ship.
+ *
+ * Build & run:  ./build/examples/fixmode_patch
+ */
+#include <cstdio>
+
+#include "apps/harness.h"
+#include "ir/printer.h"
+
+using namespace conair;
+using namespace conair::apps;
+
+int
+main()
+{
+    const AppSpec *app = findApp("MozillaXP");
+
+    // Step 1-2: reproduce the reported failure once; the run hands us
+    // the site a developer would read off the crash report.
+    std::vector<std::string> tags = observedFailureTags(*app);
+    std::printf("observed failure site(s):");
+    for (const std::string &t : tags)
+        std::printf(" %s", t.c_str());
+    std::printf("\n\n");
+
+    // Step 3: fix mode — harden only those sites.
+    HardenOptions fix;
+    fix.conair.mode = ca::Mode::Fix;
+    fix.conair.fixTags = tags;
+    PreparedApp patched = prepareApp(*app, fix);
+
+    for (const ca::SiteReport &site : patched.report.sites) {
+        std::printf("site %-24s recoverable=%s interprocedural=%s\n",
+                    site.tag.c_str(), site.recoverable ? "yes" : "no",
+                    site.interproc ? "yes" : "no");
+    }
+    std::printf("reexecution points inserted: %u\n\n",
+                patched.report.staticReexecPoints);
+
+    std::printf("--- patched callee (retry loop before the deref) "
+                "---\n%s\n",
+                ir::printFunction(
+                    *patched.module->findFunction("get_state"))
+                    .c_str());
+    std::printf("--- patched caller (checkpoint hoisted here by "
+                "interprocedural analysis) ---\n%s\n",
+                ir::printFunction(*patched.module->findFunction("get"))
+                    .c_str());
+
+    // Step 4: the crash schedule no longer kills the program.
+    vm::RunResult run = runBuggy(patched, 1);
+    std::printf("patched run under the crashing schedule: %s\n",
+                vm::outcomeName(run.outcome));
+    std::printf("output: %s", run.output.c_str());
+    bool ok = runIsCorrect(*app, run);
+    std::printf("correct: %s\n", ok ? "yes" : "no");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * minicc — command-line driver for the whole stack: compile a MiniC
+ * file, optionally harden it with ConAir, and run it on the MiniVM.
+ *
+ * Usage:
+ *   minicc [options] file.mc
+ *     --conair             harden with survival-mode ConAir
+ *     --fix TAG            harden only the site TAG (repeatable)
+ *     --no-interproc       disable §4.3 inter-procedural recovery
+ *     --no-optimize        disable the §4.2 optimizer
+ *     --print-ir           dump the (possibly transformed) MiniIR
+ *     --report             print the ConAir pipeline report
+ *     --seed N             scheduler seed (default 1)
+ *     --quantum N          preemption quantum (default 50)
+ *     --delay HINT:TICKS   stall hint(HINT) for TICKS (repeatable)
+ *     --max-steps N        instruction budget
+ *
+ * Example (examples/data/racy_counter.mc ships with the repo):
+ *   minicc --conair --delay 1:5000 examples/data/racy_counter.mc
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "conair/driver.h"
+#include "frontend/compile.h"
+#include "ir/printer.h"
+#include "vm/interp.h"
+
+using namespace conair;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: minicc [--conair] [--fix TAG] [--print-ir] "
+                 "[--report]\n"
+                 "              [--seed N] [--quantum N] "
+                 "[--delay HINT:TICKS]\n"
+                 "              [--no-interproc] [--no-optimize] "
+                 "[--max-steps N] file.mc\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    bool conair = false, print_ir = false, report = false;
+    ca::ConAirOptions copts;
+    vm::VmConfig cfg;
+    cfg.seed = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--conair") {
+            conair = true;
+        } else if (arg == "--fix") {
+            conair = true;
+            copts.mode = ca::Mode::Fix;
+            copts.fixTags.push_back(next());
+        } else if (arg == "--no-interproc") {
+            copts.interproc = false;
+        } else if (arg == "--no-optimize") {
+            copts.optimize = false;
+        } else if (arg == "--print-ir") {
+            print_ir = true;
+        } else if (arg == "--report") {
+            report = true;
+        } else if (arg == "--seed") {
+            cfg.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--quantum") {
+            cfg.quantum = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--max-steps") {
+            cfg.maxSteps = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--delay") {
+            std::string spec = next();
+            size_t colon = spec.find(':');
+            if (colon == std::string::npos) {
+                usage();
+                return 2;
+            }
+            cfg.delays.push_back(
+                {std::strtoull(spec.c_str(), nullptr, 10),
+                 std::strtoull(spec.c_str() + colon + 1, nullptr, 10)});
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+            return 2;
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty()) {
+        usage();
+        return 2;
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "minicc: cannot open %s\n", path.c_str());
+        return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    DiagEngine diags;
+    fe::CompileOptions fopts;
+    fopts.moduleName = path;
+    auto module = fe::compileMiniC(buf.str(), diags, fopts);
+    if (!module) {
+        std::fprintf(stderr, "%s", diags.str().c_str());
+        return 1;
+    }
+
+    if (conair) {
+        ca::ConAirReport r = ca::applyConAir(*module, copts);
+        if (report) {
+            std::printf("; conair: %u sites (%u assert / %u output / "
+                        "%u segfault / %u deadlock), %u reexecution "
+                        "points, %u interprocedural, %u dropped, "
+                        "%.0f us\n",
+                        r.identified.total(), r.identified.assertion,
+                        r.identified.wrongOutput, r.identified.segfault,
+                        r.identified.deadlock, r.staticReexecPoints,
+                        r.interprocSites, r.sitesDroppedByOptimizer,
+                        r.analysisMicros);
+        }
+    }
+    if (print_ir)
+        std::printf("%s", ir::printModule(*module).c_str());
+
+    vm::RunResult run = vm::runProgram(*module, cfg);
+    std::fputs(run.output.c_str(), stdout);
+    if (run.outcome != vm::Outcome::Success) {
+        std::fprintf(stderr, "minicc: %s: %s\n",
+                     vm::outcomeName(run.outcome),
+                     run.failureMsg.c_str());
+        return 1;
+    }
+    if (run.stats.rollbacks) {
+        std::fprintf(stderr,
+                     "; conair: survived via %llu rollback(s)\n",
+                     (unsigned long long)run.stats.rollbacks);
+    }
+    return int(run.exitCode & 0xff);
+}

@@ -1,0 +1,50 @@
+#include "analysis/callgraph.h"
+
+#include <algorithm>
+
+namespace conair::analysis {
+
+using ir::Builtin;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::ValueKind;
+
+const std::vector<CallEdge> CallGraph::empty_;
+
+CallGraph::CallGraph(const ir::Module &m)
+{
+    for (const auto &f : m.functions()) {
+        for (const auto &bb : f->blocks()) {
+            for (const auto &inst : bb->insts()) {
+                if (inst->opcode() != Opcode::Call)
+                    continue;
+                if (inst->callee()) {
+                    CallEdge e{f.get(), inst->callee(), inst.get()};
+                    edges_.push_back(e);
+                    callers_[inst->callee()].push_back(e);
+                } else if (inst->builtin() == Builtin::ThreadCreate &&
+                           inst->numOperands() >= 1 &&
+                           inst->operand(0)->kind() ==
+                               ValueKind::FuncAddr) {
+                    Function *entry =
+                        static_cast<ir::FuncAddr *>(inst->operand(0))
+                            ->function();
+                    if (std::find(threadEntries_.begin(),
+                                  threadEntries_.end(),
+                                  entry) == threadEntries_.end())
+                        threadEntries_.push_back(entry);
+                }
+            }
+        }
+    }
+}
+
+const std::vector<CallEdge> &
+CallGraph::callersOf(const Function *f) const
+{
+    auto it = callers_.find(f);
+    return it == callers_.end() ? empty_ : it->second;
+}
+
+} // namespace conair::analysis

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Direct call graph over a module.  Used by ConAir's inter-procedural
+ * recovery (§4.3) to find the callers of a function, and by the harness
+ * to find thread entry points.
+ */
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace conair::analysis {
+
+/** One direct call edge. */
+struct CallEdge
+{
+    ir::Function *caller;
+    ir::Function *callee;
+    ir::Instruction *site;
+};
+
+/** The module-level call graph (direct calls + thread spawns). */
+class CallGraph
+{
+  public:
+    explicit CallGraph(const ir::Module &m);
+
+    /** Call sites whose callee is @p f (direct calls only). */
+    const std::vector<CallEdge> &callersOf(const ir::Function *f) const;
+
+    /** Functions passed to thread_create (parallel entry points). */
+    const std::vector<ir::Function *> &threadEntries() const
+    {
+        return threadEntries_;
+    }
+
+    /** All edges. */
+    const std::vector<CallEdge> &edges() const { return edges_; }
+
+  private:
+    std::vector<CallEdge> edges_;
+    std::unordered_map<const ir::Function *, std::vector<CallEdge>>
+        callers_;
+    std::vector<ir::Function *> threadEntries_;
+    static const std::vector<CallEdge> empty_;
+};
+
+} // namespace conair::analysis

@@ -1,0 +1,266 @@
+#include "analysis/dominators.h"
+
+#include <algorithm>
+
+#include "ir/printer.h"
+#include "support/diag.h"
+#include "support/str.h"
+
+namespace conair::analysis {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+
+const std::vector<BasicBlock *> DomTree::empty_;
+
+namespace {
+
+/** A small CFG view that can be forward or reversed (for postdoms). */
+struct Graph
+{
+    std::vector<BasicBlock *> nodes; // index 0 is the (virtual) root
+    std::vector<std::vector<int>> succs;
+    std::vector<std::vector<int>> preds;
+};
+
+Graph
+buildGraph(const Function &f, bool post)
+{
+    Graph g;
+    std::unordered_map<const BasicBlock *, int> idx;
+    if (post)
+        g.nodes.push_back(nullptr); // virtual exit as root
+    for (const auto &bb : f.blocks()) {
+        idx[bb.get()] = g.nodes.size();
+        g.nodes.push_back(bb.get());
+    }
+    g.succs.resize(g.nodes.size());
+    g.preds.resize(g.nodes.size());
+    auto edge = [&](int a, int b) {
+        g.succs[a].push_back(b);
+        g.preds[b].push_back(a);
+    };
+    for (const auto &bb : f.blocks()) {
+        int from = idx[bb.get()];
+        for (BasicBlock *s : bb->successors()) {
+            int to = idx[s];
+            if (post)
+                edge(to, from); // reversed
+            else
+                edge(from, to);
+        }
+        if (post && bb->successors().empty())
+            edge(0, from); // virtual exit -> exit blocks (reversed CFG)
+    }
+    return g;
+}
+
+} // namespace
+
+DomTree::DomTree(const Function &f, bool post)
+{
+    Graph g = buildGraph(f, post);
+    if (g.nodes.empty())
+        return;
+    // Node 0 is the root either way: the entry block (forward) or the
+    // virtual exit (post-dominators).
+    const int root = 0;
+
+    // Reverse post-order from the root.
+    std::vector<int> order;
+    std::vector<char> visited(g.nodes.size(), 0);
+    std::vector<std::pair<int, size_t>> stack;
+    stack.push_back({root, 0});
+    visited[root] = 1;
+    while (!stack.empty()) {
+        auto &[n, i] = stack.back();
+        if (i < g.succs[n].size()) {
+            int s = g.succs[n][i++];
+            if (!visited[s]) {
+                visited[s] = 1;
+                stack.push_back({s, 0});
+            }
+        } else {
+            order.push_back(n);
+            stack.pop_back();
+        }
+    }
+    std::reverse(order.begin(), order.end());
+
+    // Map graph nodes to dense RPO indices; unreachable nodes excluded.
+    std::vector<int> rpoIndex(g.nodes.size(), -1);
+    for (size_t i = 0; i < order.size(); ++i)
+        rpoIndex[order[i]] = int(i);
+
+    byIndex_.resize(order.size());
+    preds_.resize(order.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+        BasicBlock *bb = g.nodes[order[i]];
+        byIndex_[i] = bb;
+        if (bb)
+            index_[bb] = int(i);
+        for (int p : g.preds[order[i]])
+            if (rpoIndex[p] >= 0)
+                preds_[i].push_back(rpoIndex[p]);
+    }
+    rpo_.clear();
+    for (BasicBlock *bb : byIndex_)
+        if (bb)
+            rpo_.push_back(bb);
+
+    // Cooper-Harvey-Kennedy iteration.
+    int n = order.size();
+    idom_.assign(n, -1);
+    idom_[0] = 0;
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (a > b)
+                a = idom_[a];
+            while (b > a)
+                b = idom_[b];
+        }
+        return a;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int i = 1; i < n; ++i) {
+            int new_idom = -1;
+            for (int p : preds_[i]) {
+                if (idom_[p] == -1)
+                    continue;
+                new_idom =
+                    new_idom == -1 ? p : intersect(new_idom, p);
+            }
+            if (new_idom != -1 && idom_[i] != new_idom) {
+                idom_[i] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    // Dominance frontiers.
+    frontier_.assign(n, {});
+    for (int i = 0; i < n; ++i) {
+        if (preds_[i].size() < 2)
+            continue;
+        for (int p : preds_[i]) {
+            int runner = p;
+            while (runner != idom_[i] && runner != -1) {
+                if (byIndex_[i]) // skip the virtual node
+                    frontier_[runner].push_back(byIndex_[i]);
+                runner = idom_[runner];
+            }
+        }
+    }
+
+    // Tree children.
+    children_.assign(n, {});
+    for (int i = 1; i < n; ++i) {
+        if (idom_[i] >= 0 && byIndex_[i])
+            children_[idom_[i]].push_back(byIndex_[i]);
+    }
+}
+
+int
+DomTree::indexOf(const BasicBlock *bb) const
+{
+    auto it = index_.find(bb);
+    return it == index_.end() ? -1 : it->second;
+}
+
+BasicBlock *
+DomTree::idom(const BasicBlock *bb) const
+{
+    int i = indexOf(bb);
+    if (i <= 0)
+        return nullptr;
+    int d = idom_[i];
+    return d < 0 ? nullptr : byIndex_[d];
+}
+
+bool
+DomTree::dominates(const BasicBlock *a, const BasicBlock *b) const
+{
+    int ia = indexOf(a);
+    int ib = indexOf(b);
+    if (ia < 0 || ib < 0)
+        return false;
+    while (ib > ia)
+        ib = idom_[ib];
+    return ib == ia;
+}
+
+bool
+DomTree::dominatesInst(const Instruction *a, const Instruction *b) const
+{
+    const BasicBlock *ba = a->parent();
+    const BasicBlock *bb = b->parent();
+    if (ba != bb)
+        return strictlyDominates(ba, bb);
+    for (const auto &inst : ba->insts()) {
+        if (inst.get() == a)
+            return true;
+        if (inst.get() == b)
+            return false;
+    }
+    return false;
+}
+
+const std::vector<BasicBlock *> &
+DomTree::frontier(const BasicBlock *bb) const
+{
+    int i = indexOf(bb);
+    return i < 0 ? empty_ : frontier_[i];
+}
+
+const std::vector<BasicBlock *> &
+DomTree::children(const BasicBlock *bb) const
+{
+    int i = indexOf(bb);
+    return i < 0 ? empty_ : children_[i];
+}
+
+bool
+verifySSA(const Function &f, DiagEngine &diags)
+{
+    DomTree dt(f);
+    bool ok = true;
+    for (const auto &bb : f.blocks()) {
+        if (!dt.isReachable(bb.get()))
+            continue; // dead blocks are structurally checked only
+        for (const auto &inst : bb->insts()) {
+            for (unsigned i = 0; i < inst->numOperands(); ++i) {
+                const ir::Value *v = inst->operand(i);
+                if (!v || v->kind() != ir::ValueKind::Instruction)
+                    continue;
+                auto *def = static_cast<const Instruction *>(v);
+                if (!dt.isReachable(def->parent()))
+                    continue;
+                bool fine;
+                if (inst->opcode() == ir::Opcode::Phi) {
+                    // Def must dominate the end of the incoming block.
+                    const BasicBlock *in = inst->incomingBlock(i);
+                    fine = def->parent() == in
+                               ? true
+                               : dt.strictlyDominates(def->parent(), in);
+                    if (def->parent() == in)
+                        fine = true;
+                } else {
+                    fine = dt.dominatesInst(def, inst.get());
+                }
+                if (!fine) {
+                    ok = false;
+                    diags.error(inst->loc(),
+                                strfmt("@%s: use not dominated by def [%s]",
+                                       f.name().c_str(),
+                                       ir::printInstruction(*inst).c_str()));
+                }
+            }
+        }
+    }
+    return ok;
+}
+
+} // namespace conair::analysis

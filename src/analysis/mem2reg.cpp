@@ -1,0 +1,251 @@
+#include "analysis/mem2reg.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/cfg_utils.h"
+#include "analysis/dominators.h"
+#include "support/diag.h"
+
+namespace conair::analysis {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+bool
+isPromotable(const Instruction *alloca_inst)
+{
+    if (alloca_inst->opcode() != Opcode::Alloca)
+        return false;
+    if (alloca_inst->allocaSize() != 1)
+        return false; // arrays stay in memory
+    for (const ir::Use &u : alloca_inst->uses()) {
+        const Instruction *user = u.user;
+        if (user->opcode() == Opcode::Load && u.index == 0)
+            continue;
+        if (user->opcode() == Opcode::Store && u.index == 1)
+            continue;
+        // Any other use (store of the pointer, ptradd, call argument,
+        // phi, compare) means the address escapes.
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+/** Infers the value type stored in a promotable alloca. */
+Type
+slotType(const Instruction *alloca_inst)
+{
+    for (const ir::Use &u : alloca_inst->uses()) {
+        if (u.user->opcode() == Opcode::Load)
+            return u.user->type();
+        if (u.user->opcode() == Opcode::Store && u.user->operand(0))
+            return u.user->operand(0)->type();
+    }
+    return Type::I64; // store/load-free slot: type is irrelevant
+}
+
+class Promoter
+{
+  public:
+    Promoter(Function &f, Mem2RegStats &stats) : f_(f), dt_(f),
+        stats_(stats)
+    {}
+
+    void
+    run()
+    {
+        collect();
+        if (allocas_.empty())
+            return;
+        insertPhis();
+        rename();
+        cleanup();
+    }
+
+  private:
+    void
+    collect()
+    {
+        for (auto &bb : f_.blocks()) {
+            for (auto &inst : bb->insts()) {
+                if (inst->opcode() != Opcode::Alloca)
+                    continue;
+                if (isPromotable(inst.get())) {
+                    varIndex_[inst.get()] = allocas_.size();
+                    allocas_.push_back(inst.get());
+                    ++stats_.promoted;
+                } else {
+                    ++stats_.unpromoted;
+                }
+            }
+        }
+        types_.resize(allocas_.size());
+        for (size_t i = 0; i < allocas_.size(); ++i)
+            types_[i] = slotType(allocas_[i]);
+    }
+
+    void
+    insertPhis()
+    {
+        phiVar_.clear();
+        for (size_t v = 0; v < allocas_.size(); ++v) {
+            // Blocks containing a store to this variable.
+            std::vector<BasicBlock *> defs;
+            for (const ir::Use &u : allocas_[v]->uses())
+                if (u.user->opcode() == Opcode::Store)
+                    defs.push_back(u.user->parent());
+            // Iterated dominance frontier.
+            std::unordered_set<BasicBlock *> has_phi;
+            std::vector<BasicBlock *> work = defs;
+            while (!work.empty()) {
+                BasicBlock *bb = work.back();
+                work.pop_back();
+                for (BasicBlock *df : dt_.frontier(bb)) {
+                    if (has_phi.count(df))
+                        continue;
+                    has_phi.insert(df);
+                    auto phi = std::make_unique<Instruction>(Opcode::Phi,
+                                                             types_[v]);
+                    Instruction *placed =
+                        df->insertBefore(df->front(), std::move(phi));
+                    phiVar_[placed] = v;
+                    ++stats_.phisInserted;
+                    work.push_back(df);
+                }
+            }
+        }
+    }
+
+    void
+    rename()
+    {
+        std::vector<Value *> incoming(allocas_.size(), nullptr);
+        renameBlock(f_.entry(), incoming);
+    }
+
+    Value *
+    defaultValue(size_t v)
+    {
+        // A load before any store reads an undefined local; model it as
+        // zero of the right type (MiniC zero-initialises locals anyway).
+        switch (types_[v]) {
+          case Type::F64:
+            return f_.parent()->getFloat(0.0);
+          case Type::Ptr:
+            return f_.parent()->getNull();
+          case Type::I1:
+            return f_.parent()->getBool(false);
+          default:
+            return f_.parent()->getInt(0);
+        }
+    }
+
+    void
+    renameBlock(BasicBlock *bb, std::vector<Value *> current)
+    {
+        // Phis in this block define new current values.
+        for (auto &inst : bb->insts()) {
+            if (inst->opcode() != Opcode::Phi)
+                break;
+            auto it = phiVar_.find(inst.get());
+            if (it != phiVar_.end())
+                current[it->second] = inst.get();
+        }
+        // Rewrite loads, record stores.
+        std::vector<Instruction *> dead;
+        for (auto &inst : bb->insts()) {
+            if (inst->opcode() == Opcode::Load) {
+                auto vi = varIndex_.find(inst->operand(0));
+                if (vi == varIndex_.end())
+                    continue;
+                Value *cur = current[vi->second];
+                if (!cur)
+                    cur = defaultValue(vi->second);
+                inst->replaceAllUsesWith(cur);
+                dead.push_back(inst.get());
+            } else if (inst->opcode() == Opcode::Store) {
+                auto vi = varIndex_.find(inst->operand(1));
+                if (vi == varIndex_.end())
+                    continue;
+                current[vi->second] = inst->operand(0);
+                dead.push_back(inst.get());
+            }
+        }
+        for (Instruction *inst : dead)
+            bb->erase(inst);
+        // Fill successor phis.
+        for (BasicBlock *succ : bb->successors()) {
+            for (auto &inst : succ->insts()) {
+                if (inst->opcode() != Opcode::Phi)
+                    break;
+                auto it = phiVar_.find(inst.get());
+                if (it == phiVar_.end())
+                    continue;
+                Value *cur = current[it->second];
+                if (!cur)
+                    cur = defaultValue(it->second);
+                inst->addIncoming(cur, bb);
+            }
+        }
+        // Recurse over dominator-tree children.
+        for (BasicBlock *child : dt_.children(bb))
+            renameBlock(child, current);
+    }
+
+    void
+    cleanup()
+    {
+        // Drop the now-unused allocas (and phis that ended up unused in
+        // unreachable incoming positions stay — they are still valid).
+        for (Instruction *a : allocas_) {
+            if (a->hasUses())
+                fatal("mem2reg: promoted alloca still has uses");
+            a->parent()->erase(a);
+        }
+    }
+
+    Function &f_;
+    DomTree dt_;
+    Mem2RegStats &stats_;
+    std::vector<Instruction *> allocas_;
+    std::vector<Type> types_;
+    std::unordered_map<const Value *, size_t> varIndex_;
+    std::unordered_map<const Instruction *, size_t> phiVar_;
+};
+
+} // namespace
+
+Mem2RegStats
+promoteToSSA(Function &f)
+{
+    // Promotion renames along the dominator tree, which only covers
+    // reachable blocks; prune dead ones first so no stale load/store of a
+    // promoted slot survives.
+    removeUnreachableBlocks(f);
+    Mem2RegStats stats;
+    Promoter(f, stats).run();
+    return stats;
+}
+
+Mem2RegStats
+promoteModuleToSSA(ir::Module &m)
+{
+    Mem2RegStats total;
+    for (const auto &f : m.functions()) {
+        Mem2RegStats s = promoteToSSA(*f);
+        total.promoted += s.promoted;
+        total.unpromoted += s.unpromoted;
+        total.phisInserted += s.phisInserted;
+    }
+    return total;
+}
+
+} // namespace conair::analysis

@@ -1,0 +1,77 @@
+#include "analysis/memory_class.h"
+
+#include "support/diag.h"
+
+namespace conair::analysis {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+using ir::ValueKind;
+
+AddrRoot
+classifyAddress(const Value *addr)
+{
+    // Walk PtrAdd chains; the base pointer determines the class.
+    while (addr->kind() == ValueKind::Instruction) {
+        auto *inst = static_cast<const Instruction *>(addr);
+        if (inst->opcode() == Opcode::PtrAdd) {
+            addr = inst->operand(0);
+            continue;
+        }
+        if (inst->opcode() == Opcode::Alloca)
+            return AddrRoot::StackSlot;
+        // Load results, call results and phis are pointer variables: the
+        // address was fetched from memory or another computation, so the
+        // paper treats dereferencing it as a potential segfault.
+        return AddrRoot::PointerVar;
+    }
+    switch (addr->kind()) {
+      case ValueKind::GlobalAddr:
+        return AddrRoot::GlobalDirect;
+      case ValueKind::ConstNull:
+        return AddrRoot::Null;
+      case ValueKind::Argument:
+        // Pointer parameters are pointer variables (MozillaXP's
+        // GetState(thd) pattern, Fig 10).
+        return AddrRoot::PointerVar;
+      default:
+        return AddrRoot::PointerVar;
+    }
+}
+
+bool
+isMemAccess(const Instruction *inst)
+{
+    return inst->opcode() == Opcode::Load ||
+           inst->opcode() == Opcode::Store;
+}
+
+const Value *
+addressOf(const Instruction *inst)
+{
+    if (inst->opcode() == Opcode::Load)
+        return inst->operand(0);
+    if (inst->opcode() == Opcode::Store)
+        return inst->operand(1);
+    fatal("addressOf: not a memory access");
+}
+
+bool
+isSharedRead(const Instruction *inst)
+{
+    if (inst->opcode() != Opcode::Load)
+        return false;
+    AddrRoot root = classifyAddress(inst->operand(0));
+    return root == AddrRoot::GlobalDirect || root == AddrRoot::PointerVar;
+}
+
+bool
+isPotentialSegfaultSite(const Instruction *inst)
+{
+    if (!isMemAccess(inst))
+        return false;
+    return classifyAddress(addressOf(inst)) == AddrRoot::PointerVar;
+}
+
+} // namespace conair::analysis

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Classification of memory addresses and accesses.
+ *
+ * ConAir needs two static distinctions (paper §3.1.1 and §4.2):
+ *  - which dereferences go through a *heap/global pointer variable*
+ *    (potential segmentation-fault sites, Fig 5c), and
+ *  - which loads read *global/heap* state (shared reads that make a
+ *    failure site recoverable).
+ * Both reduce to tracing the SSA root of an address expression.
+ */
+#pragma once
+
+#include "ir/instruction.h"
+
+namespace conair::analysis {
+
+/** Where an address expression ultimately comes from. */
+enum class AddrRoot {
+    StackSlot,    ///< rooted at an alloca: a frame-local access
+    GlobalDirect, ///< the constant address of a global (cannot fault)
+    PointerVar,   ///< loaded/computed pointer value: heap or global data
+                  ///< reached through a pointer variable (may fault)
+    Null,         ///< literally null (will fault)
+};
+
+/** Traces @p addr through PtrAdd chains to its root. */
+AddrRoot classifyAddress(const ir::Value *addr);
+
+/** True when @p inst is a Load or Store. */
+bool isMemAccess(const ir::Instruction *inst);
+
+/** The address operand of a Load/Store; fatal() otherwise. */
+const ir::Value *addressOf(const ir::Instruction *inst);
+
+/**
+ * True when @p inst is a load that reads global or heap state — i.e. a
+ * shared-memory read in the paper's sense (§4.2: a recovery region must
+ * contain one for reexecution to be able to change the outcome).
+ */
+bool isSharedRead(const ir::Instruction *inst);
+
+/**
+ * True when @p inst is a potential segmentation-fault site: a Load or
+ * Store whose address is a heap/global *pointer variable* dereference.
+ */
+bool isPotentialSegfaultSite(const ir::Instruction *inst);
+
+} // namespace conair::analysis

@@ -1,0 +1,128 @@
+#include "analysis/slicing.h"
+
+#include <algorithm>
+
+namespace conair::analysis {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+using ir::ValueKind;
+
+const std::vector<const Instruction *> ControlDeps::empty_;
+
+ControlDeps::ControlDeps(const Function &f)
+{
+    DomTree pdt(f, /*post=*/true);
+    for (const auto &bb : f.blocks()) {
+        const Instruction *term = bb->terminator();
+        if (!term || term->opcode() != Opcode::CondBr)
+            continue;
+        const BasicBlock *stop = pdt.idom(bb.get());
+        for (BasicBlock *succ : bb->successors()) {
+            // Every X on the post-dominator path from succ up to (but
+            // excluding) ipdom(bb) is control dependent on bb's
+            // terminator; bb itself can appear (loop headers).
+            const BasicBlock *x = succ;
+            while (x && x != stop) {
+                auto &vec = deps_[x];
+                if (std::find(vec.begin(), vec.end(), term) == vec.end())
+                    vec.push_back(term);
+                x = pdt.idom(x);
+            }
+        }
+    }
+}
+
+const std::vector<const Instruction *> &
+ControlDeps::of(const BasicBlock *bb) const
+{
+    auto it = deps_.find(bb);
+    return it == deps_.end() ? empty_ : it->second;
+}
+
+namespace {
+
+/** The alloca an address expression is rooted at, if any. */
+const Instruction *
+allocaRoot(const Value *addr)
+{
+    while (addr->kind() == ValueKind::Instruction) {
+        auto *inst = static_cast<const Instruction *>(addr);
+        if (inst->opcode() == Opcode::PtrAdd) {
+            addr = inst->operand(0);
+            continue;
+        }
+        return inst->opcode() == Opcode::Alloca ? inst : nullptr;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+SliceResult
+backwardSlice(const Function &f, const std::vector<const Value *> &seeds,
+              const ControlDeps &cdeps, const SliceOptions &opts)
+{
+    (void)f;
+    SliceResult result;
+    std::vector<const Value *> work(seeds.begin(), seeds.end());
+    std::unordered_set<const Value *> queued(seeds.begin(), seeds.end());
+
+    auto push = [&](const Value *v) {
+        if (v && queued.insert(v).second)
+            work.push_back(v);
+    };
+
+    while (!work.empty()) {
+        const Value *v = work.back();
+        work.pop_back();
+
+        if (v->kind() == ValueKind::Argument) {
+            result.args.insert(static_cast<const ir::Argument *>(v));
+            continue;
+        }
+        if (v->kind() != ValueKind::Instruction)
+            continue; // constants carry no dependence
+
+        auto *inst = static_cast<const Instruction *>(v);
+        if (!result.insts.insert(inst).second)
+            continue;
+
+        // Control dependences: the branches deciding whether this
+        // instruction runs.
+        for (const Instruction *term : cdeps.of(inst->parent())) {
+            if (result.insts.insert(term).second && term->numOperands())
+                push(term->operand(0));
+        }
+
+        // Data dependences.  A Load reads memory, not a virtual
+        // register: include it but stop tracking (Fig 8).  Its address
+        // is likewise not followed — except under the local-writes
+        // extension, where in-region stores to the same alloca feed it.
+        if (inst->opcode() == Opcode::Load) {
+            if (opts.traceLocalStores && opts.regionInsts) {
+                const Instruction *root =
+                    allocaRoot(inst->operand(0));
+                if (root) {
+                    for (const Instruction *cand : *opts.regionInsts) {
+                        if (cand->opcode() != Opcode::Store)
+                            continue;
+                        if (allocaRoot(cand->operand(1)) == root) {
+                            result.insts.insert(cand);
+                            push(cand->operand(0));
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        for (unsigned i = 0; i < inst->numOperands(); ++i)
+            push(inst->operand(i));
+    }
+    return result;
+}
+
+} // namespace conair::analysis

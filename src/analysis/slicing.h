@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Intra-procedural backward slicing, ConAir-style (paper §4.2, Fig 8).
+ *
+ * The slice follows SSA data dependences and (branch-condition) control
+ * dependences.  Crucially it does *not* need alias analysis: inside a
+ * ConAir reexecution region every write targets a virtual register, so
+ * when the slicer reaches a Load (a read that is not from a virtual
+ * register) it includes the load and stops — the producing store is
+ * outside every idempotent region and therefore irrelevant.
+ */
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "ir/function.h"
+
+namespace conair::analysis {
+
+/** The result of a backward slice. */
+struct SliceResult
+{
+    /** Instructions on the slice (loads included as endpoints). */
+    std::unordered_set<const ir::Instruction *> insts;
+
+    /** Function arguments the slice reaches (for §4.3 condition 2). */
+    std::unordered_set<const ir::Argument *> args;
+
+    bool
+    contains(const ir::Instruction *inst) const
+    {
+        return insts.count(inst) != 0;
+    }
+};
+
+/**
+ * Branch-condition control dependences of each block, computed from the
+ * post-dominator tree (Ferrante et al.): block X depends on terminator T
+ * of block B iff B has a successor S with X post-dominating S while X
+ * does not strictly post-dominate B.
+ */
+class ControlDeps
+{
+  public:
+    explicit ControlDeps(const ir::Function &f);
+
+    /** Terminators whose outcome controls whether @p bb executes. */
+    const std::vector<const ir::Instruction *> &
+    of(const ir::BasicBlock *bb) const;
+
+  private:
+    std::unordered_map<const ir::BasicBlock *,
+                       std::vector<const ir::Instruction *>>
+        deps_;
+    static const std::vector<const ir::Instruction *> empty_;
+};
+
+/** Optional slicing extensions. */
+struct SliceOptions
+{
+    /**
+     * Trace data flow through stack-slot stores that lie inside
+     * @ref regionInsts.  Sound without alias analysis because distinct
+     * allocas never alias: a load from slot A can only be fed by
+     * stores to slot A.  Used by the Fig 4 local-writes region design,
+     * where regions may contain such stores; the base ConAir design
+     * has none, so its slicer stops at every load (Fig 8).
+     */
+    bool traceLocalStores = false;
+
+    /** Region membership for traceLocalStores (required with it). */
+    const std::unordered_set<const ir::Instruction *> *regionInsts =
+        nullptr;
+};
+
+/**
+ * Computes the ConAir backward slice of @p seeds within @p f.
+ *
+ * @param f       the function being sliced
+ * @param seeds   starting values (e.g. an assert condition, a checked
+ *                pointer)
+ * @param cdeps   precomputed control dependences for @p f
+ * @param opts    optional extensions (local-store tracing)
+ */
+SliceResult backwardSlice(const ir::Function &f,
+                          const std::vector<const ir::Value *> &seeds,
+                          const ControlDeps &cdeps,
+                          const SliceOptions &opts = {});
+
+} // namespace conair::analysis

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The benchmark-application registry (paper Table 2).
+ *
+ * Each application is a MiniC kernel reproducing one of the paper's ten
+ * real-world concurrency bugs: the same root-cause interleaving
+ * pattern, failure symptom, and code shape (including the
+ * inter-procedural structure where the paper needed §4.3), embedded in
+ * enough surrounding application logic that the static site counts are
+ * meaningful.  DESIGN.md §2 documents the substitution.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vm/config.h"
+#include "vm/stats.h"
+
+namespace conair::apps {
+
+/** Root-cause categories from Table 2. */
+enum class RootCause : uint8_t {
+    AtomicityViolation,
+    OrderViolation,
+    AtomicityOrOrder, ///< FFT exhibits both
+    Deadlock,
+};
+
+const char *rootCauseName(RootCause rc);
+
+/** One benchmark application. */
+struct AppSpec
+{
+    std::string name;        ///< Table 2 row ("MySQL1", ...)
+    std::string appType;     ///< "Database server", ...
+    std::string description; ///< one-line bug description
+    RootCause rootCause;
+
+    /** MiniC source of the kernel. */
+    std::string source;
+
+    /** Scheduler seed/quantum for clean (overhead) runs. */
+    vm::VmConfig cleanConfig;
+
+    /**
+     * Delay rules (the stand-in for the paper's injected sleeps) that
+     * force the failure-inducing interleaving near-deterministically.
+     */
+    vm::VmConfig buggyConfig;
+
+    /** Failure symptom of the untransformed buggy run. */
+    vm::Outcome expectedFailure;
+
+    /** Expected output of a correct run (wrong-output detection). */
+    std::string expectedOutput;
+
+    /** Expected exit code of a correct run. */
+    int64_t expectedExit = 0;
+
+    /** Wrong-output app: recovery needs the oracle() annotation. */
+    bool needsOracle = false;
+
+    /** Recovery needs §4.3 inter-procedural reexecution. */
+    bool needsInterproc = false;
+};
+
+/** All ten applications, in Table 2 order. */
+const std::vector<AppSpec> &allApps();
+
+/** Looks an application up by name; nullptr when unknown. */
+const AppSpec *findApp(const std::string &name);
+
+/// @{ Individual app constructors (one translation unit each).
+AppSpec makeFft();
+AppSpec makeHawkNl();
+AppSpec makeHtTrack();
+AppSpec makeMozillaXp();
+AppSpec makeMozillaJs();
+AppSpec makeMysql1();
+AppSpec makeMysql2();
+AppSpec makeTransmission();
+AppSpec makeSqlite();
+AppSpec makeZsnes();
+/// @}
+
+} // namespace conair::apps

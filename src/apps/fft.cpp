@@ -1,0 +1,137 @@
+/**
+ * @file
+ * FFT kernel (Table 2 row 1; Fig 9 bug).
+ *
+ * A two-thread scientific computation: the worker transforms the
+ * imaginary plane while main transforms the real plane.  The original
+ * SPLASH-2 bug: main reads a completion variable the worker publishes
+ * without synchronisation, and prints results derived from data the
+ * worker may not have written yet — an atomicity/order violation whose
+ * symptom is a silently wrong output.  The developer-supplied oracle()
+ * (the paper's Assert(e) before the output, Fig 5b) makes it
+ * recoverable: the whole checksum loop is idempotent, so rolling back
+ * re-reads the flag *and* recomputes the checksum from the finished
+ * data.
+ */
+#include "apps/app_spec.h"
+
+namespace conair::apps {
+
+namespace {
+
+const char *source = R"MINIC(
+// ---- FFT kernel: split-plane butterfly transform ----------------
+double re[64];
+double im[64];
+int worker_done;          // published by the worker WITHOUT a lock (bug)
+
+void init_planes() {
+    for (int i = 0; i < 64; i++) {
+        re[i] = (i % 8) * 1.0;
+        im[i] = (i % 4) * 0.5;
+    }
+}
+
+// One in-place pass over a plane: a simplified radix-2 stage.
+void stage_real(int stride) {
+    for (int i = 0; i + stride < 64; i += 2 * stride) {
+        double a = re[i];
+        double b = re[i + stride];
+        re[i] = a + b;
+        re[i + stride] = a - b;
+    }
+}
+
+void stage_imag(int stride) {
+    for (int i = 0; i + stride < 64; i += 2 * stride) {
+        double a = im[i];
+        double b = im[i + stride];
+        im[i] = a + b;
+        im[i + stride] = a - b;
+    }
+}
+
+double im_energy;         // worker's final result, written once
+
+int worker(int unused) {
+    stage_imag(1);
+    stage_imag(2);
+    stage_imag(4);
+    stage_imag(8);
+    stage_imag(16);
+    stage_imag(32);
+    hint(1);   // failure forcing: stall just before publishing, so the
+               // recovery wait is the bug window, not the whole half
+    // Reduce the plane to one energy value and publish it in a single
+    // store (Fig 9: like 'End = time(NULL)', written unsynchronised).
+    double acc = 0.0;
+    for (int i = 0; i < 64; i++) {
+        acc = acc + im[i] * im[i];
+    }
+    im_energy = acc + 1.0;         // always > 0 once written
+    worker_done = 1;
+    return 0;
+}
+
+int main() {
+    init_planes();
+    int t = spawn(worker, 0);
+
+    // Main transforms the real plane (the longer half: extra passes).
+    stage_real(1);
+    stage_real(2);
+    stage_real(4);
+    stage_real(8);
+    stage_real(16);
+    stage_real(32);
+    stage_real(1);
+    stage_real(2);
+    stage_real(4);
+    stage_real(8);
+
+    // Reduce main's own plane (no race: only main writes re[]).
+    double sum = 0.0;
+    for (int i = 0; i < 64; i++) {
+        sum = sum + re[i];
+    }
+    hint(2);
+    // Fig 9: read the worker's unsynchronised result and print a value
+    // derived from it.  The oracle validates the printed datum itself;
+    // the whole read+combine sequence is idempotent, so recovery
+    // re-reads im_energy until the worker has published it.
+    double tmp = im_energy;
+    oracle(tmp > 0.0);             // output-correctness condition
+    int checksum = sum + tmp;
+    print("Stop 1, Checksum ", checksum, "\n");
+    join(t);
+    return 0;
+}
+)MINIC";
+
+} // namespace
+
+AppSpec
+makeFft()
+{
+    AppSpec app;
+    app.name = "FFT";
+    app.appType = "Scientific computing";
+    app.description = "worker publishes completion without sync; main "
+                      "prints a checksum computed from unfinished data";
+    app.rootCause = RootCause::AtomicityOrOrder;
+    app.source = source;
+    app.expectedFailure = vm::Outcome::OracleFail;
+    // checksum of the finished computation (deterministic arithmetic).
+    app.expectedOutput = "Stop 1, Checksum 3177\n";
+    app.expectedExit = 0;
+    app.needsOracle = true;
+
+    app.cleanConfig.quantum = 200;
+    app.cleanConfig.policy = vm::SchedPolicy::RoundRobin;
+    app.buggyConfig.quantum = 200;
+    // Stall the worker long enough that main reaches the output first.
+    app.buggyConfig.delays = {{1, 10'000}, {2, 50}};
+    return app;
+}
+
+} // namespace conair::apps

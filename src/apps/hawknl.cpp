@@ -1,0 +1,118 @@
+/**
+ * @file
+ * HawkNL kernel (Table 2 row 2; Fig 11 bug).
+ *
+ * A small network library: a socket table guarded by two locks.
+ * nlClose() takes nlock then slock; nlShutdown() takes slock then
+ * nlock — the classic ABBA deadlock.  Per the paper's analysis,
+ * nlClose's inner acquisition is unrecoverable (a driver call destroys
+ * the region), but nlShutdown's region reaches back across its own
+ * slock acquisition, so ConAir converts that site to a timed lock and
+ * releases slock on rollback, letting nlClose finish.
+ */
+#include "apps/app_spec.h"
+
+namespace conair::apps {
+
+namespace {
+
+const char *source = R"MINIC(
+// ---- HawkNL kernel: socket bookkeeping under two locks ----------
+mutex nlock;              // socket-table lock
+mutex slock;              // shutdown/state lock
+int n_sockets = 2;
+int sock_state[8];        // 1 = open
+
+void driver_close() {
+    // Models the hardware-driver call in Fig 11 (idempotency
+    // destroying: it writes device state).
+    sock_state[0] = 0;
+}
+
+int nl_close(int unused) {
+    lock(nlock);
+    driver_close();
+    hint(1);
+    lock(slock);          // inner acquisition, unrecoverable side
+    if (n_sockets > 0) {
+        n_sockets = n_sockets - 1;
+    }
+    sock_state[2] = 0;
+    unlock(slock);
+    unlock(nlock);
+    return 0;
+}
+
+int nl_shutdown(int unused) {
+    hint(2);
+    lock(slock);
+    if (n_sockets) {
+        int i = 0;
+        if (sock_state[i] >= 0) {
+            lock(nlock);  // recoverable side: slock is in the region
+            n_sockets = 0;
+            sock_state[1] = 0;
+            unlock(nlock);
+        }
+    }
+    unlock(slock);
+    return 0;
+}
+
+// Pure-register packet checksum: the library's normal data path.
+int packet_checksum(int seed, int len) {
+    int h = seed;
+    for (int i = 0; i < len; i++) {
+        h = (h * 31 + i) % 65536;
+        h = h ^ (i << 3);
+    }
+    return h;
+}
+
+int main() {
+    for (int i = 0; i < 8; i++) sock_state[i] = 1;
+    // Process a burst of packets (the steady-state workload).
+    int acc = 0;
+    for (int p = 0; p < 64; p++) {
+        acc = acc + packet_checksum(p, 40);
+    }
+    assert(acc >= 0);
+    int t1 = spawn(nl_close, 0);
+    int t2 = spawn(nl_shutdown, 0);
+    join(t1);
+    join(t2);
+    print("sockets=", n_sockets, "\n");
+    return n_sockets;
+}
+)MINIC";
+
+} // namespace
+
+AppSpec
+makeHawkNl()
+{
+    AppSpec app;
+    app.name = "HawkNL";
+    app.appType = "Network library";
+    app.description = "ABBA deadlock between nlClose (nlock->slock) and "
+                      "nlShutdown (slock->nlock)";
+    app.rootCause = RootCause::Deadlock;
+    app.source = source;
+    app.expectedFailure = vm::Outcome::Hang;
+    app.expectedOutput = "sockets=0\n";
+    app.expectedExit = 0;
+
+    // Clean runs: a long quantum keeps each critical section atomic in
+    // practice, like the rarely-failing production timing.
+    app.cleanConfig.quantum = 5'000;
+    app.cleanConfig.policy = vm::SchedPolicy::RoundRobin;
+
+    app.buggyConfig.quantum = 50;
+    app.buggyConfig.hangTimeout = 200'000;
+    // closer holds nlock and stalls before slock; shutdown grabs slock
+    // in that window and blocks on nlock.
+    app.buggyConfig.delays = {{1, 2'000}, {2, 300}};
+    return app;
+}
+
+} // namespace conair::apps

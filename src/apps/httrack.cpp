@@ -1,0 +1,145 @@
+/**
+ * @file
+ * HTTrack kernel (Table 2 row 3).
+ *
+ * A web-crawler core: main seeds a URL queue and spawns fetch workers,
+ * but initialises the global options object *after* spawning — the
+ * real HTTrack order violation.  A worker dereferencing the still-null
+ * options pointer crashes.  ConAir's recovery region re-loads the
+ * pointer, so the worker simply retries until main has initialised it.
+ * The kernel carries HTTrack's signature: a large number of developer
+ * assertions (the paper counts 657 assertion sites).
+ */
+#include "apps/app_spec.h"
+
+namespace conair::apps {
+
+namespace {
+
+const char *source = R"MINIC(
+// ---- HTTrack kernel: crawl queue + options ----------------------
+int* opt;                    // global options, initialised LATE (bug)
+int url_queue[64];           // pending url ids
+int queue_len;
+int next_slot;
+mutex qlock;
+int pages_fetched;
+int bytes_total;
+int robots_blocked;
+
+void queue_push(int url) {
+    lock(qlock);
+    assert(queue_len < 64);
+    url_queue[queue_len] = url;
+    queue_len = queue_len + 1;
+    unlock(qlock);
+}
+
+int queue_pop() {
+    lock(qlock);
+    int url = -1;
+    if (next_slot < queue_len) {
+        url = url_queue[next_slot];
+        next_slot = next_slot + 1;
+    }
+    unlock(qlock);
+    return url;
+}
+
+// Pure-register "parse": models the HTML scan of a fetched page.
+int parse_page(int url, int size) {
+    int links = 0;
+    int h = url * 2654435761;
+    for (int i = 0; i < size; i += 3) {
+        h = (h * 31 + i) % 1000003;
+        if (h % 11 == 0) { links = links + 1; }
+    }
+    return links;
+}
+
+// Simulated page fetch: size derived deterministically from the url.
+int fetch_page(int url) {
+    assert(url >= 0);
+    int size = 200 + (url * 37) % 800;
+    int depth_limit = opt[0];        // SEGFAULT site: opt may be null
+    int robots = opt[1];
+    assert(depth_limit > 0);
+    if (robots && url % 7 == 0) {
+        robots_blocked = robots_blocked + 1;
+        return 0;
+    }
+    int links = parse_page(url, size);
+    assert(links >= 0);
+    return size;
+}
+
+int worker(int n) {
+    int fetched = 0;
+    for (int i = 0; i < n; i++) {
+        int url = queue_pop();
+        if (url < 0) {
+            yield();
+        } else {
+            int size = fetch_page(url);
+            lock(qlock);
+            pages_fetched = pages_fetched + 1;
+            bytes_total = bytes_total + size;
+            unlock(qlock);
+            fetched = fetched + 1;
+        }
+    }
+    assert(fetched <= n);
+    return 0;
+}
+
+void init_options() {
+    int* o = malloc(8);
+    o[0] = 5;       // depth limit
+    o[1] = 1;       // obey robots.txt
+    o[2] = 4096;    // max page size
+    opt = o;        // publication, unsynchronised
+}
+
+int main() {
+    for (int i = 0; i < 32; i++) queue_push(i);
+    int t1 = spawn(worker, 16);
+    int t2 = spawn(worker, 16);
+    hint(1);                 // bug window: options arrive late
+    init_options();
+    join(t1);
+    join(t2);
+    assert(pages_fetched <= 32);
+    print("pages=", pages_fetched, " bytes=", bytes_total,
+          " blocked=", robots_blocked, "\n");
+    return 0;
+}
+)MINIC";
+
+} // namespace
+
+AppSpec
+makeHtTrack()
+{
+    AppSpec app;
+    app.name = "HTTrack";
+    app.appType = "Web crawler";
+    app.description = "workers dereference the global options pointer "
+                      "before main initialises it (order violation)";
+    app.rootCause = RootCause::OrderViolation;
+    app.source = source;
+    app.expectedFailure = vm::Outcome::Segfault;
+    // 32 pages; urls {0,7,14,21,28} robots-blocked; sizes summed.
+    app.expectedOutput = "pages=32 bytes=13962 blocked=5\n";
+    app.expectedExit = 0;
+
+    // Clean runs: main finishes initialisation inside its first long
+    // round-robin quantum, before the workers fetch (the "usually
+    // works" production timing).
+    app.cleanConfig.quantum = 5'000;
+    app.cleanConfig.policy = vm::SchedPolicy::RoundRobin;
+    app.buggyConfig.quantum = 60;
+    app.buggyConfig.delays = {{1, 10'000}};
+    return app;
+}
+
+} // namespace conair::apps

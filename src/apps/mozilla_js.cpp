@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Mozilla JS engine kernel (Table 2 row 5).
+ *
+ * A SpiderMonkey-style runtime: a garbage-collector thread and a
+ * script thread share a runtime lock (gc_lock) and a context lock
+ * (cx_lock) and acquire them in opposite orders — the engine's
+ * deadlock.  The script side's inner acquisition has the outer lock in
+ * its region (recoverable); the GC side writes its mark-phase state
+ * between the two acquisitions, so its region is too short (the §4.2
+ * optimizer reverts it to a plain lock).
+ */
+#include "apps/app_spec.h"
+
+namespace conair::apps {
+
+namespace {
+
+const char *source = R"MINIC(
+// ---- JS engine kernel: GC vs script execution -------------------
+mutex gc_lock;              // runtime/GC lock
+mutex cx_lock;              // context lock
+int heap_marks[32];
+int gc_cycles;
+int scripts_run;
+int allocs;
+
+void mark_roots() {
+    for (int i = 0; i < 32; i++) {
+        heap_marks[i] = 1;
+    }
+}
+
+int gc_thread(int unused) {
+    lock(gc_lock);
+    mark_roots();           // writes mark bits: bounds the region
+    hint(1);
+    lock(cx_lock);          // inner acquisition, unrecoverable side
+    gc_cycles = gc_cycles + 1;
+    for (int i = 0; i < 32; i++) {
+        heap_marks[i] = 0;  // sweep
+    }
+    unlock(cx_lock);
+    unlock(gc_lock);
+    return 0;
+}
+
+// Pure-register bytecode interpretation: the engine's real work.
+int interpret(int script_id) {
+    int acc = script_id;
+    for (int pc = 0; pc < 120; pc++) {
+        int op = (acc + pc) % 5;
+        if (op == 0) { acc = acc + pc; }
+        else if (op == 1) { acc = acc * 3 % 10007; }
+        else if (op == 2) { acc = acc ^ pc; }
+        else { acc = acc + 1; }
+    }
+    return acc;
+}
+
+int script_thread(int n) {
+    for (int s = 0; s < n; s++) {
+        int result = interpret(s);
+        assert(result >= 0);
+        hint(2);
+        lock(cx_lock);
+        lock(gc_lock);      // recoverable: cx_lock is in the region
+        allocs = allocs + 3;
+        scripts_run = scripts_run + 1;
+        unlock(gc_lock);
+        unlock(cx_lock);
+    }
+    return 0;
+}
+
+int main() {
+    int g = spawn(gc_thread, 0);
+    int s = spawn(script_thread, 6);
+    join(g);
+    join(s);
+    assert(gc_cycles == 1);
+    print("gc=", gc_cycles, " scripts=", scripts_run,
+          " allocs=", allocs, "\n");
+    return 0;
+}
+)MINIC";
+
+} // namespace
+
+AppSpec
+makeMozillaJs()
+{
+    AppSpec app;
+    app.name = "MozillaJS";
+    app.appType = "JavaScript engine";
+    app.description = "GC thread (gc_lock->cx_lock) deadlocks against "
+                      "script thread (cx_lock->gc_lock)";
+    app.rootCause = RootCause::Deadlock;
+    app.source = source;
+    app.expectedFailure = vm::Outcome::Hang;
+    app.expectedOutput = "gc=1 scripts=6 allocs=18\n";
+    app.expectedExit = 0;
+
+    app.cleanConfig.quantum = 5'000;
+    app.cleanConfig.policy = vm::SchedPolicy::RoundRobin;
+    app.buggyConfig.quantum = 40;
+    app.buggyConfig.hangTimeout = 200'000;
+    // GC grabs gc_lock, marks, stalls; one script iteration grabs
+    // cx_lock in the window and blocks on gc_lock.
+    app.buggyConfig.delays = {{1, 3'000}, {2, 500}};
+    return app;
+}
+
+} // namespace conair::apps

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Mozilla XPCOM kernel (Table 2 row 4; Fig 10 bug).
+ *
+ * A cross-platform component-object model core: a component registry
+ * plus a thread-manager object.  GetState(thd) dereferences the thread
+ * descriptor it receives as a *parameter*; the descriptor global mThd
+ * is initialised by a second thread, so an early call crashes.  The
+ * callee's region has no shared read on the slice (the pointer is an
+ * argument), which is exactly the case ConAir's §4.3 inter-procedural
+ * recovery exists for: the reexecution point moves into the caller,
+ * whose region re-loads mThd.
+ */
+#include "apps/app_spec.h"
+
+namespace conair::apps {
+
+namespace {
+
+const char *source = R"MINIC(
+// ---- XPCOM kernel: component registry + thread manager ----------
+int* m_thd;                 // thread descriptor, initialised LATE (bug)
+int components[128];        // registered component ids
+int component_count;
+mutex reg_lock;
+int lookups_ok;
+int state_sum;
+
+void register_component(int id) {
+    lock(reg_lock);
+    assert(component_count < 128);
+    components[component_count] = id;
+    component_count = component_count + 1;
+    unlock(reg_lock);
+}
+
+int find_component(int id) {
+    lock(reg_lock);
+    int found = -1;
+    for (int i = 0; i < component_count; i++) {
+        if (components[i] == id) {
+            found = i;
+        }
+    }
+    unlock(reg_lock);
+    return found;
+}
+
+// Fig 10: GetState dereferences its parameter.  Unrecoverable inside
+// this function; §4.3 moves the reexecution point into get().
+int get_state(int* thd) {
+    return thd[0] & 3;
+}
+
+int get(int round) {
+    int* local = m_thd;           // the shared read the caller re-runs
+    int s = get_state(local);
+    return s + round - round;
+}
+
+int init_thd(int unused) {
+    hint(1);
+    int* p = malloc(4);
+    p[0] = 2;                     // THREAD_RUNNING | detached bit
+    p[1] = 0;
+    p[2] = 77;
+    m_thd = p;                    // unsynchronised publication
+    return 0;
+}
+
+// Pure-register interface-id hashing (QueryInterface work).
+int iid_hash(int iid) {
+    int h = iid * 40503;
+    for (int i = 0; i < 64; i++) {
+        h = (h * 31 + i) % 1000003;
+    }
+    return h;
+}
+
+int xpcom_client(int rounds) {
+    for (int r = 0; r < rounds; r++) {
+        int idx = find_component(r % 16);
+        int h = iid_hash(r);
+        if (idx >= 0 && h != -1) {
+            lock(reg_lock);
+            lookups_ok = lookups_ok + 1;
+            unlock(reg_lock);
+        }
+    }
+    return 0;
+}
+
+int main() {
+    int t = spawn(init_thd, 0);
+    // Registration keeps main busy long enough that, under ordinary
+    // timing, init_thd wins the race (the production-lucky schedule).
+    for (int i = 0; i < 32; i++) register_component(i);
+    int c = spawn(xpcom_client, 96);
+
+    int s = get(1);               // crashes when m_thd is still null
+    state_sum = state_sum + s;
+
+    join(t);
+    join(c);
+    assert(state_sum >= 0);
+    print("state=", state_sum, " lookups=", lookups_ok, "\n");
+    return 0;
+}
+)MINIC";
+
+} // namespace
+
+AppSpec
+makeMozillaXp()
+{
+    AppSpec app;
+    app.name = "MozillaXP";
+    app.appType = "XPCOM component model";
+    app.description = "GetState(mThd) dereferences the descriptor before "
+                      "InitThd publishes it; needs inter-procedural "
+                      "recovery (Fig 10)";
+    app.rootCause = RootCause::OrderViolation;
+    app.source = source;
+    app.expectedFailure = vm::Outcome::Segfault;
+    app.expectedOutput = "state=2 lookups=96\n";
+    app.expectedExit = 0;
+    app.needsInterproc = true;
+
+    // A 100-instruction quantum forces a switch inside main's
+    // registration loop, so init_thd publishes m_thd before get().
+    app.cleanConfig.quantum = 100;
+    app.cleanConfig.policy = vm::SchedPolicy::RoundRobin;
+    app.buggyConfig.quantum = 50;
+    app.buggyConfig.delays = {{1, 8'000}};
+    return app;
+}
+
+} // namespace conair::apps

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * MySQL kernel #1 (Table 2 row 6).
+ *
+ * A miniature storage engine with a binlog.  The bug is the paper's
+ * WAW atomicity violation (Fig 2a): log rotation writes the state flag
+ * CLOSED and then OPEN as two unsynchronised stores; a writer thread
+ * observing the transient CLOSED silently drops a log record, so the
+ * server produces wrong output.  The developer's oracle() (log must be
+ * open when appending) makes the failure detectable and — because the
+ * flag re-read is in the idempotent region — recoverable.
+ *
+ * The kernel deliberately carries a lot of surrounding machinery
+ * (row heap, hash index, query execution, status output): MySQL is the
+ * paper's largest benchmark and dominates the Table 4 site counts.
+ */
+#include "apps/app_spec.h"
+
+namespace conair::apps {
+
+namespace {
+
+const char *source = R"MINIC(
+// ---- mini storage engine ----------------------------------------
+int* row_heap;              // malloc'd row storage: 4 cells per row
+int row_count;
+mutex table_lock;
+
+int hash_index[64];         // key -> row slot + 1 (0 = empty)
+int hash_keys[64];          // cached key per bucket (probe fast path)
+int index_collisions;
+
+// binlog ----------------------------------------------------------
+int log_open = 1;           // 1 = OPEN, 0 = CLOSED (the racy flag)
+int log_records;
+int log_bytes;
+mutex log_lock;
+
+// statistics --------------------------------------------------------
+int queries_done;
+int rows_inserted;
+int rotations;
+
+int hash_key(int key) {
+    int h = key * 31 + 7;
+    h = h % 64;
+    if (h < 0) { h = h + 64; }
+    return h;
+}
+
+int index_insert(int key, int slot) {
+    int h = hash_key(key);
+    int probes = 0;
+    while (hash_index[h] != 0 && probes < 64) {
+        h = (h + 1) % 64;
+        probes = probes + 1;
+        index_collisions = index_collisions + 1;
+    }
+    assert(probes < 64);
+    hash_index[h] = slot + 1;
+    hash_keys[h] = key;
+    return h;
+}
+
+int index_lookup(int key) {
+    int h = hash_key(key);
+    int probes = 0;
+    while (probes < 64) {
+        int v = hash_index[h];
+        if (v == 0) { return -1; }
+        if (hash_keys[h] == key) {
+            int slot = v - 1;
+            // Verify against the row itself (one heap access per hit).
+            if (row_heap[slot * 4] == key) { return slot; }
+            return -1;
+        }
+        h = (h + 1) % 64;
+        probes = probes + 1;
+    }
+    return -1;
+}
+
+// Pure-register row checksum (storage-engine page verification).
+int row_checksum(int key, int a, int b) {
+    int h = key * 131 + 17;
+    for (int i = 0; i < 96; i++) {
+        h = (h * 33 + a) % 65536;
+        h = (h ^ b) + i;
+    }
+    return h;
+}
+
+int insert_row(int key, int a, int b) {
+    lock(table_lock);
+    assert(row_count < 32);
+    int slot = row_count;
+    int crc = row_checksum(key, a, b);
+    row_heap[slot * 4] = key;
+    row_heap[slot * 4 + 1] = a;
+    row_heap[slot * 4 + 2] = b;
+    row_heap[slot * 4 + 3] = a + b + crc - crc;
+    row_count = row_count + 1;
+    index_insert(key, slot);
+    rows_inserted = rows_inserted + 1;
+    unlock(table_lock);
+    return slot;
+}
+
+// Appends one record to the binlog.  The oracle is the paper's
+// developer-specified output-correctness condition: the log must be
+// open whenever a record is appended.
+void binlog_append(int bytes) {
+    lock(log_lock);
+    int st = log_open;
+    oracle(st == 1);
+    if (st == 1) {
+        log_records = log_records + 1;
+        log_bytes = log_bytes + bytes;
+    }
+    // A closed log silently drops the record — the wrong-output bug.
+    unlock(log_lock);
+}
+
+int run_query(int q) {
+    int key = q % 32;
+    int slot = index_lookup(key);
+    int result = 0;
+    if (slot >= 0) {
+        result = row_heap[slot * 4 + 3];
+        assert(result >= 0);
+        // Re-derive the row checksum (expression evaluation work).
+        int crc = row_checksum(key, result, slot);
+        result = result + crc - crc;
+    }
+    queries_done = queries_done + 1;
+    return result;
+}
+
+// Aggregate scan over the index (SELECT COUNT(*)-style work).
+int table_scan() {
+    int occupied = 0;
+    int weight = 0;
+    for (int h = 0; h < 64; h++) {
+        if (hash_index[h] != 0) {
+            occupied = occupied + 1;
+            weight = (weight * 7 + hash_keys[h]) % 65536;
+        }
+    }
+    return occupied + weight % 2;
+}
+
+// The writer thread: inserts rows and logs each insert.
+int writer(int n) {
+    for (int i = 0; i < n; i++) {
+        int key = i % 32;
+        insert_row(key, i, i * 2);
+        hint(1);
+        binlog_append(16 + i % 8);
+    }
+    return 0;
+}
+
+// The rotator thread: Fig 2a — closes then reopens the log as two
+// separate stores (the WAW atomicity violation).
+int rotator(int unused) {
+    hint(2);
+    log_open = 0;           // "log=CLOSE"
+    hint(3);
+    log_open = 1;           // "log=OPEN"
+    rotations = rotations + 1;
+    return 0;
+}
+
+int reader(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) {
+        acc = acc + run_query(i);
+        acc = acc + table_scan();
+    }
+    assert(acc >= 0);
+    return 0;
+}
+
+int main() {
+    row_heap = malloc(128);
+    int w = spawn(writer, 24);
+    int r = spawn(reader, 24);
+    int rot = spawn(rotator, 0);
+    join(w);
+    join(r);
+    join(rot);
+    print("rows=", rows_inserted, " log_records=", log_records, "\n");
+    print("queries=", queries_done, " rotations=", rotations, "\n");
+    return 0;
+}
+)MINIC";
+
+} // namespace
+
+AppSpec
+makeMysql1()
+{
+    AppSpec app;
+    app.name = "MySQL1";
+    app.appType = "Database server";
+    app.description = "binlog rotation writes CLOSED/OPEN non-atomically "
+                      "(WAW atomicity violation, Fig 2a); a concurrent "
+                      "append observes the transient CLOSED state";
+    app.rootCause = RootCause::AtomicityViolation;
+    app.source = source;
+    app.expectedFailure = vm::Outcome::OracleFail;
+    app.expectedOutput =
+        "rows=24 log_records=24\nqueries=24 rotations=1\n";
+    app.expectedExit = 0;
+    app.needsOracle = true;
+
+    // Clean runs: long quanta keep the two rotation stores adjacent in
+    // time, so the one-instruction CLOSED window never hits.
+    app.cleanConfig.quantum = 5'000;
+    app.cleanConfig.policy = vm::SchedPolicy::RoundRobin;
+    app.buggyConfig.quantum = 120;
+    // The writer pauses just before appending; the rotator closes the
+    // log inside the window and stalls before reopening it.
+    app.buggyConfig.delays = {{1, 600}, {2, 800}, {3, 8'000}};
+    return app;
+}
+
+} // namespace conair::apps

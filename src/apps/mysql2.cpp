@@ -1,0 +1,160 @@
+/**
+ * @file
+ * MySQL kernel #2 (Table 2 row 7).
+ *
+ * A table-cache core with a RAR atomicity violation (Fig 2c shape):
+ * the purge path checks a descriptor's in_use flag and then asserts on
+ * it again while acting — two reads it assumes atomic.  A connection
+ * thread toggles the flag between them, firing the assertion.  This is
+ * the paper's fastest recovery (8 µs, one retry): re-reading both
+ * values immediately eliminates the violation — the failing thread
+ * never waits on anyone.
+ */
+#include "apps/app_spec.h"
+
+namespace conair::apps {
+
+namespace {
+
+const char *source = R"MINIC(
+// ---- mini table cache --------------------------------------------
+int table_cache[96];         // 3 cells per entry: key, in_use, hits
+int* dirty_list;             // per-purge scratch descriptors (heap)
+int cache_entries;
+mutex cache_lock;
+int purged;
+int touches;
+int evictions;
+int lookups;
+
+void cache_init(int n) {
+    dirty_list = malloc(16);
+    for (int i = 0; i < n; i++) {
+        table_cache[i * 3] = 100 + i;   // table id
+        table_cache[i * 3 + 1] = 0;     // in_use
+        table_cache[i * 3 + 2] = 0;     // hits
+    }
+    cache_entries = n;
+}
+
+int cache_find(int key) {
+    for (int i = 0; i < cache_entries; i++) {
+        if (table_cache[i * 3] == key) { return i; }
+    }
+    return -1;
+}
+
+// Pure-register statement parse/plan (per-touch query work).
+int plan_statement(int stmt) {
+    int cost = stmt * 17 + 3;
+    for (int i = 0; i < 22; i++) {
+        cost = (cost * 13 + i) % 32749;
+    }
+    return cost;
+}
+
+// A connection touches a table: briefly marks it in_use.
+int connection(int rounds) {
+    hint(3);
+    for (int r = 0; r < rounds; r++) {
+        int plan = plan_statement(r);
+        int idx = cache_find(100 + r % 8);
+        assert(idx >= 0 && plan >= 0);
+        table_cache[idx * 3 + 1] = 1;     // mark busy
+        hint(2);
+        table_cache[idx * 3 + 2] = table_cache[idx * 3 + 2] + 1;
+        table_cache[idx * 3 + 1] = 0;     // release
+        touches = touches + 1;
+    }
+    return 0;
+}
+
+// The purge path: check-then-assert on in_use — the RAR atomicity
+// violation.  The assert is MySQL's own sanity check.
+int purge_entry(int idx) {
+    int busy = table_cache[idx * 3 + 1];
+    if (busy == 0) {
+        hint(1);
+        assert(table_cache[idx * 3 + 1] == 0);  // second unprotected read
+        dirty_list[idx % 16] = table_cache[idx * 3 + 2];
+        table_cache[idx * 3 + 2] = 0;
+        purged = purged + 1;
+        return 1;
+    }
+    return 0;
+}
+
+int purger(int unused) {
+    for (int i = 0; i < 8; i++) {
+        // A busy entry is retried later — skipping it is the legal
+        // slow path the recovery may steer us onto.
+        int done = 0;
+        while (done == 0) {
+            lock(cache_lock);
+            done = purge_entry(i);
+            unlock(cache_lock);
+            if (done == 0) { yield(); }
+        }
+        evictions = evictions + 1;
+    }
+    return 0;
+}
+
+int stats_reader(int rounds) {
+    int acc = 0;
+    for (int r = 0; r < rounds; r++) {
+        int plan = plan_statement(r + 100);
+        int idx = cache_find(100 + r % 8);
+        if (idx >= 0) {
+            acc = acc + table_cache[idx * 3 + 2] + plan % 2;
+        }
+        lookups = lookups + 1;
+    }
+    assert(acc >= 0);
+    return 0;
+}
+
+int main() {
+    cache_init(8);
+    int c = spawn(connection, 16);
+    int p = spawn(purger, 0);
+    int s = spawn(stats_reader, 16);
+    join(c);
+    join(p);
+    join(s);
+    assert(purged == 8);
+    print("purged=", purged, " touches=", touches,
+          " lookups=", lookups, "\n");
+    return 0;
+}
+)MINIC";
+
+} // namespace
+
+AppSpec
+makeMysql2()
+{
+    AppSpec app;
+    app.name = "MySQL2";
+    app.appType = "Database server";
+    app.description = "purge path checks in_use and asserts on it again "
+                      "(RAR atomicity violation); a connection toggles "
+                      "the flag between the two reads";
+    app.rootCause = RootCause::AtomicityViolation;
+    app.source = source;
+    app.expectedFailure = vm::Outcome::AssertFail;
+    app.expectedOutput = "purged=8 touches=16 lookups=16\n";
+    app.expectedExit = 0;
+
+    app.cleanConfig.quantum = 5'000;
+    app.cleanConfig.policy = vm::SchedPolicy::RoundRobin;
+    app.buggyConfig.quantum = 80;
+    // The purger reads in_use == 0 and stalls; the connection (itself
+    // briefly delayed so the purger's first read wins) marks the entry
+    // busy inside the window; the purger's second read fires the
+    // assert.
+    app.buggyConfig.delays = {{1, 1'500}, {2, 5'000}, {3, 300}};
+    return app;
+}
+
+} // namespace conair::apps

@@ -1,0 +1,148 @@
+#include "apps/patterns.h"
+
+namespace conair::apps {
+
+namespace {
+
+// Fig 2a: WAW — the rotator writes CLOSED then OPEN unsynchronised;
+// the reader observes the transient CLOSED.  Rolling the reader back
+// re-reads the flag: recoverable.
+const char *waw_src = R"MINIC(
+int log_open = 1;
+int rotator(int x) {
+    log_open = 0;
+    hint(1);
+    log_open = 1;
+    return 0;
+}
+int main() {
+    int t = spawn(rotator, 0);
+    hint(2);
+    int st = log_open;
+    oracle(st == 1);
+    print("log=", st, "\n");
+    join(t);
+    return 0;
+}
+)MINIC";
+
+// Fig 2b: RAW — the failing thread writes ptr itself, then reads it;
+// the other thread nulls it in between.  Recovery would have to
+// re-execute the failing thread's own shared write, which an
+// idempotent region cannot contain: unrecoverable.
+const char *raw_src = R"MINIC(
+int* aptr;
+int* ptr;
+int nuller(int x) {
+    hint(1);
+    ptr = 0;
+    return 0;
+}
+int main() {
+    aptr = malloc(2);
+    aptr[0] = 5;
+    int t = spawn(nuller, 0);
+    ptr = aptr;          // the thread's OWN shared write
+    hint(2);
+    int tmp = ptr[0];    // reads the nulled pointer
+    print("v=", tmp, "\n");
+    join(t);
+    return 0;
+}
+)MINIC";
+
+// Fig 2c: RAR — check-then-use of a shared pointer; the other thread
+// nulls it between the two reads.  Reexecution re-reads the pointer
+// and legally takes the null-guarded path: recoverable.
+const char *rar_src = R"MINIC(
+int* ptr;
+int nuller(int x) {
+    hint(1);
+    ptr = 0;
+    return 0;
+}
+int main() {
+    int* buf = malloc(2);
+    buf[0] = 7;
+    ptr = buf;
+    int t = spawn(nuller, 0);
+    int v = -1;
+    if (ptr) {
+        hint(2);
+        v = ptr[0];      // ptr nulled between check and use
+    }
+    print("v=", v, "\n");
+    join(t);
+    return 0;
+}
+)MINIC";
+
+// Fig 2d: WAR — the failing thread updates the balance and then reads
+// it back expecting atomicity; the other thread's deposit lands in
+// between.  Recovery would need the thread's own write undone and
+// re-done: unrecoverable.
+const char *war_src = R"MINIC(
+int cnt;
+int other(int x) {
+    hint(1);
+    cnt = cnt + 100;
+    return 0;
+}
+int main() {
+    int t = spawn(other, 0);
+    cnt = cnt + 5;       // the thread's OWN shared write
+    hint(2);
+    int balance = cnt;
+    oracle(balance == 5);
+    print("balance=", balance, "\n");
+    join(t);
+    return 0;
+}
+)MINIC";
+
+PatternSpec
+make(const char *name, const char *figure, const char *desc,
+     const char *src, std::vector<vm::DelayRule> delays,
+     vm::Outcome failure, bool recoverable)
+{
+    PatternSpec p;
+    p.name = name;
+    p.figure = figure;
+    p.description = desc;
+    p.source = src;
+    p.buggyConfig.delays = std::move(delays);
+    // Unrecoverable patterns retry until the budget runs out; keep it
+    // small so benches terminate promptly.
+    p.buggyConfig.maxRetries = 5'000;
+    p.expectedFailure = failure;
+    p.recoverableByConAir = recoverable;
+    return p;
+}
+
+} // namespace
+
+const std::vector<PatternSpec> &
+fig2Patterns()
+{
+    static const std::vector<PatternSpec> patterns = {
+        make("WAW", "Fig 2a",
+             "reader observes a transient CLOSED between two writes",
+             waw_src, {{1, 5'000}, {2, 300}}, vm::Outcome::OracleFail,
+             true),
+        make("RAW", "Fig 2b",
+             "thread dereferences the pointer it wrote; peer nulls it",
+             raw_src, {{1, 300}, {2, 900}}, vm::Outcome::Segfault,
+             false),
+        make("RAR", "Fig 2c",
+             "pointer nulled between null-check and dereference",
+             rar_src, {{1, 300}, {2, 900}}, vm::Outcome::Segfault,
+             true),
+        make("WAR", "Fig 2d",
+             "peer deposit lands between the update and the read-back",
+             war_src, {{1, 300}, {2, 900}}, vm::Outcome::OracleFail,
+             false),
+    };
+    return patterns;
+}
+
+} // namespace conair::apps

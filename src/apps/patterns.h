@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The four atomicity-violation patterns of paper Fig 2 as runnable
+ * micro-kernels, used to demonstrate §2.2's boundary: single-threaded
+ * *idempotent* reexecution recovers WAW and RAR violations, but not
+ * RAW and WAR — those need the failing thread's own shared write
+ * re-executed, which an idempotent region cannot contain.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vm/config.h"
+#include "vm/stats.h"
+
+namespace conair::apps {
+
+/** One Fig 2 pattern micro-kernel. */
+struct PatternSpec
+{
+    std::string name;        ///< "WAW" / "RAW" / "RAR" / "WAR"
+    std::string figure;      ///< "Fig 2a" ...
+    std::string description;
+    std::string source;      ///< MiniC
+    vm::VmConfig buggyConfig;
+    vm::Outcome expectedFailure;
+
+    /** §2.2 prediction: does idempotent reexecution recover it? */
+    bool recoverableByConAir;
+};
+
+/** The four patterns, in Fig 2 order (a-d). */
+const std::vector<PatternSpec> &fig2Patterns();
+
+} // namespace conair::apps

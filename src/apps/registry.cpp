@@ -1,0 +1,46 @@
+#include "apps/app_spec.h"
+
+namespace conair::apps {
+
+const char *
+rootCauseName(RootCause rc)
+{
+    switch (rc) {
+      case RootCause::AtomicityViolation: return "A Vio.";
+      case RootCause::OrderViolation: return "O Vio.";
+      case RootCause::AtomicityOrOrder: return "A/O Vio.";
+      case RootCause::Deadlock: return "deadlock";
+    }
+    return "?";
+}
+
+const std::vector<AppSpec> &
+allApps()
+{
+    static const std::vector<AppSpec> apps = [] {
+        std::vector<AppSpec> v;
+        v.push_back(makeFft());
+        v.push_back(makeHawkNl());
+        v.push_back(makeHtTrack());
+        v.push_back(makeMozillaXp());
+        v.push_back(makeMozillaJs());
+        v.push_back(makeMysql1());
+        v.push_back(makeMysql2());
+        v.push_back(makeTransmission());
+        v.push_back(makeSqlite());
+        v.push_back(makeZsnes());
+        return v;
+    }();
+    return apps;
+}
+
+const AppSpec *
+findApp(const std::string &name)
+{
+    for (const AppSpec &app : allApps())
+        if (app.name == name)
+            return &app;
+    return nullptr;
+}
+
+} // namespace conair::apps

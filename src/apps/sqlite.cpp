@@ -1,0 +1,115 @@
+/**
+ * @file
+ * SQLite kernel (Table 2 row 9).
+ *
+ * An embedded-database core: connections share a database mutex and a
+ * journal mutex.  The commit path locks db->mutex then the journal;
+ * the checkpoint path locks the journal then db->mutex — SQLite's
+ * deadlock.  The commit side performs journal writes between the two
+ * acquisitions (unrecoverable region); the checkpointer's inner
+ * acquisition still has the journal lock in its region and recovers.
+ */
+#include "apps/app_spec.h"
+
+namespace conair::apps {
+
+namespace {
+
+const char *source = R"MINIC(
+// ---- embedded db kernel ------------------------------------------
+mutex db_mutex;
+mutex journal_mutex;
+int journal[16];
+int journal_len;
+int committed;
+int checkpoints;
+int pages_synced;
+
+// Pure-register B-tree key comparison walk (the query data path).
+int btree_probe(int key, int levels) {
+    int node = key;
+    for (int level = 0; level < levels; level++) {
+        node = (node * 2 + 1) % 4093;
+        if (node % 2 == 0) { node = node + key % 7; }
+    }
+    return node;
+}
+
+int commit_txn(int unused) {
+    int probe = btree_probe(42, 200);
+    assert(probe >= 0);
+    lock(db_mutex);
+    // Stage the transaction into the journal header (writes: these
+    // bound the inner lock's region, making it unrecoverable).
+    journal[0] = 1;
+    journal[1] = 42;
+    hint(1);
+    lock(journal_mutex);
+    journal_len = 2;
+    committed = committed + 1;
+    unlock(journal_mutex);
+    unlock(db_mutex);
+    return 0;
+}
+
+int checkpointer(int unused) {
+    // The longer probe keeps the two threads' lock windows apart under
+    // natural timing; only the forced stalls align them.
+    int probe = btree_probe(7, 300);
+    assert(probe >= 0);
+    hint(2);
+    lock(journal_mutex);
+    if (journal_len >= 0) {
+        lock(db_mutex);          // recoverable inner acquisition
+        for (int i = 0; i < journal_len; i++) {
+            pages_synced = pages_synced + 1;
+        }
+        checkpoints = checkpoints + 1;
+        unlock(db_mutex);
+    }
+    unlock(journal_mutex);
+    return 0;
+}
+
+int main() {
+    int c = spawn(commit_txn, 0);
+    int k = spawn(checkpointer, 0);
+    join(c);
+    join(k);
+    assert(committed == 1);
+    assert(checkpoints == 1);
+    print("committed=", committed, " checkpoints=", checkpoints, "\n");
+    return 0;
+}
+)MINIC";
+
+} // namespace
+
+AppSpec
+makeSqlite()
+{
+    AppSpec app;
+    app.name = "SQLite";
+    app.appType = "Database engine";
+    app.description = "commit (db->journal) deadlocks against "
+                      "checkpoint (journal->db)";
+    app.rootCause = RootCause::Deadlock;
+    app.source = source;
+    app.expectedFailure = vm::Outcome::Hang;
+    app.expectedOutput = "committed=1 checkpoints=1\n";
+    app.expectedExit = 0;
+
+    app.cleanConfig.quantum = 5'000;
+    app.cleanConfig.policy = vm::SchedPolicy::RoundRobin;
+    app.buggyConfig.quantum = 40;
+    app.buggyConfig.hangTimeout = 200'000;
+    // The btree probes put both threads ~1300 instructions from their
+    // first lock; the checkpointer's extra 2600-tick stall guarantees
+    // commit holds db_mutex first in every schedule, and commit's
+    // 6000-tick stall guarantees the checkpointer grabs the journal
+    // inside the window.
+    app.buggyConfig.delays = {{1, 9'000}, {2, 500}};
+    return app;
+}
+
+} // namespace conair::apps

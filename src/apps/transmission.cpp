@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Transmission kernel (Table 2 row 8).
+ *
+ * A BitTorrent-client core: a session object with a bandwidth
+ * allocator that main constructs *after* starting the peer workers —
+ * the real Transmission order violation.  The allocator check lives in
+ * a helper that receives the pointer as a parameter and asserts it is
+ * non-null, so (like MozillaXP) intra-procedural reexecution is
+ * useless and ConAir must hoist the reexecution point into the caller,
+ * which re-reads the session global.
+ */
+#include "apps/app_spec.h"
+
+namespace conair::apps {
+
+namespace {
+
+const char *source = R"MINIC(
+// ---- torrent session kernel --------------------------------------
+int* session_bandwidth;      // allocated LATE by main (bug)
+int peers_connected;
+int pieces_done;
+int piece_bits[64];
+mutex swarm_lock;
+int choked;
+int bytes_up;
+int bytes_down;
+
+// tr_bandwidthUsed-style helper: asserts the allocator exists, then
+// charges the transfer against it.  The parameter-only assert is the
+// §4.3 case: nothing in this function re-reads shared state.
+int band_used(int* band, int bytes) {
+    assert(band != 0);
+    band[1] = band[1] + bytes;
+    return band[0] - band[1];
+}
+
+int piece_size(int idx) {
+    assert(idx >= 0);
+    int size = 64 + (idx * 13) % 32;
+    return size;
+}
+
+// Pure-register SHA-ish piece hash: the client's dominant work.
+int piece_hash(int idx, int size) {
+    int h = idx * 16777619;
+    for (int round = 0; round < 2; round++) {
+        for (int i = 0; i < size; i++) {
+            h = (h * 31 + i) % 1000003;
+            h = h ^ (i << 2);
+        }
+    }
+    return h;
+}
+
+int peer(int npieces) {
+    for (int i = 0; i < npieces; i++) {
+        int size = piece_size(i);
+        int hash = piece_hash(i, size);
+        bytes_up = bytes_up + hash % 3;   // hash-dependent chatter
+        int* band = session_bandwidth;
+        int left = band_used(band, size);
+        lock(swarm_lock);
+        pieces_done = pieces_done + 1;
+        piece_bits[i % 64] = 1;
+        bytes_down = bytes_down + size;
+        if (left < 0) {
+            choked = choked + 1;
+        }
+        unlock(swarm_lock);
+    }
+    return 0;
+}
+
+int tracker(int rounds) {
+    for (int r = 0; r < rounds; r++) {
+        lock(swarm_lock);
+        peers_connected = peers_connected + 1;
+        unlock(swarm_lock);
+        yield();
+    }
+    assert(peers_connected >= rounds);
+    return 0;
+}
+
+void session_init() {
+    int* b = malloc(4);
+    b[0] = 100000;           // budget
+    b[1] = 0;                // used
+    session_bandwidth = b;   // unsynchronised publication
+}
+
+int main() {
+    int p = spawn(peer, 12);
+    int t = spawn(tracker, 6);
+    hint(1);                 // bug window: allocator arrives late
+    session_init();
+    join(p);
+    join(t);
+    assert(pieces_done == 12);
+    print("pieces=", pieces_done, " down=", bytes_down,
+          " choked=", choked, "\n");
+    return 0;
+}
+)MINIC";
+
+} // namespace
+
+AppSpec
+makeTransmission()
+{
+    AppSpec app;
+    app.name = "Transmission";
+    app.appType = "BitTorrent client";
+    app.description = "peers assert on the bandwidth allocator before "
+                      "main constructs it (order violation); needs "
+                      "inter-procedural recovery";
+    app.rootCause = RootCause::OrderViolation;
+    app.source = source;
+    app.expectedFailure = vm::Outcome::AssertFail;
+    // sizes: 64 + (13 i % 32) for i in 0..11 sum to 922.
+    app.expectedOutput = "pieces=12 down=922 choked=0\n";
+    app.expectedExit = 0;
+    app.needsInterproc = true;
+
+    app.cleanConfig.quantum = 5'000;
+    app.cleanConfig.policy = vm::SchedPolicy::RoundRobin;
+    app.buggyConfig.quantum = 60;
+    app.buggyConfig.delays = {{1, 10'000}};
+    return app;
+}
+
+} // namespace conair::apps

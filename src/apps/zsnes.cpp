@@ -1,0 +1,130 @@
+/**
+ * @file
+ * ZSNES kernel (Table 2 row 10).
+ *
+ * An emulator core: a CPU loop interpreting a fixed "ROM" and a sound
+ * thread that asserts the audio ring buffer was initialised — but main
+ * initialises audio *after* starting the sound thread (the order
+ * violation).  The assert re-reads a global flag, so ConAir's
+ * intra-procedural reexecution recovers it once main catches up.
+ */
+#include "apps/app_spec.h"
+
+namespace conair::apps {
+
+namespace {
+
+const char *source = R"MINIC(
+// ---- emulator kernel ----------------------------------------------
+int sound_ready;            // set LATE by main (bug)
+int audio_ring[32];
+int rom[64];
+int mix_table[32];
+int regs_a;
+int regs_x;
+int cycles;
+int samples_mixed;
+int frames;
+mutex apu_lock;
+
+void load_rom() {
+    for (int i = 0; i < 64; i++) {
+        rom[i] = (i * 7 + 3) % 16;
+    }
+}
+
+// A tiny 6502-ish dispatch loop: the emulator's real work.
+int cpu_step(int pc) {
+    int op = rom[pc % 64];
+    // Effective-address computation (pure-register decode work).
+    int ea = op;
+    for (int m = 0; m < 16; m++) {
+        ea = (ea * 2 + op + m) % 4096;
+    }
+    if (op < 4) {
+        regs_a = regs_a + op + ea % 2;
+    } else if (op < 8) {
+        regs_x = regs_x + 1;
+    } else if (op < 12) {
+        regs_a = regs_a ^ regs_x;
+    } else {
+        regs_a = (regs_a + regs_x) % 256;
+    }
+    cycles = cycles + 2;
+    return pc + 1;
+}
+
+int cpu_thread(int steps) {
+    int pc = 0;
+    for (int i = 0; i < steps; i++) {
+        pc = cpu_step(pc);
+    }
+    assert(cycles >= steps);
+    return 0;
+}
+
+int sound_thread(int frames_to_mix) {
+    // Build the volume mixdown table (thread-startup work).  The
+    // table stores keep the recovery region short: reexecution only
+    // replays the flag re-read, not the table construction.
+    int warm = 0;
+    for (int v = 0; v < 600; v++) {
+        warm = (warm * 5 + v) % 4096;
+        mix_table[v % 32] = warm;
+    }
+    assert(sound_ready == 1 || warm < 0);  // fires when audio not ready
+    for (int f = 0; f < frames_to_mix; f++) {
+        lock(apu_lock);
+        audio_ring[f % 32] = regs_a + f;
+        samples_mixed = samples_mixed + 8;
+        unlock(apu_lock);
+    }
+    frames = frames + frames_to_mix;
+    return 0;
+}
+
+void audio_init() {
+    for (int i = 0; i < 32; i++) {
+        audio_ring[i] = 0;
+    }
+    sound_ready = 1;               // unsynchronised publication
+}
+
+int main() {
+    load_rom();
+    int s = spawn(sound_thread, 10);
+    hint(1);                       // bug window: audio init is late
+    audio_init();
+    int c = spawn(cpu_thread, 500);
+    join(s);
+    join(c);
+    assert(frames == 10);
+    print("frames=", frames, " samples=", samples_mixed, "\n");
+    return 0;
+}
+)MINIC";
+
+} // namespace
+
+AppSpec
+makeZsnes()
+{
+    AppSpec app;
+    app.name = "ZSNES";
+    app.appType = "Game emulator";
+    app.description = "sound thread asserts audio is initialised before "
+                      "main's audio_init runs (order violation)";
+    app.rootCause = RootCause::OrderViolation;
+    app.source = source;
+    app.expectedFailure = vm::Outcome::AssertFail;
+    app.expectedOutput = "frames=10 samples=80\n";
+    app.expectedExit = 0;
+
+    app.cleanConfig.quantum = 5'000;
+    app.cleanConfig.policy = vm::SchedPolicy::RoundRobin;
+    app.buggyConfig.quantum = 60;
+    app.buggyConfig.delays = {{1, 14'000}};
+    return app;
+}
+
+} // namespace conair::apps

@@ -1,0 +1,82 @@
+#include "baselines/baselines.h"
+
+#include "support/diag.h"
+#include "support/str.h"
+
+namespace conair::bl {
+
+using apps::AppSpec;
+using apps::PreparedApp;
+using vm::RunResult;
+using vm::VmConfig;
+
+RestartResult
+measureRestart(const PreparedApp &p, uint64_t seed)
+{
+    RestartResult result;
+
+    // The failing run: forced buggy schedule, program dies.
+    RunResult failed = apps::runBuggy(p, seed);
+    result.failedRunMicros =
+        double(failed.clock) * vm::kNanosPerStep / 1000.0;
+
+    // The restart: a fresh process under ordinary timing (the anomaly
+    // was transient).  Its full duration is the recovery latency.
+    RunResult rerun = apps::runClean(p, seed + 1);
+    result.restartMicros =
+        double(rerun.clock) * vm::kNanosPerStep / 1000.0;
+    result.recovered = apps::runIsCorrect(*p.spec, rerun);
+    return result;
+}
+
+WpRunResult
+runWithWpCheckpoint(const PreparedApp &p, uint64_t seed,
+                    const WpOptions &opts)
+{
+    VmConfig cfg = p.spec->buggyConfig;
+    cfg.seed = seed;
+    cfg.wpCheckpointInterval = opts.interval;
+    cfg.wpMaxRecoveries = opts.maxRecoveries;
+    cfg.wpSnapshotCostPerCell = opts.costPerCell;
+    for (vm::DelayRule &r : cfg.delays)
+        r.maxFires = 1; // transient anomaly: rescheduling can escape it
+
+    WpRunResult out;
+    out.run = vm::runProgram(*p.module, cfg);
+    out.recovered = apps::runIsCorrect(*p.spec, out.run) &&
+                    out.run.stats.wpRecoveries > 0;
+    return out;
+}
+
+double
+measureWpOverhead(const AppSpec &app, const WpOptions &opts,
+                  unsigned runs)
+{
+    apps::HardenOptions plain;
+    plain.applyConAir = false;
+    PreparedApp base = apps::prepareApp(app, plain);
+
+    uint64_t base_steps = 0, wp_steps = 0;
+    for (unsigned seed = 1; seed <= runs; ++seed) {
+        RunResult rb = apps::runClean(base, seed);
+        if (!rb.ok())
+            fatal(strfmt("%s: clean baseline run failed",
+                         app.name.c_str()));
+        base_steps += rb.stats.steps;
+
+        VmConfig cfg = app.cleanConfig;
+        cfg.seed = seed;
+        cfg.wpCheckpointInterval = opts.interval;
+        cfg.wpMaxRecoveries = opts.maxRecoveries;
+        cfg.wpSnapshotCostPerCell = opts.costPerCell;
+        RunResult rw = vm::runProgram(*base.module, cfg);
+        if (!rw.ok())
+            fatal(strfmt("%s: wp-checkpoint clean run failed",
+                         app.name.c_str()));
+        wp_steps += rw.stats.steps;
+    }
+    return base_steps ? double(wp_steps) / double(base_steps) - 1.0
+                      : 0.0;
+}
+
+} // namespace conair::bl

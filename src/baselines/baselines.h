@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Recovery baselines ConAir is compared against (paper §1, §7, Table 7
+ * and the Fig 4 design-space ablation):
+ *
+ *  - whole-program restart: re-run the program from scratch after a
+ *    failure (Table 7's "Restart" column);
+ *  - whole-program checkpoint/rollback (Rx/ASSURE-style): periodic
+ *    snapshots of all threads + memory, multi-threaded rollback, and a
+ *    perturbed schedule on reexecution — implemented by the VM behind
+ *    VmConfig::wpCheckpointInterval.
+ */
+#pragma once
+
+#include "apps/harness.h"
+
+namespace conair::bl {
+
+/** Result of a restart-recovery measurement. */
+struct RestartResult
+{
+    bool recovered = false;      ///< the rerun produced correct output
+    double failedRunMicros = 0;  ///< work lost when the failure hit
+    double restartMicros = 0;    ///< duration of the recovery rerun
+};
+
+/**
+ * Measures restart recovery for one failure run of @p p: the program
+ * fails under the forced schedule, is restarted from scratch and —
+ * the timing anomaly being transient — completes.  The recovery cost
+ * is the full rerun (plus losing the failed run's work), which is what
+ * Table 7's restart column reports.
+ */
+RestartResult measureRestart(const apps::PreparedApp &p, uint64_t seed);
+
+/** Options for the whole-program checkpoint baseline. */
+struct WpOptions
+{
+    uint64_t interval = 1'000;   ///< steps between snapshots
+    unsigned maxRecoveries = 12;
+    double costPerCell = 1.0;
+};
+
+/** One whole-program-checkpoint run result. */
+struct WpRunResult
+{
+    vm::RunResult run;
+    bool recovered = false; ///< correct despite the forced failure
+};
+
+/**
+ * Runs @p p under the forced-failure schedule with whole-program
+ * checkpointing enabled.  The delay rules are made transient
+ * (maxFires = 1) — multi-threaded rollback survives by rescheduling,
+ * which only helps when the anomaly does not repeat.
+ */
+WpRunResult runWithWpCheckpoint(const apps::PreparedApp &p,
+                                uint64_t seed, const WpOptions &opts);
+
+/**
+ * Measures the clean-run overhead of whole-program checkpointing
+ * (fraction, 0.01 == 1%) — the cost column of the Fig 4 ablation.
+ */
+double measureWpOverhead(const apps::AppSpec &app, const WpOptions &opts,
+                         unsigned runs);
+
+} // namespace conair::bl

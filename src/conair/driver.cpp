@@ -1,0 +1,188 @@
+#include "conair/driver.h"
+
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/callgraph.h"
+#include "analysis/slicing.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "support/diag.h"
+
+namespace conair::ca {
+
+using analysis::CallGraph;
+using analysis::ControlDeps;
+using ir::Function;
+
+namespace {
+
+/** Per-function ControlDeps cache (postdominators are not free). */
+class CDepsCache
+{
+  public:
+    const ControlDeps &
+    of(const Function *f)
+    {
+        auto it = cache_.find(f);
+        if (it == cache_.end())
+            it = cache_.emplace(f, ControlDeps(*f)).first;
+        return it->second;
+    }
+
+  private:
+    std::unordered_map<const Function *, ControlDeps> cache_;
+};
+
+struct SiteWork
+{
+    FailureSite site;
+    std::string tag; ///< captured pre-transform (conversion may erase
+                     ///< the site instruction, e.g. lock -> timedlock)
+    Region region;
+    bool recoverable = true;
+    bool promoted = false;
+    bool gaveUp = false;
+    std::vector<Position> points; ///< final positions for this site
+};
+
+} // namespace
+
+ConAirReport
+applyConAir(ir::Module &m, const ConAirOptions &opts)
+{
+    ConAirReport report;
+    auto t0 = std::chrono::steady_clock::now();
+
+    // Pass 1 (§3.1): failure sites.
+    FailureSiteOptions fso;
+    fso.mode = opts.mode;
+    fso.fixTags = opts.fixTags;
+    std::vector<FailureSite> sites = identifyFailureSites(m, fso);
+    report.identified = countByKind(sites);
+
+    CallGraph cg(m);
+    CDepsCache cdeps;
+    InterprocOptions ipo;
+    ipo.maxDepth = opts.interprocDepth;
+
+    // Pass 2 (§3.2): reexecution regions, then §4.3 and §4.2 per site.
+    std::vector<SiteWork> work;
+    std::unordered_set<Position, PositionHash> removed_entries;
+    for (const FailureSite &site : sites) {
+        SiteWork w;
+        w.site = site;
+        w.tag = site.inst->tag();
+        w.region = computeRegion(site.inst, opts.regionPolicy);
+        const Function *fn = site.inst->parent()->parent();
+
+        Recoverability intra = Recoverability::Recoverable;
+        if (opts.optimize || opts.interproc)
+            intra = classifyRecoverability(site, w.region,
+                                           cdeps.of(fn),
+                                           opts.regionPolicy);
+
+        // §4.3 runs first: it targets exactly the sites whose
+        // intra-procedural region is clean to the entry yet useless.
+        if (opts.interproc && w.region.cleanToEntry &&
+            intra != Recoverability::Recoverable) {
+            InterprocDecision d = analyzeInterproc(
+                site, w.region, cg, opts.regionPolicy, ipo);
+            if (d.promoted) {
+                w.promoted = true;
+                w.points = d.callerPoints;
+                // Footnote 5: the foo-entry point is removed; other
+                // sites sharing it ride along inter-procedurally.
+                removed_entries.insert(
+                    Position{fn->entry(), nullptr});
+            } else if (d.gaveUp) {
+                w.gaveUp = true;
+            }
+        }
+        if (!w.promoted) {
+            if (opts.optimize &&
+                intra != Recoverability::Recoverable) {
+                w.recoverable = false;
+                ++report.sitesDroppedByOptimizer;
+            }
+            w.points = w.region.points;
+        }
+        work.push_back(std::move(w));
+    }
+
+    // Deduplicate reexecution points across the surviving sites.
+    std::unordered_map<Position, PositionInfo, PositionHash> points;
+    for (const SiteWork &w : work) {
+        if (!w.recoverable)
+            continue;
+        for (const Position &p : w.points) {
+            if (removed_entries.count(p))
+                continue;
+            PositionInfo &info = points[p];
+            if (w.site.kind == FailureKind::Deadlock)
+                info.usedByDeadlock = true;
+            else
+                info.usedByNonDeadlock = true;
+        }
+    }
+
+    // Pass 3 (§3.3): the code transformation.
+    TransformPlan plan;
+    plan.lockTimeout = opts.lockTimeout;
+    plan.localCheckpoints = opts.regionPolicy.allowLocalWrites;
+    for (const SiteWork &w : work) {
+        if (!w.recoverable && w.site.kind == FailureKind::Deadlock)
+            continue; // reverted to a plain lock: nothing to transform
+        SitePlan sp;
+        sp.site = w.site;
+        sp.recoverable = w.recoverable;
+        sp.interproc = w.promoted;
+        plan.sites.push_back(sp);
+    }
+    for (const auto &[pos, info] : points)
+        plan.points.push_back({pos, info});
+    report.transform = applyTransform(m, plan);
+
+    auto t1 = std::chrono::steady_clock::now();
+    report.analysisMicros =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+
+    // Reporting.
+    report.staticReexecPoints = points.size();
+    for (const auto &[pos, info] : points) {
+        (void)pos;
+        if (info.usedByDeadlock)
+            ++report.deadlockPoints;
+        if (info.usedByNonDeadlock)
+            ++report.nonDeadlockPoints;
+    }
+    std::vector<FailureSite> kept;
+    for (const SiteWork &w : work) {
+        SiteReport sr;
+        sr.tag = w.tag;
+        sr.kind = w.site.kind;
+        sr.hasOracle = w.site.hasOracle;
+        sr.recoverable = w.recoverable;
+        sr.interproc = w.promoted;
+        sr.interprocGaveUp = w.gaveUp;
+        sr.numPoints = w.points.size();
+        report.sites.push_back(std::move(sr));
+        if (w.recoverable)
+            kept.push_back(w.site);
+        if (w.promoted)
+            ++report.interprocSites;
+    }
+    report.recoverable = countByKind(kept);
+
+    if (opts.verifyAfter) {
+        DiagEngine diags;
+        if (!ir::verifyModule(m, diags)) {
+            fatal("ConAir transform produced invalid IR:\n" +
+                  diags.str() + ir::printModule(m));
+        }
+    }
+    return report;
+}
+
+} // namespace conair::ca

@@ -1,0 +1,108 @@
+#include "conair/failure_sites.h"
+
+#include <algorithm>
+
+#include "analysis/memory_class.h"
+
+namespace conair::ca {
+
+using ir::Builtin;
+using ir::Instruction;
+using ir::Opcode;
+
+const char *
+failureKindName(FailureKind k)
+{
+    switch (k) {
+      case FailureKind::Assertion: return "assertion";
+      case FailureKind::WrongOutput: return "wrong-output";
+      case FailureKind::Segfault: return "segfault";
+      case FailureKind::Deadlock: return "deadlock";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Classifies one instruction as a potential failure site, if any. */
+bool
+classify(Instruction *inst, FailureKind &kind, bool &has_oracle)
+{
+    if (inst->opcode() == Opcode::Call) {
+        switch (inst->builtin()) {
+          case Builtin::AssertFail:
+            kind = FailureKind::Assertion;
+            has_oracle = false;
+            return true;
+          case Builtin::OracleFail:
+            kind = FailureKind::WrongOutput;
+            has_oracle = true;
+            return true;
+          case Builtin::PrintI64:
+          case Builtin::PrintF64:
+          case Builtin::PrintStr:
+            kind = FailureKind::WrongOutput;
+            has_oracle = false;
+            return true;
+          case Builtin::MutexLock:
+            kind = FailureKind::Deadlock;
+            has_oracle = false;
+            return true;
+          default:
+            return false;
+        }
+    }
+    if (analysis::isPotentialSegfaultSite(inst)) {
+        kind = FailureKind::Segfault;
+        has_oracle = false;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<FailureSite>
+identifyFailureSites(ir::Module &m, const FailureSiteOptions &opts)
+{
+    std::vector<FailureSite> sites;
+    int64_t next_id = 1;
+    for (const auto &f : m.functions()) {
+        for (const auto &bb : f->blocks()) {
+            for (const auto &inst : bb->insts()) {
+                FailureKind kind;
+                bool has_oracle;
+                if (!classify(inst.get(), kind, has_oracle))
+                    continue;
+                if (opts.mode == Mode::Fix) {
+                    bool wanted =
+                        std::find(opts.fixTags.begin(),
+                                  opts.fixTags.end(),
+                                  inst->tag()) != opts.fixTags.end();
+                    if (!wanted)
+                        continue;
+                }
+                sites.push_back(
+                    {inst.get(), kind, next_id++, has_oracle});
+            }
+        }
+    }
+    return sites;
+}
+
+SiteCounts
+countByKind(const std::vector<FailureSite> &sites)
+{
+    SiteCounts c;
+    for (const FailureSite &s : sites) {
+        switch (s.kind) {
+          case FailureKind::Assertion: ++c.assertion; break;
+          case FailureKind::WrongOutput: ++c.wrongOutput; break;
+          case FailureKind::Segfault: ++c.segfault; break;
+          case FailureKind::Deadlock: ++c.deadlock; break;
+        }
+    }
+    return c;
+}
+
+} // namespace conair::ca

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Failure-site identification (paper §3.1).
+ *
+ * Survival mode statically enumerates every potential failure site of
+ * the four common classes (assertion violation, wrong output,
+ * segmentation fault, deadlock); fix mode selects the specific sites a
+ * developer named (by instruction tag).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace conair::ca {
+
+/** The four failure classes of §3.1.1 (Fig 5). */
+enum class FailureKind : uint8_t {
+    Assertion,   ///< call of assert_fail (Fig 5a)
+    WrongOutput, ///< output call; recoverable only with an oracle (5b)
+    Segfault,    ///< heap/global pointer-variable dereference (Fig 5c)
+    Deadlock,    ///< lock acquisition, timeout-detected (Fig 5d)
+};
+
+const char *failureKindName(FailureKind k);
+
+/** One (potential) failure site. */
+struct FailureSite
+{
+    ir::Instruction *inst;
+    FailureKind kind;
+    int64_t id; ///< dense id used by the runtime intrinsics
+
+    /**
+     * Wrong-output sites are only recoverable when the developer
+     * supplied an output-correctness oracle (an oracle() assertion);
+     * plain print calls are counted and hardened for worst-case
+     * overhead (§5) but get no retry loop.
+     */
+    bool hasOracle = false;
+};
+
+/** How failure sites are selected. */
+enum class Mode { Survival, Fix };
+
+/** Options for identifyFailureSites(). */
+struct FailureSiteOptions
+{
+    Mode mode = Mode::Survival;
+
+    /**
+     * Fix mode: tags of the sites to fix (the front-end tags failure
+     * candidates "assert.fn.line", "oracle.fn.line", "deref.fn.line",
+     * "lock.fn.line", "out.fn.line").
+     */
+    std::vector<std::string> fixTags;
+};
+
+/** Enumerates failure sites in @p m per @p opts. */
+std::vector<FailureSite> identifyFailureSites(ir::Module &m,
+                                              const FailureSiteOptions
+                                                  &opts);
+
+/** Per-kind counts (Table 4). */
+struct SiteCounts
+{
+    unsigned assertion = 0;
+    unsigned wrongOutput = 0;
+    unsigned segfault = 0;
+    unsigned deadlock = 0;
+
+    unsigned
+    total() const
+    {
+        return assertion + wrongOutput + segfault + deadlock;
+    }
+};
+
+SiteCounts countByKind(const std::vector<FailureSite> &sites);
+
+} // namespace conair::ca

@@ -1,0 +1,142 @@
+#include "conair/regions.h"
+
+#include "analysis/memory_class.h"
+#include "support/diag.h"
+
+namespace conair::ca {
+
+using ir::BasicBlock;
+using ir::Builtin;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+
+bool
+destroysIdempotency(const Instruction *inst, const RegionPolicy &policy)
+{
+    switch (inst->opcode()) {
+      case Opcode::Store:
+        // Every store: to shared memory (would violate the memory
+        // consistency argument of §2.2) or to a non-register stack slot
+        // (could corrupt reexecution).  Virtual-register writes are the
+        // only writes allowed, and those are not Store instructions.
+        // Under the Fig 4 local-writes policy, stack-slot stores are
+        // re-admitted: the checkpoint saves the frame's slots.
+        if (policy.allowLocalWrites &&
+            analysis::classifyAddress(analysis::addressOf(inst)) ==
+                analysis::AddrRoot::StackSlot)
+            return false;
+        return true;
+      case Opcode::Call: {
+        if (inst->callee())
+            return true; // user-function calls
+        Builtin b = inst->builtin();
+        if (ir::builtinIsConAir(b))
+            return false; // runtime intrinsics are recovery plumbing
+        // §4.1 extension: allocation and lock acquisition can live in a
+        // region because the transform logs them for compensation.
+        // User-written timed locks are NOT instrumented (only the ones
+        // the transform itself emits are), so they stay destroying.
+        if (policy.allowCompensableCalls &&
+            (b == Builtin::Malloc || b == Builtin::MutexLock))
+            return false;
+        return true;
+      }
+      default:
+        // Loads, arithmetic, phis, branches, sched hints: all write at
+        // most a virtual register.
+        return false;
+    }
+}
+
+namespace {
+
+/**
+ * Backward DFS per §3.2.2, shared by the intra-procedural and
+ * caller-side analyses.  @p start_block / @p start_before identify the
+ * statement the walk begins at (exclusive).
+ */
+Region
+walkBackward(BasicBlock *start_block, Instruction *start_before,
+             const RegionPolicy &policy)
+{
+    Region region;
+    Function *fn = start_block->parent();
+    auto preds_list = fn->predecessorList();
+    auto preds_of =
+        [&](const BasicBlock *bb) -> const std::vector<BasicBlock *> & {
+        for (auto &[block, p] : preds_list)
+            if (block == bb)
+                return p;
+        fatal("walkBackward: block not in function");
+    };
+
+    std::unordered_set<const Instruction *> visited;
+    std::unordered_set<Position, PositionHash> points;
+    bool clean_everywhere = true;
+
+    // Work items are instructions still to be examined.
+    std::vector<Instruction *> work;
+
+    // Seeds the walk with the statement(s) immediately preceding a
+    // program point; records the entry point when there is none.
+    auto push_before = [&](BasicBlock *bb, Instruction *inst) {
+        Instruction *prev =
+            inst ? bb->prev(inst) : (bb->empty() ? nullptr : bb->back());
+        if (prev) {
+            work.push_back(prev);
+            return;
+        }
+        const auto &preds = preds_of(bb);
+        if (preds.empty()) {
+            // Start of the entry block: a reexecution point by rule (2).
+            points.insert(Position{fn->entry(), nullptr});
+            region.reachesEntry = true;
+            return;
+        }
+        for (BasicBlock *p : preds) {
+            if (p->empty())
+                fatal("walkBackward: empty predecessor block");
+            work.push_back(p->back());
+        }
+    };
+
+    push_before(start_block, start_before);
+
+    while (!work.empty()) {
+        Instruction *inst = work.back();
+        work.pop_back();
+        if (!visited.insert(inst).second)
+            continue;
+        if (destroysIdempotency(inst, policy)) {
+            // Rule (1): reexecution point right after this instruction.
+            points.insert(Position{inst->parent(), inst});
+            clean_everywhere = false;
+            continue;
+        }
+        region.insts.insert(inst);
+        push_before(inst->parent(), inst);
+    }
+
+    region.points.assign(points.begin(), points.end());
+    region.cleanToEntry = region.reachesEntry && clean_everywhere;
+    return region;
+}
+
+} // namespace
+
+Region
+computeRegion(const Instruction *site, const RegionPolicy &policy)
+{
+    Instruction *mutable_site = const_cast<Instruction *>(site);
+    return walkBackward(mutable_site->parent(), mutable_site, policy);
+}
+
+Region
+computeCallerRegion(const Instruction *call, const RegionPolicy &policy)
+{
+    Instruction *mutable_call = const_cast<Instruction *>(call);
+    return walkBackward(mutable_call->parent(), mutable_call, policy);
+}
+
+} // namespace conair::ca

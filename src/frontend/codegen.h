@@ -1,0 +1,29 @@
+/**
+ * @file
+ * MiniC code generation: AST -> MiniIR.
+ *
+ * The generator type-checks while lowering.  All locals start as
+ * allocas with explicit loads/stores (the Clang-at--O0 shape); run
+ * analysis::promoteModuleToSSA afterwards to obtain the virtual-register
+ * form ConAir's idempotence analysis expects.  frontend/compile.h wraps
+ * both steps.
+ */
+#pragma once
+
+#include <memory>
+
+#include "frontend/ast.h"
+#include "ir/module.h"
+#include "support/diag.h"
+
+namespace conair::fe {
+
+/**
+ * Lowers @p prog into a fresh MiniIR module.  Returns nullptr (with
+ * diagnostics) when type checking fails.
+ */
+std::unique_ptr<ir::Module> generateIR(const Program &prog,
+                                       DiagEngine &diags,
+                                       const std::string &module_name);
+
+} // namespace conair::fe

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * One-call MiniC compilation pipeline.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/module.h"
+#include "support/diag.h"
+
+namespace conair::fe {
+
+/** Options controlling compileMiniC(). */
+struct CompileOptions
+{
+    std::string moduleName = "program";
+
+    /**
+     * Promote locals to SSA virtual registers (mem2reg).  On by default:
+     * ConAir's idempotence analysis assumes the promoted form.  Tests
+     * disable it to inspect the raw alloca form.
+     */
+    bool promoteToSSA = true;
+
+    /** Run the IR verifier on the result (fatal in case of pass bugs). */
+    bool verify = true;
+};
+
+/**
+ * Compiles MiniC source to a verified MiniIR module.  Returns nullptr
+ * with diagnostics in @p diags when the source is invalid.
+ */
+std::unique_ptr<ir::Module> compileMiniC(const std::string &source,
+                                         DiagEngine &diags,
+                                         const CompileOptions &opts = {});
+
+} // namespace conair::fe

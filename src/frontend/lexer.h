@@ -1,0 +1,21 @@
+/**
+ * @file
+ * The MiniC lexer.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/token.h"
+#include "support/diag.h"
+
+namespace conair::fe {
+
+/**
+ * Tokenises MiniC source.  Returns the token stream terminated by an
+ * End token; lexical errors are reported through @p diags.
+ */
+std::vector<Token> lex(const std::string &source, DiagEngine &diags);
+
+} // namespace conair::fe

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Recursive-descent parser for MiniC.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "frontend/ast.h"
+#include "support/diag.h"
+
+namespace conair::fe {
+
+/**
+ * Parses MiniC source into an AST.  Returns nullptr (with diagnostics in
+ * @p diags) on error.
+ */
+std::unique_ptr<Program> parseProgram(const std::string &source,
+                                      DiagEngine &diags);
+
+} // namespace conair::fe

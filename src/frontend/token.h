@@ -1,0 +1,51 @@
+/**
+ * @file
+ * MiniC token definitions.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/diag.h"
+
+namespace conair::fe {
+
+/** All MiniC token kinds. */
+enum class Tk : uint8_t {
+    End,
+    Ident,
+    IntLit,
+    FloatLit,
+    StrLit,
+
+    // Keywords.
+    KwInt, KwDouble, KwVoid, KwMutex,
+    KwIf, KwElse, KwWhile, KwFor, KwReturn, KwBreak, KwContinue,
+
+    // Punctuation / operators.
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semi, Comma,
+    Assign,                    // =
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Shl, Shr,
+    AmpAmp, PipePipe, Bang,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    PlusAssign, MinusAssign,   // += -=
+    PlusPlus, MinusMinus,      // ++ --
+};
+
+/** One MiniC token. */
+struct Token
+{
+    Tk kind = Tk::End;
+    std::string text; ///< identifier spelling or string literal payload
+    int64_t ival = 0;
+    double fval = 0.0;
+    SrcLoc loc;
+};
+
+/** Printable token-kind name for diagnostics. */
+const char *tokenKindName(Tk kind);
+
+} // namespace conair::fe

@@ -1,0 +1,166 @@
+#include "ir/builder.h"
+
+#include "support/diag.h"
+
+namespace conair::ir {
+
+Instruction *
+IRBuilder::emit(std::unique_ptr<Instruction> inst)
+{
+    if (!block_)
+        fatal("IRBuilder: no insertion point");
+    inst->setLoc(loc_);
+    if (before_)
+        return block_->insertBefore(before_, std::move(inst));
+    return block_->append(std::move(inst));
+}
+
+Instruction *
+IRBuilder::alloca_(int64_t cells)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::Alloca, Type::Ptr);
+    inst->setAllocaSize(cells);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::load(Type t, Value *ptr)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::Load, t);
+    inst->addOperand(ptr);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::store(Value *v, Value *ptr)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::Store, Type::Void);
+    inst->addOperand(v);
+    inst->addOperand(ptr);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::ptrAdd(Value *ptr, Value *offset)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::PtrAdd, Type::Ptr);
+    inst->addOperand(ptr);
+    inst->addOperand(offset);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::binop(Opcode op, Value *lhs, Value *rhs)
+{
+    Type t = (op >= Opcode::FAdd && op <= Opcode::FDiv) ? Type::F64
+                                                        : Type::I64;
+    auto inst = std::make_unique<Instruction>(op, t);
+    inst->addOperand(lhs);
+    inst->addOperand(rhs);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::cmp(Opcode op, Value *lhs, Value *rhs)
+{
+    auto inst = std::make_unique<Instruction>(op, Type::I1);
+    inst->addOperand(lhs);
+    inst->addOperand(rhs);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::siToFp(Value *v)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::SiToFp, Type::F64);
+    inst->addOperand(v);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::fpToSi(Value *v)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::FpToSi, Type::I64);
+    inst->addOperand(v);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::zext(Value *v)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::Zext, Type::I64);
+    inst->addOperand(v);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::br(BasicBlock *target)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::Br, Type::Void);
+    inst->addBlockOp(target);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::condBr(Value *cond, BasicBlock *t, BasicBlock *f)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::CondBr, Type::Void);
+    inst->addOperand(cond);
+    inst->addBlockOp(t);
+    inst->addBlockOp(f);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::ret(Value *v)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::Ret, Type::Void);
+    if (v)
+        inst->addOperand(v);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::unreachable()
+{
+    return emit(
+        std::make_unique<Instruction>(Opcode::Unreachable, Type::Void));
+}
+
+Instruction *
+IRBuilder::phi(Type t)
+{
+    return emit(std::make_unique<Instruction>(Opcode::Phi, t));
+}
+
+Instruction *
+IRBuilder::call(Function *callee, const std::vector<Value *> &args)
+{
+    auto inst =
+        std::make_unique<Instruction>(Opcode::Call, callee->returnType());
+    inst->setCallee(callee);
+    for (Value *a : args)
+        inst->addOperand(a);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::callBuiltin(Builtin b, const std::vector<Value *> &args)
+{
+    auto inst =
+        std::make_unique<Instruction>(Opcode::Call, builtinResultType(b));
+    inst->setBuiltin(b);
+    for (Value *a : args)
+        inst->addOperand(a);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::schedHint(uint64_t id)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::SchedHint, Type::Void);
+    inst->setHintId(id);
+    return emit(std::move(inst));
+}
+
+} // namespace conair::ir

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * IRBuilder: a cursor-based instruction factory used by the MiniC code
+ * generator and the ConAir transformation pass.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/basic_block.h"
+#include "ir/function.h"
+#include "ir/module.h"
+
+namespace conair::ir {
+
+/**
+ * Creates instructions at an insertion point.  The point is either "end
+ * of block" (append mode) or "before instruction X".
+ */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Module *m) : module_(m) {}
+
+    Module *module() const { return module_; }
+
+    /// @{ Insertion point control.
+    void
+    setInsertAtEnd(BasicBlock *bb)
+    {
+        block_ = bb;
+        before_ = nullptr;
+    }
+
+    void
+    setInsertBefore(Instruction *inst)
+    {
+        block_ = inst->parent();
+        before_ = inst;
+    }
+
+    BasicBlock *insertBlock() const { return block_; }
+    /// @}
+
+    /** Source location attached to every subsequently created inst. */
+    void setLoc(SrcLoc loc) { loc_ = loc; }
+
+    /// @{ Memory.
+    Instruction *alloca_(int64_t cells = 1);
+    Instruction *load(Type t, Value *ptr);
+    Instruction *store(Value *v, Value *ptr);
+    Instruction *ptrAdd(Value *ptr, Value *offset);
+    /// @}
+
+    /// @{ Arithmetic / comparison / conversion.
+    Instruction *binop(Opcode op, Value *lhs, Value *rhs);
+    Instruction *cmp(Opcode op, Value *lhs, Value *rhs);
+    Instruction *siToFp(Value *v);
+    Instruction *fpToSi(Value *v);
+    Instruction *zext(Value *v);
+    /// @}
+
+    /// @{ Control flow.
+    Instruction *br(BasicBlock *target);
+    Instruction *condBr(Value *cond, BasicBlock *t, BasicBlock *f);
+    Instruction *ret(Value *v = nullptr);
+    Instruction *unreachable();
+    Instruction *phi(Type t);
+    /// @}
+
+    /// @{ Calls.
+    Instruction *call(Function *callee, const std::vector<Value *> &args);
+    Instruction *callBuiltin(Builtin b, const std::vector<Value *> &args);
+    /// @}
+
+    Instruction *schedHint(uint64_t id);
+
+  private:
+    Instruction *emit(std::unique_ptr<Instruction> inst);
+
+    Module *module_;
+    BasicBlock *block_ = nullptr;
+    Instruction *before_ = nullptr;
+    SrcLoc loc_;
+};
+
+} // namespace conair::ir

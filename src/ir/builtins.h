@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Builtin (runtime-provided) functions callable from MiniIR.
+ *
+ * Builtins model the libc/pthread surface the paper's applications use
+ * (threads, mutexes, allocation, output) plus the ConAir runtime
+ * intrinsics that the code transformation inserts (checkpoint, rollback,
+ * compensation logging, pointer sanity check).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/type.h"
+
+namespace conair::ir {
+
+/** Identifiers of all runtime-provided functions. */
+enum class Builtin : uint8_t {
+    None,
+
+    // Threading (pthread stand-ins).
+    ThreadCreate,   ///< (func, i64) -> i64 tid
+    ThreadJoin,     ///< (i64 tid) -> void
+    MutexLock,      ///< (ptr mutex) -> void
+    MutexUnlock,    ///< (ptr mutex) -> void
+    MutexTimedLock, ///< (ptr mutex, i64 timeout) -> i64 (0 ok / 1 timeout)
+
+    // Memory.
+    Malloc, ///< (i64 cells) -> ptr
+    Free,   ///< (ptr) -> void
+
+    // Output functions (potential wrong-output failure sites).
+    PrintI64, ///< (i64) -> void
+    PrintF64, ///< (f64) -> void
+    PrintStr, ///< (str constant) -> void
+
+    // Failure reporting (lowered from assert()/oracle() in MiniC).
+    AssertFail, ///< (str msg) -> noreturn
+    OracleFail, ///< (str msg) -> noreturn
+
+    // Misc runtime services.
+    Time,    ///< () -> i64 current virtual clock
+    Yield,   ///< () -> void voluntary reschedule
+    Sleep,   ///< (i64 ticks) -> void virtual-time sleep
+    RandInt, ///< (i64 bound) -> i64 from the VM's seeded app RNG
+
+    // ConAir runtime intrinsics (inserted by the transform only).
+    CaCheckpoint,  ///< (i64 pointId) -> void: save register image (setjmp)
+    CaCheckpointLocals, ///< (i64 pointId) -> void: register image PLUS
+                        ///< the frame's stack slots (the Fig 4 design
+                        ///< point "regions with local-variable writes";
+                        ///< costs time proportional to the slots saved)
+    CaTryRollback, ///< (i64 siteId) -> void: longjmp, or return if giving up
+    CaBackoff,     ///< () -> void: small random sleep (deadlock livelock fix)
+    CaNoteAlloc,   ///< (ptr) -> void: compensation log for malloc (§4.1)
+    CaNoteLock,    ///< (ptr) -> void: compensation log for lock (§4.1)
+    CaPtrCheck,    ///< (ptr) -> i1: sanity check before dereference (Fig 5c)
+    CaRecovered,   ///< (i64 siteId) -> void: zero-cost measurement hook on
+                   ///< a failure site's success path (recovery latency,
+                   ///< Table 7); does not advance the virtual clock
+};
+
+/** Canonical spelling used by the printer/parser ("thread_create", ...). */
+const char *builtinName(Builtin b);
+
+/** Looks a builtin up by name; returns Builtin::None when unknown. */
+Builtin builtinFromName(const std::string &name);
+
+/** Result type of a builtin call. */
+Type builtinResultType(Builtin b);
+
+/** True for the output functions (wrong-output failure-site candidates). */
+bool builtinIsOutput(Builtin b);
+
+/** True for ConAir runtime intrinsics (never idempotency-destroying). */
+bool builtinIsConAir(Builtin b);
+
+} // namespace conair::ir

@@ -1,0 +1,215 @@
+#include "ir/printer.h"
+
+#include <unordered_map>
+
+#include "support/diag.h"
+#include "support/str.h"
+
+namespace conair::ir {
+
+namespace {
+
+/** Assigns printable names to values within one function. */
+class NameMap
+{
+  public:
+    explicit NameMap(const Function &f)
+    {
+        for (unsigned i = 0; i < f.numArgs(); ++i)
+            names_[f.arg(i)] = "%" + f.arg(i)->name();
+        unsigned next = 0;
+        for (const auto &bb : f.blocks()) {
+            for (const auto &inst : bb->insts()) {
+                if (inst->producesValue())
+                    names_[inst.get()] = strfmt("%%%u", next++);
+            }
+        }
+    }
+
+    std::string
+    ref(const Module &m, const Value *v) const
+    {
+        switch (v->kind()) {
+          case ValueKind::ConstInt: {
+            auto *c = static_cast<const ConstInt *>(v);
+            if (c->type() == Type::I1)
+                return c->value() ? "true" : "false";
+            return strfmt("%lld", (long long)c->value());
+          }
+          case ValueKind::ConstFloat:
+            return fpToStr(static_cast<const ConstFloat *>(v)->value());
+          case ValueKind::ConstNull:
+            return "null";
+          case ValueKind::ConstStr:
+            return "\"" +
+                   escape(m.strAt(static_cast<const ConstStr *>(v)->id())) +
+                   "\"";
+          case ValueKind::GlobalAddr:
+            return "@" + static_cast<const GlobalAddr *>(v)->global()->name();
+          case ValueKind::FuncAddr:
+            return "@" +
+                   static_cast<const FuncAddr *>(v)->function()->name();
+          case ValueKind::Argument:
+          case ValueKind::Instruction: {
+            auto it = names_.find(v);
+            if (it == names_.end())
+                return "%<unnamed>";
+            return it->second;
+          }
+        }
+        return "?";
+    }
+
+    std::string
+    def(const Value *v) const
+    {
+        auto it = names_.find(v);
+        return it == names_.end() ? "%<unnamed>" : it->second;
+    }
+
+  private:
+    std::unordered_map<const Value *, std::string> names_;
+};
+
+std::string
+printInst(const Module &m, const NameMap &names, const Instruction &inst)
+{
+    std::string s;
+    if (inst.producesValue())
+        s += names.def(&inst) + " = ";
+
+    auto op = [&](unsigned i) { return names.ref(m, inst.operand(i)); };
+
+    switch (inst.opcode()) {
+      case Opcode::Alloca:
+        s += strfmt("alloca %lld", (long long)inst.allocaSize());
+        break;
+      case Opcode::Load:
+        s += strfmt("load %s, %s", typeName(inst.type()), op(0).c_str());
+        break;
+      case Opcode::Store:
+        s += strfmt("store %s, %s", op(0).c_str(), op(1).c_str());
+        break;
+      case Opcode::Phi: {
+        s += strfmt("phi %s", typeName(inst.type()));
+        for (unsigned i = 0; i < inst.numOperands(); ++i) {
+            s += i ? ", " : " ";
+            s += strfmt("[%s, %s]", op(i).c_str(),
+                        inst.incomingBlock(i)->name().c_str());
+        }
+        break;
+      }
+      case Opcode::Br:
+        s += "br " + inst.blockOp(0)->name();
+        break;
+      case Opcode::CondBr:
+        s += strfmt("condbr %s, %s, %s", op(0).c_str(),
+                    inst.blockOp(0)->name().c_str(),
+                    inst.blockOp(1)->name().c_str());
+        break;
+      case Opcode::Ret:
+        s += "ret";
+        if (inst.numOperands())
+            s += " " + op(0);
+        break;
+      case Opcode::Unreachable:
+        s += "unreachable";
+        break;
+      case Opcode::Call: {
+        std::string callee =
+            inst.callee() ? "@" + inst.callee()->name()
+                          : std::string("$") + builtinName(inst.builtin());
+        std::vector<std::string> args;
+        for (unsigned i = 0; i < inst.numOperands(); ++i)
+            args.push_back(op(i));
+        s += strfmt("call %s(%s)", callee.c_str(),
+                    join(args, ", ").c_str());
+        break;
+      }
+      case Opcode::SchedHint:
+        s += strfmt("sched_hint %llu", (unsigned long long)inst.hintId());
+        break;
+      default: {
+        // Uniform binary/unary form: "<op> a, b".
+        std::vector<std::string> args;
+        for (unsigned i = 0; i < inst.numOperands(); ++i)
+            args.push_back(op(i));
+        s += strfmt("%s %s", opcodeName(inst.opcode()),
+                    join(args, ", ").c_str());
+        break;
+      }
+    }
+    if (!inst.tag().empty())
+        s += " #\"" + escape(inst.tag()) + "\"";
+    return s;
+}
+
+std::string
+printFunc(const Module &m, const Function &f)
+{
+    NameMap names(f);
+    std::vector<std::string> args;
+    for (unsigned i = 0; i < f.numArgs(); ++i) {
+        args.push_back(strfmt("%s %%%s", typeName(f.arg(i)->type()),
+                              f.arg(i)->name().c_str()));
+    }
+    std::string s = strfmt("func @%s(%s) -> %s {\n", f.name().c_str(),
+                           join(args, ", ").c_str(),
+                           typeName(f.returnType()));
+    for (const auto &bb : f.blocks()) {
+        s += bb->name() + ":\n";
+        for (const auto &inst : bb->insts())
+            s += "    " + printInst(m, names, *inst) + "\n";
+    }
+    s += "}\n";
+    return s;
+}
+
+} // namespace
+
+std::string
+printInstruction(const Instruction &inst)
+{
+    const Function *f = inst.parent()->parent();
+    NameMap names(*f);
+    return printInst(*f->parent(), names, inst);
+}
+
+std::string
+printFunction(const Function &f)
+{
+    return printFunc(*f.parent(), f);
+}
+
+std::string
+printModule(const Module &m)
+{
+    std::string s = strfmt("module \"%s\"\n\n", m.name().c_str());
+    for (const auto &g : m.globals()) {
+        if (g->isMutex()) {
+            s += strfmt("mutex @%s\n", g->name().c_str());
+            continue;
+        }
+        s += strfmt("global @%s : %s[%lld]", g->name().c_str(),
+                    typeName(g->elemType()), (long long)g->size());
+        if (!g->initInt().empty() || !g->initFp().empty()) {
+            std::vector<std::string> vals;
+            if (g->elemType() == Type::F64) {
+                for (double v : g->initFp())
+                    vals.push_back(fpToStr(v));
+            } else {
+                for (int64_t v : g->initInt())
+                    vals.push_back(strfmt("%lld", (long long)v));
+            }
+            s += " = [" + join(vals, ", ") + "]";
+        }
+        s += "\n";
+    }
+    if (!m.globals().empty())
+        s += "\n";
+    for (const auto &f : m.functions())
+        s += printFunc(m, *f) + "\n";
+    return s;
+}
+
+} // namespace conair::ir

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Renders MiniIR to its textual form.  The output round-trips through
+ * ir::parseModule (verified by property tests).
+ */
+#pragma once
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace conair::ir {
+
+/** Prints a whole module. */
+std::string printModule(const Module &m);
+
+/** Prints a single function (with its header). */
+std::string printFunction(const Function &f);
+
+/** Prints one instruction as it would appear inside printFunction. */
+std::string printInstruction(const Instruction &inst);
+
+} // namespace conair::ir

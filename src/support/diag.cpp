@@ -1,0 +1,71 @@
+#include "support/diag.h"
+
+#include <execinfo.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/str.h"
+
+namespace conair {
+
+std::string
+SrcLoc::str() const
+{
+    if (!valid())
+        return "<unknown>";
+    return strfmt("%u:%u", line, col);
+}
+
+std::string
+Diag::str() const
+{
+    const char *k = kind == DiagKind::Error     ? "error"
+                    : kind == DiagKind::Warning ? "warning"
+                                                : "note";
+    if (loc.valid())
+        return strfmt("%s: %s: %s", loc.str().c_str(), k, message.c_str());
+    return strfmt("%s: %s", k, message.c_str());
+}
+
+void
+DiagEngine::error(SrcLoc loc, std::string msg)
+{
+    diags_.push_back({DiagKind::Error, loc, std::move(msg)});
+    ++numErrors_;
+}
+
+void
+DiagEngine::warning(SrcLoc loc, std::string msg)
+{
+    diags_.push_back({DiagKind::Warning, loc, std::move(msg)});
+}
+
+void
+DiagEngine::note(SrcLoc loc, std::string msg)
+{
+    diags_.push_back({DiagKind::Note, loc, std::move(msg)});
+}
+
+std::string
+DiagEngine::str() const
+{
+    std::string out;
+    for (const Diag &d : diags_) {
+        out += d.str();
+        out += '\n';
+    }
+    return out;
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "conair fatal: %s\n", msg.c_str());
+    void *frames[32];
+    int n = backtrace(frames, 32);
+    backtrace_symbols_fd(frames, n, 2);
+    std::abort();
+}
+
+} // namespace conair

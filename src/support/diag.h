@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Diagnostic reporting: source locations, error/warning sinks, and the
+ * fatal() escape hatch for internal invariant violations.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace conair {
+
+/** A (line, column) position in a source buffer; 1-based, 0 = unknown. */
+struct SrcLoc
+{
+    uint32_t line = 0;
+    uint32_t col = 0;
+
+    bool valid() const { return line != 0; }
+    std::string str() const;
+};
+
+/** Severity of a diagnostic message. */
+enum class DiagKind { Error, Warning, Note };
+
+/** A single diagnostic: severity, location, message text. */
+struct Diag
+{
+    DiagKind kind = DiagKind::Error;
+    SrcLoc loc;
+    std::string message;
+
+    std::string str() const;
+};
+
+/**
+ * Collects diagnostics produced by a front-end or analysis phase.
+ *
+ * Phases report through this sink instead of printing, so that tests can
+ * assert on exact diagnostics and tools can render them uniformly.
+ */
+class DiagEngine
+{
+  public:
+    void error(SrcLoc loc, std::string msg);
+    void warning(SrcLoc loc, std::string msg);
+    void note(SrcLoc loc, std::string msg);
+
+    bool hasErrors() const { return numErrors_ > 0; }
+    size_t numErrors() const { return numErrors_; }
+    const std::vector<Diag> &diags() const { return diags_; }
+
+    /** All diagnostics rendered one per line (for tests and CLI output). */
+    std::string str() const;
+
+  private:
+    std::vector<Diag> diags_;
+    size_t numErrors_ = 0;
+};
+
+/**
+ * Aborts the process with a message.  Reserved for internal invariant
+ * violations (the moral equivalent of gem5's panic()); user-input errors
+ * must go through DiagEngine instead.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+} // namespace conair

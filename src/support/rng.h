@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything stochastic in this project (schedulers, back-off, property
+ * tests) draws from this splitmix64/xorshift generator so that runs are
+ * exactly reproducible from a seed.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace conair {
+
+/** A small, fast, seedable PRNG (xorshift64* seeded via splitmix64). */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    void
+    reseed(uint64_t seed)
+    {
+        // splitmix64 step avoids weak all-zero / tiny-seed states.
+        uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        state_ = z ^ (z >> 31);
+        if (state_ == 0)
+            state_ = 0x2545f4914f6cdd1dull;
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    uint64_t range(uint64_t bound) { return next() % bound; }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int64_t
+    rangeInclusive(int64_t lo, int64_t hi)
+    {
+        return lo + int64_t(range(uint64_t(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability num/den. */
+    bool chance(uint64_t num, uint64_t den) { return range(den) < num; }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace conair

@@ -1,0 +1,98 @@
+#include "support/str.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace conair {
+
+std::string
+vstrfmt(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    std::string out(n > 0 ? n : 0, '\0');
+    if (n > 0)
+        std::vsnprintf(out.data(), n + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string out = vstrfmt(fmt, ap);
+    va_end(ap);
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+fpToStr(double v)
+{
+    // %.17g round-trips IEEE doubles exactly.
+    std::string s = strfmt("%.17g", v);
+    // Ensure the token is recognizably floating point when parsed back.
+    if (s.find_first_of(".eEni") == std::string::npos)
+        s += ".0";
+    return s;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           std::memcmp(s.data(), prefix.data(), prefix.size()) == 0;
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+unescape(const std::string &s)
+{
+    std::string out;
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 == s.size()) {
+            out += s[i];
+            continue;
+        }
+        ++i;
+        switch (s[i]) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case '\\': out += '\\'; break;
+          case '"': out += '"'; break;
+          default: out += s[i];
+        }
+    }
+    return out;
+}
+
+} // namespace conair

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Small string helpers shared across the project (printf-style formatting,
+ * joining, numeric rendering).  Kept minimal: the project targets GCC 12,
+ * whose libstdc++ does not ship std::format.
+ */
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace conair {
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** va_list variant of strfmt(). */
+std::string vstrfmt(const char *fmt, va_list ap);
+
+/** Joins @p parts with @p sep between consecutive elements. */
+std::string join(const std::vector<std::string> &parts, const std::string &sep);
+
+/** Renders a double the way the IR printer expects (round-trippable). */
+std::string fpToStr(double v);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Escapes a string for printing inside double quotes ("\n" etc.). */
+std::string escape(const std::string &s);
+
+/** Reverses escape(): interprets backslash escapes. */
+std::string unescape(const std::string &s);
+
+} // namespace conair

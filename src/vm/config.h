@@ -1,0 +1,120 @@
+/**
+ * @file
+ * MiniVM run configuration: scheduling policy, interleaving forcing,
+ * resource limits, and ConAir runtime knobs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace conair::vm {
+
+/** Thread scheduling policies. */
+enum class SchedPolicy {
+    RoundRobin, ///< fixed quantum, cycle through runnable threads
+    Random,     ///< seeded random switches (production-like jitter)
+};
+
+/**
+ * Forces a buggy interleaving: when a thread executes `hint(id)` in
+ * MiniC (a SchedHint instruction), it sleeps for @ref delayTicks of
+ * virtual time, letting other threads overtake it.  This is the
+ * deterministic analogue of the paper's "insert sleeps into buggy code
+ * regions" methodology (§5).
+ */
+struct DelayRule
+{
+    uint64_t hintId;
+    uint64_t delayTicks;
+
+    /**
+     * How many times the delay fires before becoming inert; 0 means
+     * every execution.  Setting 1 models a *transient* timing anomaly:
+     * whole-program rollback baselines escape the bug on reexecution
+     * because the anomaly does not repeat (fire counts deliberately
+     * survive their rollbacks).
+     */
+    uint64_t maxFires = 0;
+};
+
+/** All the knobs for one VM run. */
+struct VmConfig
+{
+    SchedPolicy policy = SchedPolicy::Random;
+    uint64_t seed = 1;
+
+    /** Preemption quantum for RoundRobin / expected run length for
+     *  Random (instructions between involuntary switches). */
+    uint64_t quantum = 50;
+
+    /** Interleaving forcing (empty = natural scheduling). */
+    std::vector<DelayRule> delays;
+
+    /** Abort the run after this many executed instructions. */
+    uint64_t maxSteps = 50'000'000;
+
+    /** Hang detector: a blocked lock waits at most this long before the
+     *  VM declares the run hung (plain mutex_lock has no timeout; this
+     *  bound exists so benchmark runs terminate). */
+    uint64_t hangTimeout = 2'000'000;
+
+    /**
+     * ConAir runtime: retry budget per thread (paper default is one
+     * million; benches lower it so unrecoverable sites fail fast).
+     */
+    int64_t maxRetries = 1'000'000;
+
+    /** ConAir runtime: upper bound of the random deadlock back-off. */
+    uint64_t backoffMax = 64;
+
+    /** Seed for the application-visible rand() builtin. */
+    uint64_t appSeed = 99;
+
+    /**
+     * @name Whole-program checkpoint/rollback baseline
+     *
+     * Models the traditional recovery systems ConAir is compared
+     * against (Rx/ASSURE-style, paper §1 and §7): periodic snapshots of
+     * the *entire* program state (all threads + memory), multi-threaded
+     * rollback on failure, and a perturbed schedule on reexecution.
+     * The snapshot cost is charged to virtual time proportionally to
+     * the state size — the overhead ConAir avoids by design.
+     * @{
+     */
+
+    /** Steps between whole-program snapshots; 0 disables the mode. */
+    uint64_t wpCheckpointInterval = 0;
+
+    /** Rollback attempts before the failure is allowed through. */
+    unsigned wpMaxRecoveries = 8;
+
+    /** Virtual ticks charged per snapshotted memory cell. */
+    double wpSnapshotCostPerCell = 0.25;
+
+    /** @} */
+
+    /**
+     * @name Chaos rollback injection (idempotency validation)
+     *
+     * When enabled, the VM randomly rolls a thread back to its most
+     * recent ConAir checkpoint whenever the thread is inside a *clean*
+     * window (no idempotency-destroying instruction executed since the
+     * checkpoint).  §2.2's correctness argument says such rollbacks
+     * can never change program semantics; the property tests run every
+     * hardened application under chaos and require bit-identical
+     * results.
+     * @{
+     */
+
+    /** Expected instructions between injected rollbacks; 0 disables. */
+    uint64_t chaosRollbackEveryN = 0;
+
+    /** Upper bound on injected rollbacks (termination guarantee). */
+    uint64_t chaosMaxRollbacks = 10'000;
+
+    /** @} */
+};
+
+} // namespace conair::vm

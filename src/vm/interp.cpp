@@ -1,0 +1,1288 @@
+#include "vm/interp.h"
+
+#include <algorithm>
+
+#include "support/str.h"
+
+namespace conair::vm {
+
+using ir::Builtin;
+using ir::Instruction;
+using ir::Opcode;
+
+namespace {
+bool dirtiesWindow(const Instruction &inst);
+} // namespace
+
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Success: return "success";
+      case Outcome::AssertFail: return "assert-fail";
+      case Outcome::OracleFail: return "oracle-fail";
+      case Outcome::Segfault: return "segfault";
+      case Outcome::Hang: return "hang";
+      case Outcome::Timeout: return "timeout";
+      case Outcome::Trap: return "trap";
+    }
+    return "?";
+}
+
+Interp::Interp(const ir::Module &m, VmConfig cfg)
+    : module_(m), cfg_(cfg), schedRng_(cfg.seed), appRng_(cfg.appSeed),
+      chaosRng_(cfg.seed ^ 0x5bd1e995u)
+{
+    for (const DelayRule &r : cfg_.delays)
+        delayByHint_[r.hintId] = r;
+
+    // Materialise globals.
+    for (const auto &g : m.globals()) {
+        std::vector<RtValue> cells(g->size());
+        if (g->elemType() == ir::Type::Ptr) {
+            // Pointer globals start as null (MiniC offers no non-zero
+            // pointer initialisers).
+            for (auto &cell : cells)
+                cell = RtValue::ofPtr(Ptr{});
+        } else if (g->elemType() == ir::Type::F64) {
+            for (size_t i = 0; i < g->initFp().size() &&
+                               i < cells.size(); ++i)
+                cells[i] = RtValue::ofFloat(g->initFp()[i]);
+            for (size_t i = g->initFp().size(); i < cells.size(); ++i)
+                cells[i] = RtValue::ofFloat(0.0);
+        } else {
+            for (size_t i = 0; i < g->initInt().size() &&
+                               i < cells.size(); ++i)
+                cells[i] = RtValue::ofInt(g->initInt()[i]);
+            for (size_t i = g->initInt().size(); i < cells.size(); ++i)
+                cells[i] = RtValue::ofInt(0);
+        }
+        globals_.push_back(std::move(cells));
+    }
+}
+
+Interp::~Interp() = default;
+
+//
+// Public entry.
+//
+
+RunResult
+Interp::run()
+{
+    const ir::Function *main_fn = module_.findFunction("main");
+    if (!main_fn) {
+        fail(Outcome::Trap, "no main() function", nullptr);
+        return result_;
+    }
+    auto t0 = std::make_unique<Thread>();
+    t0->id = 0;
+    threads_.push_back(std::move(t0));
+    pushFrame(*threads_[0], main_fn, {}, false, 0);
+    quantumLeft_ = newQuantum();
+
+    if (cfg_.wpCheckpointInterval > 0) {
+        wpTakeSnapshot(); // initial checkpoint at program start
+        wpNextSnapshotAt_ = cfg_.wpCheckpointInterval;
+    }
+
+    uint64_t hang_check_countdown = 1024;
+    while (running_) {
+        if (wpPendingRestore_) {
+            wpRestore();
+            continue;
+        }
+        if (cfg_.wpCheckpointInterval > 0 &&
+            result_.stats.steps >= wpNextSnapshotAt_) {
+            wpTakeSnapshot();
+            wpNextSnapshotAt_ =
+                result_.stats.steps + cfg_.wpCheckpointInterval;
+        }
+        wakeDue();
+        Thread *t = pickThread();
+        if (!t) {
+            if (!advanceSleepers()) {
+                failHang(
+                    "all threads blocked (deadlock or lost wake-up)");
+                if (wpPendingRestore_)
+                    continue; // whole-program rollback instead
+                break;
+            }
+            continue;
+        }
+        Frame &f = t->frames.back();
+        const Instruction &inst = **f.pc;
+        ++f.pc; // terminators re-aim it; calls rely on it pointing past
+        ++clock_;
+        ++result_.stats.steps;
+        execInst(*t, inst);
+
+        if (cfg_.chaosRollbackEveryN > 0 && running_) {
+            if (dirtiesWindow(inst))
+                t->cleanSinceCkpt = false;
+            maybeChaosRollback(*t, inst);
+        }
+
+        if (result_.stats.steps >= cfg_.maxSteps && running_) {
+            // The budget is final: no whole-program rollback can help.
+            running_ = false;
+            result_.outcome = Outcome::Timeout;
+            result_.failureMsg = "instruction budget exhausted";
+            break;
+        }
+        if (--hang_check_countdown == 0) {
+            hang_check_countdown = 1024;
+            for (const auto &th : threads_) {
+                if (th->state == ThreadState::BlockedLock &&
+                    !th->lockHasDeadline &&
+                    clock_ - th->blockStart > cfg_.hangTimeout) {
+                    failHang("thread blocked on a lock past the hang "
+                             "timeout");
+                    break; // inner loop; restore handled at loop top
+                }
+            }
+        }
+    }
+    result_.clock = clock_;
+    return result_;
+}
+
+//
+// Frames.
+//
+
+void
+Interp::pushFrame(Thread &t, const ir::Function *fn,
+                  const std::vector<RtValue> &args, bool wants_ret,
+                  uint32_t ret_reg)
+{
+    Frame f;
+    f.fn = fn;
+    f.map = &regMaps_.of(fn);
+    f.regs.resize(f.map->count());
+    for (unsigned i = 0; i < args.size(); ++i)
+        f.regs[f.map->indexOf(fn->arg(i))] = args[i];
+    f.block = fn->entry();
+    f.pc = fn->entry()->insts().begin();
+    f.wantsRet = wants_ret;
+    f.retReg = ret_reg;
+    t.frames.push_back(std::move(f));
+}
+
+void
+Interp::releaseFrameSlots(Frame &f)
+{
+    for (uint32_t id : f.allocaSlots)
+        stackSlots_.erase(id);
+}
+
+void
+Interp::popFrame(Thread &t, RtValue ret)
+{
+    Frame done = std::move(t.frames.back());
+    t.frames.pop_back();
+    releaseFrameSlots(done);
+    if (t.frames.empty()) {
+        t.state = ThreadState::Done;
+        t.exitValue = ret.kind == ir::Type::I64 ? ret.i : 0;
+        // Wake joiners.
+        for (auto &other : threads_) {
+            if (other->state == ThreadState::Joining &&
+                other->joinTarget == t.id)
+                other->state = ThreadState::Runnable;
+        }
+        if (t.id == 0)
+            finish(t.exitValue);
+        return;
+    }
+    Frame &caller = t.frames.back();
+    if (done.wantsRet)
+        caller.regs[done.retReg] = ret;
+}
+
+//
+// Value plumbing.
+//
+
+RtValue
+Interp::getValue(Frame &f, const ir::Value *v)
+{
+    using ir::ValueKind;
+    switch (v->kind()) {
+      case ValueKind::ConstInt: {
+        auto *c = static_cast<const ir::ConstInt *>(v);
+        return RtValue::ofInt(c->value(), c->type());
+      }
+      case ValueKind::ConstFloat:
+        return RtValue::ofFloat(
+            static_cast<const ir::ConstFloat *>(v)->value());
+      case ValueKind::ConstNull:
+        return RtValue::ofPtr(Ptr{});
+      case ValueKind::GlobalAddr: {
+        auto *g = static_cast<const ir::GlobalAddr *>(v);
+        return RtValue::ofPtr(
+            Ptr{Ptr::Seg::Global, g->global()->id(), 0});
+      }
+      case ValueKind::Argument:
+      case ValueKind::Instruction:
+        return f.regs[f.map->indexOf(v)];
+      case ValueKind::ConstStr:
+      case ValueKind::FuncAddr:
+        fatal("string/function constants are only valid as direct "
+              "builtin operands");
+    }
+    fatal("getValue: unhandled value kind");
+}
+
+void
+Interp::setReg(Frame &f, const Instruction *inst, RtValue v)
+{
+    f.regs[f.map->indexOf(inst)] = v;
+}
+
+void
+Interp::jumpTo(Thread &t, const ir::BasicBlock *target)
+{
+    Frame &f = t.frames.back();
+    f.prevBlock = f.block;
+    f.block = target;
+    f.pc = target->insts().begin();
+
+    // Evaluate the leading phis as one parallel copy.
+    std::vector<std::pair<const Instruction *, RtValue>> updates;
+    for (auto it = target->insts().begin(); it != target->insts().end();
+         ++it) {
+        const Instruction *inst = it->get();
+        if (inst->opcode() != Opcode::Phi)
+            break;
+        bool matched = false;
+        for (unsigned i = 0; i < inst->numBlockOps(); ++i) {
+            if (inst->incomingBlock(i) == f.prevBlock) {
+                updates.push_back({inst, getValue(f, inst->operand(i))});
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            fail(Outcome::Trap, "phi has no incoming edge for "
+                                "predecessor",
+                 inst);
+            return;
+        }
+        ++f.pc;
+        ++clock_;
+        ++result_.stats.steps;
+    }
+    for (auto &[inst, v] : updates)
+        setReg(f, inst, v);
+}
+
+//
+// Memory.
+//
+
+bool
+Interp::pointerValid(Ptr p) const
+{
+    switch (p.seg) {
+      case Ptr::Seg::Null:
+        return false;
+      case Ptr::Seg::Global:
+        return p.block < globals_.size() && p.offset >= 0 &&
+               p.offset < int64_t(globals_[p.block].size());
+      case Ptr::Seg::Heap: {
+        auto it = heap_.find(p.block);
+        return it != heap_.end() && !it->second.freed && p.offset >= 0 &&
+               p.offset < int64_t(it->second.cells.size());
+      }
+      case Ptr::Seg::Stack: {
+        auto it = stackSlots_.find(p.block);
+        return it != stackSlots_.end() && p.offset >= 0 &&
+               p.offset < int64_t(it->second.size());
+      }
+    }
+    return false;
+}
+
+RtValue *
+Interp::cellAt(Ptr p, const char *what)
+{
+    switch (p.seg) {
+      case Ptr::Seg::Null:
+        fail(Outcome::Segfault,
+             strfmt("%s through null pointer", what), nullptr);
+        return nullptr;
+      case Ptr::Seg::Global: {
+        if (p.block >= globals_.size() || p.offset < 0 ||
+            p.offset >= int64_t(globals_[p.block].size())) {
+            fail(Outcome::Segfault,
+                 strfmt("%s out of global bounds", what), nullptr);
+            return nullptr;
+        }
+        return &globals_[p.block][p.offset];
+      }
+      case Ptr::Seg::Heap: {
+        auto it = heap_.find(p.block);
+        if (it == heap_.end()) {
+            fail(Outcome::Segfault, strfmt("%s of unknown heap block",
+                                           what),
+                 nullptr);
+            return nullptr;
+        }
+        if (it->second.freed) {
+            fail(Outcome::Segfault, strfmt("%s after free", what),
+                 nullptr);
+            return nullptr;
+        }
+        if (p.offset < 0 || p.offset >= int64_t(it->second.cells.size())) {
+            fail(Outcome::Segfault,
+                 strfmt("%s out of heap block bounds", what), nullptr);
+            return nullptr;
+        }
+        return &it->second.cells[p.offset];
+      }
+      case Ptr::Seg::Stack: {
+        auto it = stackSlots_.find(p.block);
+        if (it == stackSlots_.end()) {
+            fail(Outcome::Segfault,
+                 strfmt("%s through dangling stack pointer", what),
+                 nullptr);
+            return nullptr;
+        }
+        if (p.offset < 0 || p.offset >= int64_t(it->second.size())) {
+            fail(Outcome::Segfault,
+                 strfmt("%s out of stack slot bounds", what), nullptr);
+            return nullptr;
+        }
+        return &it->second[p.offset];
+      }
+    }
+    return nullptr;
+}
+
+void
+Interp::doLoad(Thread &t, const Instruction &inst)
+{
+    Frame &f = t.frames.back();
+    RtValue addr = getValue(f, inst.operand(0));
+    RtValue *cell = cellAt(addr.p, "load");
+    if (!cell) {
+        result_.failureTag = inst.tag();
+        return;
+    }
+    if (cell->isUninit()) {
+        // Reading a never-written cell yields the zero of the load type.
+        switch (inst.type()) {
+          case ir::Type::F64:
+            setReg(f, &inst, RtValue::ofFloat(0.0));
+            break;
+          case ir::Type::Ptr:
+            setReg(f, &inst, RtValue::ofPtr(Ptr{}));
+            break;
+          default:
+            setReg(f, &inst, RtValue::ofInt(0, inst.type()));
+            break;
+        }
+        return;
+    }
+    bool int_kinds = (cell->kind == ir::Type::I64 ||
+                      cell->kind == ir::Type::I1) &&
+                     (inst.type() == ir::Type::I64 ||
+                      inst.type() == ir::Type::I1);
+    if (cell->kind != inst.type() && !int_kinds) {
+        fail(Outcome::Trap,
+             strfmt("type-confused load: cell holds %s, load wants %s",
+                    ir::typeName(cell->kind), ir::typeName(inst.type())),
+             &inst);
+        return;
+    }
+    RtValue v = *cell;
+    v.kind = inst.type();
+    setReg(f, &inst, v);
+}
+
+void
+Interp::doStore(Thread &t, const Instruction &inst)
+{
+    Frame &f = t.frames.back();
+    RtValue v = getValue(f, inst.operand(0));
+    RtValue addr = getValue(f, inst.operand(1));
+    RtValue *cell = cellAt(addr.p, "store");
+    if (!cell) {
+        result_.failureTag = inst.tag();
+        return;
+    }
+    *cell = v;
+}
+
+//
+// Synchronisation.
+//
+
+Interp::MutexState &
+Interp::mutexAt(CellKey key)
+{
+    return mutexes_[key];
+}
+
+void
+Interp::lockMutex(Thread &t, Ptr p, bool timed, uint64_t timeout,
+                  const Instruction *inst)
+{
+    if (p.isNull()) {
+        fail(Outcome::Segfault, "lock of null mutex", inst);
+        return;
+    }
+    CellKey key{p.seg, p.block, p.offset};
+    MutexState &m = mutexAt(key);
+    if (m.owner == -1) {
+        m.owner = int32_t(t.id);
+        t.pendingNote = true;
+        if (timed) {
+            Frame &f = t.frames.back();
+            setReg(f, inst, RtValue::ofInt(0));
+        }
+        return;
+    }
+    // Contended (or recursive, which deadlocks like a default pthread
+    // mutex): block the thread.
+    m.waiters.push_back(t.id);
+    t.state = ThreadState::BlockedLock;
+    t.lockKey = key;
+    t.blockedAt = inst;
+    t.blockStart = clock_;
+    t.lockHasDeadline = timed;
+    t.wakeAt = timed ? clock_ + timeout : 0;
+    if (timed) {
+        Frame &f = t.frames.back();
+        t.lockResultReg = f.map->indexOf(inst);
+        t.lockWantsResult = true;
+    } else {
+        t.lockWantsResult = false;
+    }
+    forceSwitch_ = true;
+}
+
+void
+Interp::grantLock(MutexState &m)
+{
+    while (m.owner == -1 && !m.waiters.empty()) {
+        uint32_t wid = m.waiters.front();
+        m.waiters.pop_front();
+        Thread &w = *threads_[wid];
+        if (w.state != ThreadState::BlockedLock)
+            continue; // stale entry (timed out earlier)
+        m.owner = int32_t(wid);
+        w.state = ThreadState::Runnable;
+        w.pendingNote = true;
+        if (w.lockWantsResult) {
+            w.frames.back().regs[w.lockResultReg] = RtValue::ofInt(0);
+            w.lockWantsResult = false;
+        }
+    }
+}
+
+void
+Interp::unlockMutex(Thread &t, Ptr p, bool compensation)
+{
+    if (p.isNull()) {
+        fail(Outcome::Segfault, "unlock of null mutex", nullptr);
+        return;
+    }
+    CellKey key{p.seg, p.block, p.offset};
+    MutexState &m = mutexAt(key);
+    if (m.owner != int32_t(t.id)) {
+        if (compensation)
+            return; // tolerated: the lock may have timed out meanwhile
+        fail(Outcome::Trap, "unlock of mutex not held by this thread",
+             nullptr);
+        return;
+    }
+    m.owner = -1;
+    grantLock(m);
+}
+
+//
+// Instruction dispatch.
+//
+
+void
+Interp::execInst(Thread &t, const Instruction &inst)
+{
+    Frame &f = t.frames.back();
+    auto val = [&](unsigned i) { return getValue(f, inst.operand(i)); };
+
+    switch (inst.opcode()) {
+      case Opcode::Alloca: {
+        uint32_t id = nextSlotId_++;
+        stackSlots_[id] = std::vector<RtValue>(inst.allocaSize());
+        f.allocaSlots.push_back(id);
+        setReg(f, &inst, RtValue::ofPtr(Ptr{Ptr::Seg::Stack, id, 0}));
+        break;
+      }
+      case Opcode::Load:
+        doLoad(t, inst);
+        break;
+      case Opcode::Store:
+        doStore(t, inst);
+        break;
+      case Opcode::PtrAdd: {
+        RtValue p = val(0);
+        RtValue off = val(1);
+        p.p.offset += off.i;
+        setReg(f, &inst, p);
+        break;
+      }
+      // Integer arithmetic wraps (two's complement), like hardware.
+      case Opcode::Add:
+        setReg(f, &inst,
+               RtValue::ofInt(int64_t(uint64_t(val(0).i) +
+                                      uint64_t(val(1).i))));
+        break;
+      case Opcode::Sub:
+        setReg(f, &inst,
+               RtValue::ofInt(int64_t(uint64_t(val(0).i) -
+                                      uint64_t(val(1).i))));
+        break;
+      case Opcode::Mul:
+        setReg(f, &inst,
+               RtValue::ofInt(int64_t(uint64_t(val(0).i) *
+                                      uint64_t(val(1).i))));
+        break;
+      case Opcode::SDiv: {
+        int64_t d = val(1).i;
+        if (d == 0) {
+            fail(Outcome::Trap, "division by zero", &inst);
+            break;
+        }
+        if (d == -1 && val(0).i == INT64_MIN) {
+            setReg(f, &inst, RtValue::ofInt(INT64_MIN)); // wraps
+            break;
+        }
+        setReg(f, &inst, RtValue::ofInt(val(0).i / d));
+        break;
+      }
+      case Opcode::SRem: {
+        int64_t d = val(1).i;
+        if (d == 0) {
+            fail(Outcome::Trap, "remainder by zero", &inst);
+            break;
+        }
+        if (d == -1) {
+            setReg(f, &inst, RtValue::ofInt(0));
+            break;
+        }
+        setReg(f, &inst, RtValue::ofInt(val(0).i % d));
+        break;
+      }
+      case Opcode::And:
+        setReg(f, &inst, RtValue::ofInt(val(0).i & val(1).i));
+        break;
+      case Opcode::Or:
+        setReg(f, &inst, RtValue::ofInt(val(0).i | val(1).i));
+        break;
+      case Opcode::Xor:
+        setReg(f, &inst, RtValue::ofInt(val(0).i ^ val(1).i));
+        break;
+      case Opcode::Shl:
+        setReg(f, &inst,
+               RtValue::ofInt(int64_t(uint64_t(val(0).i)
+                                      << (uint64_t(val(1).i) & 63))));
+        break;
+      case Opcode::Shr:
+        setReg(f, &inst,
+               RtValue::ofInt(val(0).i >> (uint64_t(val(1).i) & 63)));
+        break;
+      case Opcode::FAdd:
+        setReg(f, &inst, RtValue::ofFloat(val(0).f + val(1).f));
+        break;
+      case Opcode::FSub:
+        setReg(f, &inst, RtValue::ofFloat(val(0).f - val(1).f));
+        break;
+      case Opcode::FMul:
+        setReg(f, &inst, RtValue::ofFloat(val(0).f * val(1).f));
+        break;
+      case Opcode::FDiv:
+        setReg(f, &inst, RtValue::ofFloat(val(0).f / val(1).f));
+        break;
+      case Opcode::ICmpEq:
+      case Opcode::ICmpNe: {
+        RtValue a = val(0), b = val(1);
+        bool eq;
+        if (a.kind == ir::Type::Ptr || b.kind == ir::Type::Ptr)
+            eq = a.p == b.p;
+        else
+            eq = a.i == b.i;
+        bool r = inst.opcode() == Opcode::ICmpEq ? eq : !eq;
+        setReg(f, &inst, RtValue::ofBool(r));
+        break;
+      }
+      case Opcode::ICmpSlt:
+        setReg(f, &inst, RtValue::ofBool(val(0).i < val(1).i));
+        break;
+      case Opcode::ICmpSle:
+        setReg(f, &inst, RtValue::ofBool(val(0).i <= val(1).i));
+        break;
+      case Opcode::ICmpSgt:
+        setReg(f, &inst, RtValue::ofBool(val(0).i > val(1).i));
+        break;
+      case Opcode::ICmpSge:
+        setReg(f, &inst, RtValue::ofBool(val(0).i >= val(1).i));
+        break;
+      case Opcode::FCmpEq:
+        setReg(f, &inst, RtValue::ofBool(val(0).f == val(1).f));
+        break;
+      case Opcode::FCmpNe:
+        setReg(f, &inst, RtValue::ofBool(val(0).f != val(1).f));
+        break;
+      case Opcode::FCmpLt:
+        setReg(f, &inst, RtValue::ofBool(val(0).f < val(1).f));
+        break;
+      case Opcode::FCmpLe:
+        setReg(f, &inst, RtValue::ofBool(val(0).f <= val(1).f));
+        break;
+      case Opcode::FCmpGt:
+        setReg(f, &inst, RtValue::ofBool(val(0).f > val(1).f));
+        break;
+      case Opcode::FCmpGe:
+        setReg(f, &inst, RtValue::ofBool(val(0).f >= val(1).f));
+        break;
+      case Opcode::SiToFp:
+        setReg(f, &inst, RtValue::ofFloat(double(val(0).i)));
+        break;
+      case Opcode::FpToSi:
+        setReg(f, &inst, RtValue::ofInt(int64_t(val(0).f)));
+        break;
+      case Opcode::Zext:
+        setReg(f, &inst, RtValue::ofInt(val(0).i != 0 ? 1 : 0));
+        break;
+      case Opcode::Phi:
+        // Phis are consumed by jumpTo(); reaching one here means entry
+        // into a block without a jump.
+        fail(Outcome::Trap, "phi executed outside a block transfer",
+             &inst);
+        break;
+      case Opcode::Br:
+        jumpTo(t, inst.blockOp(0));
+        break;
+      case Opcode::CondBr: {
+        bool c = val(0).i != 0;
+        jumpTo(t, inst.blockOp(c ? 0 : 1));
+        break;
+      }
+      case Opcode::Ret: {
+        RtValue ret;
+        if (inst.numOperands())
+            ret = val(0);
+        popFrame(t, ret);
+        break;
+      }
+      case Opcode::Unreachable:
+        fail(Outcome::Trap, "unreachable executed", &inst);
+        break;
+      case Opcode::SchedHint: {
+        auto it = delayByHint_.find(inst.hintId());
+        if (it != delayByHint_.end() && it->second.delayTicks > 0) {
+            uint64_t &fired = hintFires_[inst.hintId()];
+            if (it->second.maxFires == 0 ||
+                fired < it->second.maxFires) {
+                ++fired;
+                t.state = ThreadState::Sleeping;
+                t.wakeAt = clock_ + it->second.delayTicks;
+                forceSwitch_ = true;
+            }
+        }
+        break;
+      }
+      case Opcode::Call:
+        execCall(t, inst);
+        break;
+      default:
+        fail(Outcome::Trap, "unimplemented opcode", &inst);
+        break;
+    }
+}
+
+void
+Interp::execCall(Thread &t, const Instruction &inst)
+{
+    if (inst.callee()) {
+        Frame &f = t.frames.back();
+        std::vector<RtValue> args;
+        for (unsigned i = 0; i < inst.numOperands(); ++i)
+            args.push_back(getValue(f, inst.operand(i)));
+        bool wants = inst.producesValue();
+        uint32_t ret_reg = wants ? f.map->indexOf(&inst) : 0;
+        pushFrame(t, inst.callee(), args, wants, ret_reg);
+        return;
+    }
+    if (ir::builtinIsConAir(inst.builtin())) {
+        execConAir(t, inst);
+        return;
+    }
+    execBuiltin(t, inst);
+}
+
+void
+Interp::execBuiltin(Thread &t, const Instruction &inst)
+{
+    Frame &f = t.frames.back();
+    auto val = [&](unsigned i) { return getValue(f, inst.operand(i)); };
+    auto str_arg = [&](unsigned i) -> const std::string & {
+        auto *s = static_cast<const ir::ConstStr *>(inst.operand(i));
+        return module_.strAt(s->id());
+    };
+
+    switch (inst.builtin()) {
+      case Builtin::ThreadCreate: {
+        auto *fa = static_cast<const ir::FuncAddr *>(inst.operand(0));
+        RtValue arg = val(1);
+        auto nt = std::make_unique<Thread>();
+        nt->id = threads_.size();
+        uint32_t tid = nt->id;
+        threads_.push_back(std::move(nt));
+        pushFrame(*threads_[tid], fa->function(), {arg}, false, 0);
+        ++result_.stats.threadsSpawned;
+        setReg(f, &inst, RtValue::ofInt(tid));
+        break;
+      }
+      case Builtin::ThreadJoin: {
+        int64_t tid = val(0).i;
+        if (tid < 0 || tid >= int64_t(threads_.size())) {
+            fail(Outcome::Trap, "join of unknown thread", &inst);
+            break;
+        }
+        if (threads_[tid]->state != ThreadState::Done) {
+            t.state = ThreadState::Joining;
+            t.joinTarget = uint32_t(tid);
+            t.blockStart = clock_;
+            forceSwitch_ = true;
+        }
+        break;
+      }
+      case Builtin::MutexLock:
+        lockMutex(t, val(0).p, false, 0, &inst);
+        break;
+      case Builtin::MutexTimedLock:
+        lockMutex(t, val(0).p, true, uint64_t(val(1).i), &inst);
+        break;
+      case Builtin::MutexUnlock:
+        unlockMutex(t, val(0).p, false);
+        break;
+      case Builtin::Malloc: {
+        int64_t n = std::max<int64_t>(val(0).i, 0);
+        uint32_t id = nextHeapId_++;
+        heap_[id] = HeapBlock{std::vector<RtValue>(n), false};
+        t.pendingNote = true;
+        setReg(f, &inst, RtValue::ofPtr(Ptr{Ptr::Seg::Heap, id, 0}));
+        break;
+      }
+      case Builtin::Free: {
+        Ptr p = val(0).p;
+        if (p.isNull())
+            break; // free(NULL) is a no-op
+        if (p.seg != Ptr::Seg::Heap || p.offset != 0) {
+            fail(Outcome::Trap, "free of non-heap or interior pointer",
+                 &inst);
+            break;
+        }
+        auto it = heap_.find(p.block);
+        if (it == heap_.end() || it->second.freed) {
+            fail(Outcome::Trap, "double or invalid free", &inst);
+            break;
+        }
+        it->second.freed = true;
+        break;
+      }
+      case Builtin::PrintI64:
+        result_.output += strfmt("%lld", (long long)val(0).i);
+        break;
+      case Builtin::PrintF64:
+        result_.output += strfmt("%g", val(0).f);
+        break;
+      case Builtin::PrintStr:
+        result_.output += str_arg(0);
+        break;
+      case Builtin::AssertFail:
+        fail(Outcome::AssertFail, str_arg(0), &inst);
+        break;
+      case Builtin::OracleFail:
+        fail(Outcome::OracleFail, str_arg(0), &inst);
+        break;
+      case Builtin::Time:
+        setReg(f, &inst, RtValue::ofInt(int64_t(clock_) + 1));
+        break;
+      case Builtin::Yield:
+        forceSwitch_ = true;
+        break;
+      case Builtin::Sleep: {
+        int64_t n = val(0).i;
+        if (n > 0) {
+            t.state = ThreadState::Sleeping;
+            t.wakeAt = clock_ + uint64_t(n);
+            forceSwitch_ = true;
+        }
+        break;
+      }
+      case Builtin::RandInt: {
+        int64_t bound = val(0).i;
+        setReg(f, &inst,
+               RtValue::ofInt(bound > 0
+                                  ? int64_t(appRng_.range(bound))
+                                  : 0));
+        break;
+      }
+      default:
+        fail(Outcome::Trap, "unknown builtin", &inst);
+        break;
+    }
+}
+
+//
+// ConAir runtime intrinsics.
+//
+
+void
+Interp::doCheckpoint(Thread &t, const Instruction &inst)
+{
+    Frame &f = t.frames.back();
+    t.ckpt.valid = true;
+    t.ckpt.frameIndex = t.frames.size() - 1;
+    t.ckpt.regs = f.regs;
+    t.ckpt.block = f.block;
+    t.ckpt.pc = f.pc; // already advanced: resumes right after setjmp
+    t.ckpt.prevBlock = f.prevBlock;
+    t.ckpt.locals.clear();
+    if (inst.builtin() == Builtin::CaCheckpointLocals) {
+        // The Fig 4 "regions with local-variable writes" point: the
+        // frame's stack slots are part of the image, and copying them
+        // costs time proportional to their size (unlike the plain
+        // register-image setjmp).
+        uint64_t cells = 0;
+        for (uint32_t id : f.allocaSlots) {
+            auto it = stackSlots_.find(id);
+            if (it == stackSlots_.end())
+                continue;
+            t.ckpt.locals.push_back({id, it->second});
+            cells += it->second.size();
+        }
+        uint64_t cost = cells / 4;
+        clock_ += cost;
+        result_.stats.steps += cost;
+    }
+    t.cleanSinceCkpt = true;
+    ++t.epoch;
+    ++result_.stats.checkpointsExecuted;
+}
+
+namespace {
+
+/** Would executing @p inst end the current idempotent window?  The
+ *  mirror of ca::destroysIdempotency, used by chaos injection. */
+bool
+dirtiesWindow(const Instruction &inst)
+{
+    switch (inst.opcode()) {
+      case Opcode::Store:
+        return true;
+      case Opcode::Call: {
+        if (inst.callee())
+            return true;
+        Builtin b = inst.builtin();
+        if (ir::builtinIsConAir(b))
+            return false;
+        // The §4.1 allowlist: compensation makes these re-executable.
+        return b != Builtin::Malloc && b != Builtin::MutexLock &&
+               b != Builtin::MutexTimedLock;
+      }
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+Interp::runCompensation(Thread &t)
+{
+    for (const CompensationEntry &e : t.allocLog) {
+        if (e.epoch != t.epoch)
+            continue;
+        auto it = heap_.find(e.key.block);
+        if (it != heap_.end() && !it->second.freed) {
+            it->second.freed = true;
+            ++result_.stats.compensationFrees;
+        }
+    }
+    t.allocLog.clear();
+    for (const CompensationEntry &e : t.lockLog) {
+        if (e.epoch != t.epoch)
+            continue;
+        unlockMutex(t, Ptr{e.key.seg, e.key.block, e.key.offset}, true);
+        ++result_.stats.compensationUnlocks;
+    }
+    t.lockLog.clear();
+}
+
+void
+Interp::restoreCheckpoint(Thread &t)
+{
+    // longjmp: unwind to the checkpoint's frame and restore registers.
+    while (t.frames.size() > t.ckpt.frameIndex + 1) {
+        releaseFrameSlots(t.frames.back());
+        t.frames.pop_back();
+    }
+    Frame &target = t.frames.back();
+    target.regs = t.ckpt.regs;
+    target.block = t.ckpt.block;
+    target.pc = t.ckpt.pc;
+    target.prevBlock = t.ckpt.prevBlock;
+    for (const auto &[id, cells] : t.ckpt.locals) {
+        auto it = stackSlots_.find(id);
+        if (it != stackSlots_.end())
+            it->second = cells;
+    }
+    t.cleanSinceCkpt = true; // back at the region start
+    t.pendingNote = false;
+}
+
+void
+Interp::doTryRollback(Thread &t, const Instruction &inst)
+{
+    Frame &f = t.frames.back();
+    int64_t site_id = getValue(f, inst.operand(0)).i;
+    if (!t.ckpt.valid || t.retryCount >= cfg_.maxRetries)
+        return; // give up: fall through to the original failure
+
+    ++t.retryCount;
+    ++result_.stats.rollbacks;
+
+    if (!t.episode.active || t.episode.siteId != site_id) {
+        t.episode.active = true;
+        t.episode.siteId = site_id;
+        t.episode.siteTag = inst.tag();
+        t.episode.startClock = clock_;
+        t.episode.retries = 0;
+    }
+    ++t.episode.retries;
+
+    runCompensation(t);
+    restoreCheckpoint(t);
+}
+
+void
+Interp::maybeChaosRollback(Thread &t, const Instruction &inst)
+{
+    (void)inst;
+    if (t.state != ThreadState::Runnable)
+        return; // never yank a thread parked in a waiter queue
+    if (!t.ckpt.valid || !t.cleanSinceCkpt || t.pendingNote)
+        return;
+    if (t.frames.size() != t.ckpt.frameIndex + 1)
+        return; // inside a callee frame: not this checkpoint's window
+    if (result_.stats.chaosRollbacks >= cfg_.chaosMaxRollbacks)
+        return;
+    if (chaosRng_.range(cfg_.chaosRollbackEveryN) != 0)
+        return;
+    ++result_.stats.chaosRollbacks;
+    runCompensation(t);
+    restoreCheckpoint(t);
+}
+
+void
+Interp::execConAir(Thread &t, const Instruction &inst)
+{
+    Frame &f = t.frames.back();
+    auto val = [&](unsigned i) { return getValue(f, inst.operand(i)); };
+
+    switch (inst.builtin()) {
+      case Builtin::CaCheckpoint:
+      case Builtin::CaCheckpointLocals:
+        doCheckpoint(t, inst);
+        break;
+      case Builtin::CaTryRollback:
+        doTryRollback(t, inst);
+        break;
+      case Builtin::CaBackoff: {
+        uint64_t ticks = 1 + schedRng_.range(cfg_.backoffMax);
+        t.state = ThreadState::Sleeping;
+        t.wakeAt = clock_ + ticks;
+        forceSwitch_ = true;
+        ++result_.stats.backoffs;
+        break;
+      }
+      case Builtin::CaNoteAlloc: {
+        t.pendingNote = false;
+        Ptr p = val(0).p;
+        if (p.seg != Ptr::Seg::Heap)
+            break;
+        // Lazy clean (paper §4.1): entries from older epochs are stale.
+        std::erase_if(t.allocLog, [&](const CompensationEntry &e) {
+            return e.epoch != t.epoch;
+        });
+        t.allocLog.push_back({CellKey{p.seg, p.block, 0}, t.epoch});
+        break;
+      }
+      case Builtin::CaNoteLock: {
+        t.pendingNote = false;
+        Ptr p = val(0).p;
+        std::erase_if(t.lockLog, [&](const CompensationEntry &e) {
+            return e.epoch != t.epoch;
+        });
+        t.lockLog.push_back(
+            {CellKey{p.seg, p.block, p.offset}, t.epoch});
+        break;
+      }
+      case Builtin::CaPtrCheck:
+        setReg(f, &inst, RtValue::ofBool(pointerValid(val(0).p)));
+        break;
+      case Builtin::CaRecovered: {
+        // Zero-cost measurement hook: refund the step accounting.
+        --clock_;
+        --result_.stats.steps;
+        int64_t site_id = val(0).i;
+        if (t.episode.active && t.episode.siteId == site_id) {
+            RecoveryEvent ev;
+            ev.siteTag = t.episode.siteTag;
+            ev.retries = t.episode.retries;
+            ev.startClock = t.episode.startClock;
+            ev.endClock = clock_;
+            result_.stats.recoveries.push_back(std::move(ev));
+            t.episode.active = false;
+        }
+        break;
+      }
+      default:
+        fail(Outcome::Trap, "unknown conair intrinsic", &inst);
+        break;
+    }
+}
+
+//
+// Scheduling.
+//
+
+uint64_t
+Interp::newQuantum()
+{
+    if (cfg_.policy == SchedPolicy::RoundRobin)
+        return std::max<uint64_t>(cfg_.quantum, 1);
+    return 1 + schedRng_.range(std::max<uint64_t>(2 * cfg_.quantum, 1));
+}
+
+Interp::Thread *
+Interp::pickThread()
+{
+    std::vector<uint32_t> runnable;
+    for (const auto &t : threads_)
+        if (t->state == ThreadState::Runnable)
+            runnable.push_back(t->id);
+    if (runnable.empty())
+        return nullptr;
+
+    Thread *cur = currentTid_ < threads_.size()
+                      ? threads_[currentTid_].get()
+                      : nullptr;
+    if (cur && cur->state == ThreadState::Runnable && quantumLeft_ > 0 &&
+        !forceSwitch_) {
+        --quantumLeft_;
+        return cur;
+    }
+    forceSwitch_ = false;
+
+    uint32_t chosen;
+    if (cfg_.policy == SchedPolicy::RoundRobin) {
+        chosen = runnable[0];
+        for (uint32_t tid : runnable) {
+            if (tid > currentTid_) {
+                chosen = tid;
+                break;
+            }
+        }
+    } else {
+        chosen = runnable[schedRng_.range(runnable.size())];
+    }
+    currentTid_ = chosen;
+    quantumLeft_ = newQuantum() - 1;
+    return threads_[chosen].get();
+}
+
+void
+Interp::wakeDue()
+{
+    for (auto &t : threads_) {
+        if (t->state == ThreadState::Sleeping && t->wakeAt <= clock_) {
+            t->state = ThreadState::Runnable;
+        } else if (t->state == ThreadState::BlockedLock &&
+                   t->lockHasDeadline && t->wakeAt <= clock_) {
+            // Timed lock expired: remove from the waiter queue and
+            // deliver the timeout result.
+            MutexState &m = mutexAt(t->lockKey);
+            std::erase(m.waiters, t->id);
+            t->state = ThreadState::Runnable;
+            if (t->lockWantsResult) {
+                t->frames.back().regs[t->lockResultReg] =
+                    RtValue::ofInt(1);
+                t->lockWantsResult = false;
+            }
+        }
+    }
+}
+
+bool
+Interp::advanceSleepers()
+{
+    uint64_t min_wake = UINT64_MAX;
+    for (const auto &t : threads_) {
+        if (t->state == ThreadState::Sleeping)
+            min_wake = std::min(min_wake, t->wakeAt);
+        else if (t->state == ThreadState::BlockedLock &&
+                 t->lockHasDeadline)
+            min_wake = std::min(min_wake, t->wakeAt);
+    }
+    if (min_wake == UINT64_MAX)
+        return false;
+    clock_ = std::max(clock_, min_wake);
+    wakeDue();
+    return true;
+}
+
+//
+// Termination.
+//
+
+//
+// Whole-program checkpoint baseline.
+//
+
+size_t
+Interp::wpStateCells() const
+{
+    size_t cells = 0;
+    for (const auto &g : globals_)
+        cells += g.size();
+    for (const auto &[id, block] : heap_)
+        cells += block.cells.size();
+    for (const auto &[id, slot] : stackSlots_)
+        cells += slot.size();
+    for (const auto &t : threads_)
+        for (const Frame &f : t->frames)
+            cells += f.regs.size();
+    return cells;
+}
+
+void
+Interp::wpTakeSnapshot()
+{
+    auto snap = std::make_unique<WpSnapshot>();
+    snap->globals = globals_;
+    snap->heap = heap_;
+    snap->stackSlots = stackSlots_;
+    snap->mutexes = mutexes_;
+    for (const auto &t : threads_)
+        snap->threads.push_back(*t);
+    snap->nextHeapId = nextHeapId_;
+    snap->nextSlotId = nextSlotId_;
+    snap->currentTid = currentTid_;
+    snap->quantumLeft = quantumLeft_;
+    snap->outputLen = result_.output.size();
+    wpSnapshots_.push_back(std::move(snap));
+    if (wpSnapshots_.size() > 8)
+        wpSnapshots_.erase(wpSnapshots_.begin() + 1); // keep the start
+
+    // The cost traditional systems pay per checkpoint: proportional to
+    // the memory state captured.
+    uint64_t cost = uint64_t(double(wpStateCells()) *
+                             cfg_.wpSnapshotCostPerCell) +
+                    1;
+    clock_ += cost;
+    result_.stats.steps += cost;
+    result_.stats.wpSnapshotCost += cost;
+    ++result_.stats.wpSnapshots;
+}
+
+void
+Interp::wpRestore()
+{
+    // Walk back one checkpoint per consecutive attempt: the newest may
+    // capture a doomed state.  Always keep the program-start snapshot.
+    if (wpSnapshots_.size() > 1)
+        wpSnapshots_.pop_back();
+    const WpSnapshot &snap = *wpSnapshots_.back();
+    globals_ = snap.globals;
+    heap_ = snap.heap;
+    stackSlots_ = snap.stackSlots;
+    mutexes_ = snap.mutexes;
+    threads_.clear();
+    for (const Thread &t : snap.threads)
+        threads_.push_back(std::make_unique<Thread>(t));
+    nextHeapId_ = snap.nextHeapId;
+    nextSlotId_ = snap.nextSlotId;
+    currentTid_ = snap.currentTid;
+    quantumLeft_ = snap.quantumLeft;
+    // Output produced after the snapshot is rolled back too (the
+    // sandboxing traditional systems need OS support for).
+    result_.output.resize(snap.outputLen);
+    // Survive by nondeterminism: reexecute under a perturbed schedule.
+    schedRng_.reseed(cfg_.seed + 7919 * (wpRecoveriesUsed_ + 1));
+    ++wpRecoveriesUsed_;
+    ++result_.stats.wpRecoveries;
+    wpPendingRestore_ = false;
+}
+
+void
+Interp::fail(Outcome o, const std::string &msg, const Instruction *site)
+{
+    if (!running_ || wpPendingRestore_)
+        return;
+    if (cfg_.wpCheckpointInterval > 0 && !wpSnapshots_.empty() &&
+        wpRecoveriesUsed_ < cfg_.wpMaxRecoveries) {
+        // Whole-program rollback instead of dying.  The restore is
+        // deferred to the main loop: the failing instruction's frame
+        // must not be touched while it is still on the C++ stack.
+        wpPendingRestore_ = true;
+        return;
+    }
+    running_ = false;
+    result_.outcome = o;
+    result_.failureMsg = msg;
+    if (site)
+        result_.failureTag = site->tag();
+}
+
+void
+Interp::failHang(const std::string &msg)
+{
+    // Report the hang with the lock sites the blocked threads sit at:
+    // the information a developer would feed fix mode (";"-separated).
+    std::string tags;
+    for (const auto &t : threads_) {
+        if (t->state != ThreadState::BlockedLock || !t->blockedAt)
+            continue;
+        if (t->blockedAt->tag().empty())
+            continue;
+        if (!tags.empty())
+            tags += ';';
+        tags += t->blockedAt->tag();
+    }
+    fail(Outcome::Hang, msg, nullptr);
+    if (!running_ && result_.outcome == Outcome::Hang)
+        result_.failureTag = tags;
+}
+
+void
+Interp::finish(int64_t exit_code)
+{
+    running_ = false;
+    result_.outcome = Outcome::Success;
+    result_.exitCode = exit_code;
+}
+
+RunResult
+runProgram(const ir::Module &m, const VmConfig &cfg)
+{
+    Interp interp(m, cfg);
+    return interp.run();
+}
+
+} // namespace conair::vm

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * The MiniVM interpreter: deterministic execution of multi-threaded
+ * MiniIR programs with instruction-level interleaving control.
+ *
+ * The VM stands in for the paper's testbed (x86 + pthreads + Linux):
+ *  - threads interleave at instruction granularity under a seeded,
+ *    reproducible scheduler;
+ *  - invalid dereferences trap precisely (segmentation faults);
+ *  - locks support plain and timed acquisition (deadlock timeouts);
+ *  - the ConAir runtime intrinsics (checkpoint / rollback /
+ *    compensation / back-off) are implemented natively — the moral
+ *    equivalent of the paper's setjmp/longjmp register-image library.
+ */
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+// (std::deque also backs the whole-program checkpoint stack)
+
+#include "ir/module.h"
+#include "support/rng.h"
+#include "vm/config.h"
+#include "vm/regmap.h"
+#include "vm/stats.h"
+#include "vm/value.h"
+
+namespace conair::vm {
+
+/** Executes one MiniIR module.  One Interp instance = one run. */
+class Interp
+{
+  public:
+    Interp(const ir::Module &m, VmConfig cfg);
+    ~Interp();
+
+    /** Runs main() to completion (or failure) and reports the result. */
+    RunResult run();
+
+  private:
+    struct Frame
+    {
+        const ir::Function *fn;
+        const RegMap *map;
+        std::vector<RtValue> regs;
+        const ir::BasicBlock *block;
+        ir::BasicBlock::InstList::const_iterator pc;
+        const ir::BasicBlock *prevBlock = nullptr;
+        std::vector<uint32_t> allocaSlots;
+        uint32_t retReg = 0; ///< caller register receiving the result
+        bool wantsRet = false;
+    };
+
+    /** The ConAir register-image checkpoint (one slot per thread, like
+     *  the paper's thread-local jmp_buf). */
+    struct Checkpoint
+    {
+        bool valid = false;
+        size_t frameIndex = 0;
+        std::vector<RtValue> regs;
+        const ir::BasicBlock *block = nullptr;
+        ir::BasicBlock::InstList::const_iterator pc;
+        const ir::BasicBlock *prevBlock = nullptr;
+
+        /** Fig 4 "local writes" design point: saved copies of the
+         *  frame's alloca storage (empty for plain checkpoints). */
+        std::vector<std::pair<uint32_t, std::vector<RtValue>>> locals;
+    };
+
+    struct CompensationEntry
+    {
+        CellKey key;     ///< lock cell, or {Heap, block, 0} for mallocs
+        uint64_t epoch;
+    };
+
+    struct RecoveryEpisode
+    {
+        bool active = false;
+        int64_t siteId = 0;
+        std::string siteTag;
+        uint64_t startClock = 0;
+        uint64_t retries = 0;
+    };
+
+    enum class ThreadState : uint8_t {
+        Runnable,
+        Sleeping,
+        BlockedLock,
+        Joining,
+        Done,
+    };
+
+    struct Thread
+    {
+        uint32_t id;
+        ThreadState state = ThreadState::Runnable;
+        std::vector<Frame> frames;
+        uint64_t wakeAt = 0;       ///< Sleeping / timed lock deadline
+        bool lockHasDeadline = false;
+        CellKey lockKey{};         ///< BlockedLock
+        uint32_t lockResultReg = 0;
+        bool lockWantsResult = false;
+        uint64_t blockStart = 0;
+        uint32_t joinTarget = 0;
+        int64_t exitValue = 0;
+        const ir::Instruction *blockedAt = nullptr; ///< lock site
+
+        // ConAir per-thread runtime state (paper §3.3, §4.1).
+        Checkpoint ckpt;
+        int64_t retryCount = 0;
+        uint64_t epoch = 0;
+        std::vector<CompensationEntry> allocLog;
+        std::vector<CompensationEntry> lockLog;
+        RecoveryEpisode episode;
+
+        /** No idempotency-destroying instruction since the checkpoint
+         *  (chaos mode may roll back only while this holds). */
+        bool cleanSinceCkpt = false;
+
+        /**
+         * A malloc/lock acquisition has not been compensation-logged
+         * yet (the note hook is the next instruction or two away).
+         * Real rollbacks only fire at failure sites, which always lie
+         * after the logging; chaos must not strike inside the gap.
+         */
+        bool pendingNote = false;
+    };
+
+    struct MutexState
+    {
+        int32_t owner = -1; ///< thread id, -1 = free
+        std::deque<uint32_t> waiters;
+    };
+
+    struct HeapBlock
+    {
+        std::vector<RtValue> cells;
+        bool freed = false;
+    };
+
+    //
+    // Execution.
+    //
+
+    void execInst(Thread &t, const ir::Instruction &inst);
+    void execCall(Thread &t, const ir::Instruction &inst);
+    void execBuiltin(Thread &t, const ir::Instruction &inst);
+    void execConAir(Thread &t, const ir::Instruction &inst);
+    RtValue getValue(Frame &f, const ir::Value *v);
+    void setReg(Frame &f, const ir::Instruction *inst, RtValue v);
+    void jumpTo(Thread &t, const ir::BasicBlock *target);
+    void pushFrame(Thread &t, const ir::Function *fn,
+                   const std::vector<RtValue> &args, bool wants_ret,
+                   uint32_t ret_reg);
+    void popFrame(Thread &t, RtValue ret);
+    void releaseFrameSlots(Frame &f);
+
+    //
+    // Memory.
+    //
+
+    RtValue *cellAt(Ptr p, const char *what);
+    bool pointerValid(Ptr p) const;
+    void doStore(Thread &t, const ir::Instruction &inst);
+    void doLoad(Thread &t, const ir::Instruction &inst);
+
+    //
+    // Synchronisation.
+    //
+
+    MutexState &mutexAt(CellKey key);
+    void lockMutex(Thread &t, Ptr p, bool timed, uint64_t timeout,
+                   const ir::Instruction *inst);
+    void unlockMutex(Thread &t, Ptr p, bool compensation);
+    void grantLock(MutexState &m);
+
+    //
+    // ConAir runtime.
+    //
+
+    void doCheckpoint(Thread &t, const ir::Instruction &inst);
+    void doTryRollback(Thread &t, const ir::Instruction &inst);
+    void runCompensation(Thread &t);
+    void restoreCheckpoint(Thread &t);
+    void maybeChaosRollback(Thread &t, const ir::Instruction &inst);
+
+    //
+    // Failure / termination.
+    //
+
+    void fail(Outcome o, const std::string &msg,
+              const ir::Instruction *site);
+    void failHang(const std::string &msg);
+    void finish(int64_t exit_code);
+
+    //
+    // Scheduling.
+    //
+
+    Thread *pickThread();
+    void wakeDue();
+    bool advanceSleepers();
+    uint64_t newQuantum();
+
+    //
+    // Whole-program checkpoint baseline (Rx/ASSURE stand-in).
+    //
+
+    /** Deep copy of every piece of mutable program state. */
+    struct WpSnapshot
+    {
+        std::vector<std::vector<RtValue>> globals;
+        std::unordered_map<uint32_t, HeapBlock> heap;
+        std::unordered_map<uint32_t, std::vector<RtValue>> stackSlots;
+        std::unordered_map<CellKey, MutexState, CellKeyHash> mutexes;
+        std::vector<Thread> threads;
+        uint32_t nextHeapId;
+        uint32_t nextSlotId;
+        uint32_t currentTid;
+        uint64_t quantumLeft;
+        size_t outputLen;
+    };
+
+    void wpTakeSnapshot();
+    void wpRestore();
+    size_t wpStateCells() const;
+
+    /**
+     * Checkpoint stack (newest last).  Consecutive failed recovery
+     * attempts walk further back, like Rx: the newest snapshot may have
+     * captured an already-doomed state (e.g. mid-race), so each retry
+     * discards it and rolls back to the one before.  The oldest
+     * (program start) snapshot is never discarded.
+     */
+    std::deque<std::unique_ptr<WpSnapshot>> wpSnapshots_;
+    uint64_t wpNextSnapshotAt_ = 0;
+    unsigned wpRecoveriesUsed_ = 0;
+    bool wpPendingRestore_ = false;
+
+    const ir::Module &module_;
+    VmConfig cfg_;
+    RegMapCache regMaps_;
+    Rng schedRng_;
+    Rng appRng_;
+    Rng chaosRng_;
+    std::unordered_map<uint64_t, DelayRule> delayByHint_;
+    /** Per-hint fire counts; deliberately NOT part of WpSnapshot. */
+    std::unordered_map<uint64_t, uint64_t> hintFires_;
+
+    // Memory.
+    std::vector<std::vector<RtValue>> globals_;
+    std::unordered_map<uint32_t, HeapBlock> heap_;
+    std::unordered_map<uint32_t, std::vector<RtValue>> stackSlots_;
+    uint32_t nextHeapId_ = 1;
+    uint32_t nextSlotId_ = 1;
+    std::unordered_map<CellKey, MutexState, CellKeyHash> mutexes_;
+
+    // Threads.
+    std::vector<std::unique_ptr<Thread>> threads_;
+    uint32_t currentTid_ = 0;
+    uint64_t quantumLeft_ = 0;
+    bool forceSwitch_ = false;
+
+    // Clock and result.
+    uint64_t clock_ = 0;
+    bool running_ = true;
+    RunResult result_;
+};
+
+/** Convenience wrapper: one run of @p m under @p cfg. */
+RunResult runProgram(const ir::Module &m, const VmConfig &cfg = {});
+
+} // namespace conair::vm

@@ -1,0 +1,35 @@
+#include "vm/regmap.h"
+
+#include "support/diag.h"
+
+namespace conair::vm {
+
+RegMap::RegMap(const ir::Function &f)
+{
+    for (unsigned i = 0; i < f.numArgs(); ++i)
+        index_[f.arg(i)] = count_++;
+    for (const auto &bb : f.blocks())
+        for (const auto &inst : bb->insts())
+            if (inst->producesValue())
+                index_[inst.get()] = count_++;
+}
+
+uint32_t
+RegMap::indexOf(const ir::Value *v) const
+{
+    auto it = index_.find(v);
+    if (it == index_.end())
+        fatal("RegMap: value not numbered in this function");
+    return it->second;
+}
+
+const RegMap &
+RegMapCache::of(const ir::Function *f)
+{
+    auto it = maps_.find(f);
+    if (it == maps_.end())
+        it = maps_.emplace(f, RegMap(*f)).first;
+    return it->second;
+}
+
+} // namespace conair::vm

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Dense virtual-register numbering per function.
+ *
+ * Each frame's register file is a flat vector indexed by these numbers —
+ * the VM analogue of the machine register image that the paper's
+ * setjmp/longjmp checkpoints save and restore.
+ */
+#pragma once
+
+#include <unordered_map>
+
+#include "ir/function.h"
+
+namespace conair::vm {
+
+/** Maps a function's value-producing instructions and arguments to
+ *  dense register indices. */
+class RegMap
+{
+  public:
+    explicit RegMap(const ir::Function &f);
+
+    uint32_t indexOf(const ir::Value *v) const;
+    uint32_t count() const { return count_; }
+
+  private:
+    std::unordered_map<const ir::Value *, uint32_t> index_;
+    uint32_t count_ = 0;
+};
+
+/** Lazily builds and caches RegMaps for a module's functions. */
+class RegMapCache
+{
+  public:
+    const RegMap &of(const ir::Function *f);
+
+  private:
+    std::unordered_map<const ir::Function *, RegMap> maps_;
+};
+
+} // namespace conair::vm

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Run outcomes and statistics reported by the MiniVM.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace conair::ir {
+class Instruction;
+}
+
+namespace conair::vm {
+
+/** How a run ended. */
+enum class Outcome : uint8_t {
+    Success,    ///< main returned
+    AssertFail, ///< assert_fail executed (Fig 5a failure)
+    OracleFail, ///< oracle_fail executed (wrong-output oracle, Fig 5b)
+    Segfault,   ///< invalid memory access (Fig 5c failure)
+    Hang,       ///< threads deadlocked / blocked past the hang timeout
+    Timeout,    ///< maxSteps exhausted
+    Trap,       ///< other runtime error (div by zero, bad free, ...)
+};
+
+const char *outcomeName(Outcome o);
+
+/** Virtual nanoseconds per executed instruction (for µs reporting).
+ *  One VM step models a handful of machine instructions. */
+constexpr double kNanosPerStep = 100.0;
+
+/** One completed failure-recovery episode (ConAir runtime). */
+struct RecoveryEvent
+{
+    std::string siteTag;   ///< tag of the failure site ("assert.f.12")
+    uint64_t retries = 0;  ///< rollbacks performed
+    uint64_t startClock = 0;
+    uint64_t endClock = 0; ///< clock when the site finally passed
+
+    double
+    micros() const
+    {
+        return double(endClock - startClock) * kNanosPerStep / 1000.0;
+    }
+};
+
+/** Counters accumulated over one run. */
+struct RunStats
+{
+    uint64_t steps = 0;            ///< instructions executed (all threads)
+    uint64_t threadsSpawned = 0;
+    uint64_t checkpointsExecuted = 0; ///< dynamic reexecution points
+    uint64_t rollbacks = 0;
+    uint64_t compensationFrees = 0;
+    uint64_t compensationUnlocks = 0;
+    uint64_t backoffs = 0;
+    std::vector<RecoveryEvent> recoveries;
+
+    /// @{ Whole-program checkpoint baseline counters.
+    uint64_t wpSnapshots = 0;
+    uint64_t wpRecoveries = 0;
+    uint64_t wpSnapshotCost = 0; ///< total ticks spent snapshotting
+    /// @}
+
+    /** Rollbacks injected by the chaos mode (idempotency testing). */
+    uint64_t chaosRollbacks = 0;
+};
+
+/** Everything a run returns. */
+struct RunResult
+{
+    Outcome outcome = Outcome::Success;
+    int64_t exitCode = 0;
+    std::string output;       ///< captured print() stream
+    std::string failureMsg;   ///< human-readable failure description
+    std::string failureTag;   ///< tag of the faulting instruction, if any
+    uint64_t clock = 0;       ///< final virtual time
+    RunStats stats;
+
+    bool ok() const { return outcome == Outcome::Success; }
+};
+
+} // namespace conair::vm

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Runtime values and fat pointers for the MiniVM.
+ *
+ * Memory is cell-addressed: one cell stores one typed value.  Pointers
+ * are fat (segment + block + offset), which lets the VM detect every
+ * invalid dereference precisely — the stand-in for a real process's
+ * segmentation faults.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "ir/type.h"
+
+namespace conair::vm {
+
+/** A fat pointer into VM memory. */
+struct Ptr
+{
+    enum class Seg : uint8_t {
+        Null,   ///< the null pointer
+        Global, ///< block = Global::id()
+        Heap,   ///< block = heap allocation id
+        Stack,  ///< block = per-run alloca slot id
+    };
+
+    Seg seg = Seg::Null;
+    uint32_t block = 0;
+    int64_t offset = 0;
+
+    bool isNull() const { return seg == Seg::Null; }
+    bool operator==(const Ptr &o) const = default;
+};
+
+/** Identity of a memory cell; used as the mutex key (any cell can act
+ *  as a lock object, mirroring pthread_mutex_t living anywhere). */
+struct CellKey
+{
+    Ptr::Seg seg;
+    uint32_t block;
+    int64_t offset;
+
+    bool operator==(const CellKey &o) const = default;
+};
+
+struct CellKeyHash
+{
+    size_t
+    operator()(const CellKey &k) const
+    {
+        size_t h = size_t(k.seg);
+        h = h * 1000003u ^ size_t(k.block);
+        h = h * 1000003u ^ std::hash<int64_t>()(k.offset);
+        return h;
+    }
+};
+
+/** A runtime value: the dynamic counterpart of ir::Type.
+ *  kind == Void marks an uninitialised memory cell. */
+struct RtValue
+{
+    ir::Type kind = ir::Type::Void;
+    int64_t i = 0; ///< I1 / I64 payload
+    double f = 0;  ///< F64 payload
+    Ptr p;         ///< Ptr payload
+
+    static RtValue
+    ofInt(int64_t v, ir::Type t = ir::Type::I64)
+    {
+        RtValue r;
+        r.kind = t;
+        r.i = v;
+        return r;
+    }
+
+    static RtValue
+    ofFloat(double v)
+    {
+        RtValue r;
+        r.kind = ir::Type::F64;
+        r.f = v;
+        return r;
+    }
+
+    static RtValue
+    ofPtr(Ptr p)
+    {
+        RtValue r;
+        r.kind = ir::Type::Ptr;
+        r.p = p;
+        return r;
+    }
+
+    static RtValue
+    ofBool(bool b)
+    {
+        return ofInt(b ? 1 : 0, ir::Type::I1);
+    }
+
+    bool isUninit() const { return kind == ir::Type::Void; }
+};
+
+} // namespace conair::vm

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "analysis/callgraph.h"
+#include "ir/parser.h"
+
+namespace conair::analysis {
+namespace {
+
+TEST(CallGraph, FindsDirectCallersAndThreadEntries)
+{
+    DiagEngine d;
+    auto m = ir::parseModule(R"(
+func @leaf(i64 %x) -> i64 {
+entry:
+    ret %x
+}
+
+func @mid(i64 %x) -> i64 {
+entry:
+    %0 = call @leaf(%x)
+    %1 = call @leaf(%0)
+    ret %1
+}
+
+func @worker(i64 %arg) -> i64 {
+entry:
+    %0 = call @mid(%arg)
+    ret %0
+}
+
+func @main() -> i64 {
+entry:
+    %0 = call $thread_create(@worker, 1)
+    %1 = call @mid(2)
+    call $thread_join(%0)
+    ret %1
+}
+)",
+                            d);
+    ASSERT_TRUE(m) << d.str();
+    CallGraph cg(*m);
+
+    auto *leaf = m->findFunction("leaf");
+    auto *mid = m->findFunction("mid");
+    auto *worker = m->findFunction("worker");
+    auto *main_fn = m->findFunction("main");
+
+    EXPECT_EQ(cg.callersOf(leaf).size(), 2u);
+    for (const CallEdge &e : cg.callersOf(leaf))
+        EXPECT_EQ(e.caller, mid);
+
+    ASSERT_EQ(cg.callersOf(mid).size(), 2u);
+    EXPECT_EQ(cg.callersOf(mid)[0].caller, worker);
+    EXPECT_EQ(cg.callersOf(mid)[1].caller, main_fn);
+
+    EXPECT_TRUE(cg.callersOf(worker).empty()); // spawned, not called
+    ASSERT_EQ(cg.threadEntries().size(), 1u);
+    EXPECT_EQ(cg.threadEntries()[0], worker);
+
+    EXPECT_EQ(cg.edges().size(), 4u);
+}
+
+TEST(CallGraph, DeduplicatesThreadEntries)
+{
+    DiagEngine d;
+    auto m = ir::parseModule(R"(
+func @w(i64 %x) -> i64 {
+entry:
+    ret %x
+}
+
+func @main() -> i64 {
+entry:
+    %0 = call $thread_create(@w, 1)
+    %1 = call $thread_create(@w, 2)
+    call $thread_join(%0)
+    call $thread_join(%1)
+    ret 0
+}
+)",
+                            d);
+    ASSERT_TRUE(m) << d.str();
+    CallGraph cg(*m);
+    EXPECT_EQ(cg.threadEntries().size(), 1u);
+}
+
+} // namespace
+} // namespace conair::analysis

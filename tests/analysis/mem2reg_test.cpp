@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "analysis/dominators.h"
+#include "analysis/mem2reg.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace conair::analysis {
+namespace {
+
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+
+std::unique_ptr<ir::Module>
+parse(const std::string &text)
+{
+    DiagEngine d;
+    auto m = ir::parseModule(text, d);
+    EXPECT_TRUE(m) << d.str();
+    return m;
+}
+
+unsigned
+countOp(const Function &f, Opcode op)
+{
+    unsigned n = 0;
+    for (const auto &bb : f.blocks())
+        for (const auto &inst : bb->insts())
+            n += inst->opcode() == op;
+    return n;
+}
+
+void
+expectValid(const ir::Module &m)
+{
+    DiagEngine d;
+    ASSERT_TRUE(ir::verifyModule(m, d)) << d.str() << ir::printModule(m);
+    for (const auto &f : m.functions()) {
+        DiagEngine d2;
+        ASSERT_TRUE(verifySSA(*f, d2)) << d2.str() << ir::printModule(m);
+    }
+}
+
+TEST(Mem2Reg, PromotesStraightLine)
+{
+    auto m = parse(R"(
+func @f() -> i64 {
+entry:
+    %0 = alloca 1
+    store 1, %0
+    %1 = load i64, %0
+    %2 = add %1, 41
+    store %2, %0
+    %3 = load i64, %0
+    ret %3
+}
+)");
+    Mem2RegStats s = promoteToSSA(*m->findFunction("f"));
+    EXPECT_EQ(s.promoted, 1u);
+    EXPECT_EQ(s.phisInserted, 0u);
+    EXPECT_EQ(countOp(*m->findFunction("f"), Opcode::Alloca), 0u);
+    EXPECT_EQ(countOp(*m->findFunction("f"), Opcode::Load), 0u);
+    EXPECT_EQ(countOp(*m->findFunction("f"), Opcode::Store), 0u);
+    expectValid(*m);
+}
+
+TEST(Mem2Reg, InsertsPhiAtJoin)
+{
+    auto m = parse(R"(
+func @f(i64 %x) -> i64 {
+entry:
+    %0 = alloca 1
+    store 0, %0
+    %1 = icmp.slt %x, 0
+    condbr %1, neg, done
+neg:
+    store 1, %0
+    br done
+done:
+    %2 = load i64, %0
+    ret %2
+}
+)");
+    Function *f = m->findFunction("f");
+    Mem2RegStats s = promoteToSSA(*f);
+    EXPECT_EQ(s.promoted, 1u);
+    EXPECT_EQ(s.phisInserted, 1u);
+    EXPECT_EQ(countOp(*f, Opcode::Phi), 1u);
+    expectValid(*m);
+}
+
+TEST(Mem2Reg, LoopVariableGetsPhi)
+{
+    auto m = parse(R"(
+func @sum(i64 %n) -> i64 {
+entry:
+    %acc = alloca 1
+    store 0, %acc
+    %i = alloca 1
+    store 0, %i
+    br head
+head:
+    %0 = load i64, %i
+    %1 = icmp.slt %0, %n
+    condbr %1, body, done
+body:
+    %2 = load i64, %acc
+    %3 = load i64, %i
+    %4 = add %2, %3
+    store %4, %acc
+    %5 = add %3, 1
+    store %5, %i
+    br head
+done:
+    %6 = load i64, %acc
+    ret %6
+}
+)");
+    Function *f = m->findFunction("sum");
+    Mem2RegStats s = promoteToSSA(*f);
+    EXPECT_EQ(s.promoted, 2u);
+    EXPECT_GE(s.phisInserted, 2u);
+    EXPECT_EQ(countOp(*f, Opcode::Alloca), 0u);
+    expectValid(*m);
+}
+
+TEST(Mem2Reg, SkipsAddressTakenSlot)
+{
+    auto m = parse(R"(
+func @escape(i64 %x) -> i64 {
+entry:
+    %0 = alloca 1
+    store %x, %0
+    %1 = ptradd %0, 0
+    %2 = load i64, %1
+    ret %2
+}
+)");
+    Function *f = m->findFunction("escape");
+    Mem2RegStats s = promoteToSSA(*f);
+    EXPECT_EQ(s.promoted, 0u);
+    EXPECT_EQ(s.unpromoted, 1u);
+    EXPECT_EQ(countOp(*f, Opcode::Alloca), 1u);
+    expectValid(*m);
+}
+
+TEST(Mem2Reg, SkipsArrays)
+{
+    auto m = parse(R"(
+func @arr() -> i64 {
+entry:
+    %0 = alloca 8
+    store 5, %0
+    %1 = load i64, %0
+    ret %1
+}
+)");
+    Function *f = m->findFunction("arr");
+    Mem2RegStats s = promoteToSSA(*f);
+    EXPECT_EQ(s.promoted, 0u);
+    EXPECT_EQ(s.unpromoted, 1u);
+    expectValid(*m);
+}
+
+TEST(Mem2Reg, LoadBeforeStoreBecomesZero)
+{
+    auto m = parse(R"(
+func @uninit() -> i64 {
+entry:
+    %0 = alloca 1
+    %1 = load i64, %0
+    ret %1
+}
+)");
+    Function *f = m->findFunction("uninit");
+    promoteToSSA(*f);
+    expectValid(*m);
+    // The ret operand must now be the constant 0.
+    const Instruction *ret = f->entry()->back();
+    ASSERT_EQ(ret->opcode(), Opcode::Ret);
+    ASSERT_EQ(ret->operand(0)->kind(), ir::ValueKind::ConstInt);
+    EXPECT_EQ(static_cast<const ir::ConstInt *>(ret->operand(0))->value(),
+              0);
+}
+
+TEST(Mem2Reg, GlobalAccessesUntouched)
+{
+    auto m = parse(R"(
+global @g : i64[1]
+
+func @f() -> i64 {
+entry:
+    store 3, @g
+    %0 = load i64, @g
+    ret %0
+}
+)");
+    Function *f = m->findFunction("f");
+    promoteToSSA(*f);
+    EXPECT_EQ(countOp(*f, Opcode::Load), 1u);
+    EXPECT_EQ(countOp(*f, Opcode::Store), 1u);
+    expectValid(*m);
+}
+
+} // namespace
+} // namespace conair::analysis

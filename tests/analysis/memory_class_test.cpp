@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "analysis/memory_class.h"
+#include "ir/parser.h"
+
+namespace conair::analysis {
+namespace {
+
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+
+std::unique_ptr<ir::Module> mod;
+
+Instruction *
+taggedInst(Function *f, const std::string &tag)
+{
+    for (auto &bb : f->blocks())
+        for (auto &inst : bb->insts())
+            if (inst->tag() == tag)
+                return inst.get();
+    return nullptr;
+}
+
+class MemoryClassTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        DiagEngine d;
+        mod = ir::parseModule(R"(
+global @g : i64[4]
+global @p : ptr[1]
+
+func @f(ptr %arg) -> i64 {
+entry:
+    %0 = alloca 1                     #"stack"
+    %1 = load i64, %0                 #"stack_load"
+    %2 = load i64, @g                 #"global_load"
+    %3 = ptradd @g, 2
+    %4 = load i64, %3                 #"global_elem_load"
+    %5 = load ptr, @p                 #"ptrvar_fetch"
+    %6 = load i64, %5                 #"ptrvar_deref"
+    %7 = call $malloc(4)
+    %8 = load i64, %7                 #"heap_deref"
+    %9 = load i64, %arg               #"arg_deref"
+    %10 = ptradd %5, 1
+    store 0, %10                      #"ptrvar_store"
+    store 1, %0                       #"stack_store"
+    ret %1
+}
+)",
+                             d);
+        ASSERT_TRUE(mod) << d.str();
+        f_ = mod->findFunction("f");
+    }
+
+    Function *f_;
+};
+
+TEST_F(MemoryClassTest, StackAccessesAreLocal)
+{
+    EXPECT_EQ(classifyAddress(
+                  addressOf(taggedInst(f_, "stack_load"))),
+              AddrRoot::StackSlot);
+    EXPECT_FALSE(isSharedRead(taggedInst(f_, "stack_load")));
+    EXPECT_FALSE(isPotentialSegfaultSite(taggedInst(f_, "stack_load")));
+    EXPECT_FALSE(isPotentialSegfaultSite(taggedInst(f_, "stack_store")));
+}
+
+TEST_F(MemoryClassTest, DirectGlobalsShareButDontFault)
+{
+    Instruction *g = taggedInst(f_, "global_load");
+    EXPECT_EQ(classifyAddress(addressOf(g)), AddrRoot::GlobalDirect);
+    EXPECT_TRUE(isSharedRead(g));
+    EXPECT_FALSE(isPotentialSegfaultSite(g));
+
+    // Same through constant-offset ptradd.
+    Instruction *ge = taggedInst(f_, "global_elem_load");
+    EXPECT_EQ(classifyAddress(addressOf(ge)), AddrRoot::GlobalDirect);
+    EXPECT_TRUE(isSharedRead(ge));
+    EXPECT_FALSE(isPotentialSegfaultSite(ge));
+}
+
+TEST_F(MemoryClassTest, PointerVariableDerefsFault)
+{
+    for (const char *tag : {"ptrvar_deref", "heap_deref", "arg_deref"}) {
+        Instruction *inst = taggedInst(f_, tag);
+        ASSERT_NE(inst, nullptr) << tag;
+        EXPECT_EQ(classifyAddress(addressOf(inst)), AddrRoot::PointerVar)
+            << tag;
+        EXPECT_TRUE(isPotentialSegfaultSite(inst)) << tag;
+        EXPECT_TRUE(isSharedRead(inst)) << tag;
+    }
+}
+
+TEST_F(MemoryClassTest, StoresThroughPointerVariablesFault)
+{
+    Instruction *st = taggedInst(f_, "ptrvar_store");
+    EXPECT_TRUE(isPotentialSegfaultSite(st));
+    EXPECT_FALSE(isSharedRead(st)); // stores are not reads
+}
+
+TEST_F(MemoryClassTest, FetchingThePointerItselfIsGlobalRead)
+{
+    // `load ptr, @p` reads the global directly; dereferencing the result
+    // is the faulting part.
+    Instruction *fetch = taggedInst(f_, "ptrvar_fetch");
+    EXPECT_EQ(classifyAddress(addressOf(fetch)), AddrRoot::GlobalDirect);
+    EXPECT_FALSE(isPotentialSegfaultSite(fetch));
+    EXPECT_TRUE(isSharedRead(fetch));
+}
+
+TEST_F(MemoryClassTest, NullClassifies)
+{
+    EXPECT_EQ(classifyAddress(mod->getNull()), AddrRoot::Null);
+}
+
+} // namespace
+} // namespace conair::analysis

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests of the experiment harness itself: failure-tag observation (the
+ * fix-mode input), oracle stripping, and trial accounting.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/harness.h"
+
+namespace conair::apps {
+namespace {
+
+TEST(Harness, ObservedTagsPointAtRealSites)
+{
+    // Assertion failure: the tag names the assert.
+    auto tags = observedFailureTags(*findApp("ZSNES"));
+    ASSERT_EQ(tags.size(), 1u);
+    EXPECT_EQ(tags[0].rfind("assert.sound_thread.", 0), 0u) << tags[0];
+
+    // Segfault: the tag names the dereference.
+    tags = observedFailureTags(*findApp("HTTrack"));
+    ASSERT_EQ(tags.size(), 1u);
+    EXPECT_EQ(tags[0].rfind("deref.fetch_page.", 0), 0u) << tags[0];
+
+    // Hang: one tag per blocked lock site (both deadlock parties).
+    tags = observedFailureTags(*findApp("HawkNL"));
+    ASSERT_EQ(tags.size(), 2u);
+    for (const std::string &t : tags)
+        EXPECT_EQ(t.rfind("lock.nl_", 0), 0u) << t;
+}
+
+TEST(Harness, StripOraclesRemovesOnlyOracleLines)
+{
+    const AppSpec *app = findApp("MySQL1");
+    HardenOptions strip;
+    strip.applyConAir = false;
+    strip.stripOracles = true;
+    PreparedApp p = prepareApp(*app, strip);
+    // The stripped program still runs correctly on clean schedules.
+    vm::RunResult r = runClean(p, 1);
+    EXPECT_EQ(r.outcome, vm::Outcome::Success) << r.failureMsg;
+    EXPECT_EQ(r.output, app->expectedOutput);
+}
+
+TEST(Harness, RecoveryTrialAccountsEveryRun)
+{
+    const AppSpec *app = findApp("MySQL2");
+    PreparedApp hardened = prepareApp(*app, HardenOptions{});
+    RecoveryTrial t = runRecoveryTrial(hardened, 12);
+    EXPECT_EQ(t.runs, 12u);
+    EXPECT_EQ(t.correct + t.failures + t.wrongOutput + t.otherBad,
+              t.runs);
+    EXPECT_TRUE(t.allCorrect());
+    EXPECT_GT(t.recoveryMicrosAvg, 0.0);
+    EXPECT_GE(t.recoveryMicrosMax, t.recoveryMicrosAvg);
+
+    HardenOptions plain;
+    plain.applyConAir = false;
+    PreparedApp original = prepareApp(*app, plain);
+    RecoveryTrial o = runRecoveryTrial(original, 12);
+    EXPECT_FALSE(o.allCorrect());
+    EXPECT_EQ(o.failures, 12u);
+    EXPECT_EQ(o.totalRollbacks, 0u);
+}
+
+TEST(Harness, RunIsCorrectChecksAllThreeDimensions)
+{
+    const AppSpec *app = findApp("FFT");
+    vm::RunResult r;
+    r.outcome = vm::Outcome::Success;
+    r.exitCode = app->expectedExit;
+    r.output = app->expectedOutput;
+    EXPECT_TRUE(runIsCorrect(*app, r));
+    r.output = "wrong";
+    EXPECT_FALSE(runIsCorrect(*app, r));
+    r.output = app->expectedOutput;
+    r.exitCode = app->expectedExit + 1;
+    EXPECT_FALSE(runIsCorrect(*app, r));
+    r.exitCode = app->expectedExit;
+    r.outcome = vm::Outcome::Hang;
+    EXPECT_FALSE(runIsCorrect(*app, r));
+}
+
+TEST(Harness, MeasureOverheadIsNonNegativeAndStable)
+{
+    const AppSpec *app = findApp("SQLite");
+    double a = measureOverhead(*app, HardenOptions{}, 3);
+    double b = measureOverhead(*app, HardenOptions{}, 3);
+    EXPECT_GE(a, 0.0);
+    EXPECT_DOUBLE_EQ(a, b); // deterministic VM => deterministic number
+}
+
+} // namespace
+} // namespace conair::apps

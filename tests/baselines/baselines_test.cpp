@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+
+namespace conair::bl {
+namespace {
+
+using apps::AppSpec;
+using apps::HardenOptions;
+using apps::PreparedApp;
+
+PreparedApp
+original(const std::string &name)
+{
+    const AppSpec *app = apps::findApp(name);
+    EXPECT_NE(app, nullptr);
+    HardenOptions opts;
+    opts.applyConAir = false;
+    return apps::prepareApp(*app, opts);
+}
+
+TEST(WpCheckpoint, SurvivesTransientOrderViolation)
+{
+    PreparedApp p = original("HTTrack");
+    WpRunResult r = runWithWpCheckpoint(p, 1, WpOptions{});
+    EXPECT_TRUE(r.recovered)
+        << vm::outcomeName(r.run.outcome) << " " << r.run.failureMsg;
+    EXPECT_GE(r.run.stats.wpRecoveries, 1u);
+    EXPECT_GE(r.run.stats.wpSnapshots, 1u);
+}
+
+TEST(WpCheckpoint, SurvivesTransientAssertFailure)
+{
+    PreparedApp p = original("ZSNES");
+    WpRunResult r = runWithWpCheckpoint(p, 2, WpOptions{});
+    EXPECT_TRUE(r.recovered)
+        << vm::outcomeName(r.run.outcome) << " " << r.run.failureMsg;
+}
+
+TEST(WpCheckpoint, SurvivesTransientDeadlock)
+{
+    PreparedApp p = original("SQLite");
+    WpRunResult r = runWithWpCheckpoint(p, 1, WpOptions{});
+    EXPECT_TRUE(r.recovered)
+        << vm::outcomeName(r.run.outcome) << " " << r.run.failureMsg;
+}
+
+TEST(WpCheckpoint, OverheadIsFarAboveConAir)
+{
+    const AppSpec *app = apps::findApp("HTTrack");
+    double wp = measureWpOverhead(*app, WpOptions{}, 3);
+    double conair = apps::measureOverhead(*app, HardenOptions{}, 3);
+    // The whole point of Fig 4's left end: no memory-state checkpoint.
+    EXPECT_GT(wp, 10 * conair);
+    EXPECT_GT(wp, 0.02); // snapshots are macroscopically expensive
+}
+
+TEST(WpCheckpoint, RecoveryBudgetBoundsRetries)
+{
+    PreparedApp p = original("ZSNES");
+    WpOptions opts;
+    opts.maxRecoveries = 0; // no rollback allowed
+    WpRunResult r = runWithWpCheckpoint(p, 1, opts);
+    EXPECT_FALSE(r.recovered);
+    EXPECT_EQ(r.run.outcome, p.spec->expectedFailure);
+}
+
+TEST(Restart, RecoversButPaysFullRerun)
+{
+    // MySQL2's RAR violation is the paper's fastest recovery (8 µs,
+    // one retry); restarting the server costs orders of magnitude more
+    // (Table 7's 8 µs vs 836,177 µs row).
+    PreparedApp p = original("MySQL2");
+    RestartResult r = measureRestart(p, 1);
+    EXPECT_TRUE(r.recovered);
+    EXPECT_GT(r.restartMicros, 0.0);
+    PreparedApp hardened =
+        apps::prepareApp(*apps::findApp("MySQL2"), HardenOptions{});
+    vm::RunResult cr = apps::runBuggy(hardened, 1);
+    ASSERT_EQ(cr.outcome, vm::Outcome::Success);
+    ASSERT_FALSE(cr.stats.recoveries.empty());
+    // (virtual-time µs; both measured on the same VM substrate)
+    EXPECT_GT(r.restartMicros, 20 * cr.stats.recoveries[0].micros());
+}
+
+TEST(Restart, AllAppsRecoverByRestart)
+{
+    for (const AppSpec &app : apps::allApps()) {
+        HardenOptions opts;
+        opts.applyConAir = false;
+        PreparedApp p = apps::prepareApp(app, opts);
+        RestartResult r = measureRestart(p, 3);
+        EXPECT_TRUE(r.recovered) << app.name;
+    }
+}
+
+} // namespace
+} // namespace conair::bl

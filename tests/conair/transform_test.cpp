@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Structural tests of the §3.3 code transformation (Fig 6 golden
+ * shape, lock conversion, pointer checks, compensation hooks).
+ */
+#include "tests/conair/conair_test_util.h"
+
+#include "ir/printer.h"
+
+namespace conair::ca {
+namespace {
+
+using ir::Builtin;
+using testutil::countBuiltinCalls;
+using testutil::parseIR;
+
+TEST(Transform, Fig6AssertShape)
+{
+    auto m = parseIR(R"(
+global @g : i64[1]
+
+func @main() -> i64 {
+entry:
+    store 1, @g
+    %0 = load i64, @g
+    %1 = icmp.sgt %0, 0
+    condbr %1, ok, fail
+ok:
+    ret 0
+fail:
+    call $assert_fail("boom") #"assert.main.1"
+    unreachable
+}
+)");
+    ConAirReport r = applyConAir(*m);
+    EXPECT_EQ(r.staticReexecPoints, 1u);
+    EXPECT_EQ(countBuiltinCalls(*m, Builtin::CaCheckpoint), 1u);
+    EXPECT_EQ(countBuiltinCalls(*m, Builtin::CaTryRollback), 1u);
+    EXPECT_EQ(countBuiltinCalls(*m, Builtin::CaRecovered), 1u);
+
+    // Golden shape: checkpoint right after the store; try_rollback
+    // right before assert_fail.
+    std::string text = ir::printModule(*m);
+    size_t store_at = text.find("store 1, @g");
+    size_t ckpt_at = text.find("call $conair.checkpoint");
+    size_t retry_at = text.find("call $conair.try_rollback");
+    size_t assert_at = text.find("call $assert_fail");
+    ASSERT_NE(store_at, std::string::npos);
+    EXPECT_LT(store_at, ckpt_at);
+    EXPECT_LT(ckpt_at, retry_at);
+    EXPECT_LT(retry_at, assert_at);
+}
+
+TEST(Transform, SharedReexecPointInsertedOnce)
+{
+    // Two asserts guarded by the same region boundary share one
+    // checkpoint (§3.3: "ConAir makes sure to insert just one").
+    auto m = parseIR(R"(
+global @g : i64[1]
+
+func @main() -> i64 {
+entry:
+    store 1, @g
+    %0 = load i64, @g
+    %1 = icmp.sgt %0, 0
+    condbr %1, mid, fail1
+mid:
+    %2 = icmp.slt %0, 100
+    condbr %2, ok, fail2
+ok:
+    ret 0
+fail1:
+    call $assert_fail("a") #"assert.main.1"
+    unreachable
+fail2:
+    call $assert_fail("b") #"assert.main.2"
+    unreachable
+}
+)");
+    ConAirReport r = applyConAir(*m);
+    EXPECT_EQ(r.identified.assertion, 2u);
+    EXPECT_EQ(r.staticReexecPoints, 1u);
+    EXPECT_EQ(countBuiltinCalls(*m, Builtin::CaCheckpoint), 1u);
+    EXPECT_EQ(countBuiltinCalls(*m, Builtin::CaTryRollback), 2u);
+}
+
+TEST(Transform, DeadlockConversionShape)
+{
+    auto m = parseIR(R"(
+mutex @a
+mutex @b
+
+func @main() -> i64 {
+entry:
+    call $mutex_lock(@a) #"lock.main.1"
+    call $mutex_lock(@b) #"lock.main.2"
+    call $mutex_unlock(@b)
+    call $mutex_unlock(@a)
+    ret 0
+}
+)");
+    ConAirReport r = applyConAir(*m);
+    // Site 1 has no lock in its region -> reverted to plain lock.
+    // Site 2 (holds @a) converts to timedlock + back-off + retry.
+    EXPECT_EQ(r.identified.deadlock, 2u);
+    EXPECT_EQ(r.recoverable.deadlock, 1u);
+    EXPECT_EQ(r.transform.locksConverted, 1u);
+    EXPECT_EQ(countBuiltinCalls(*m, Builtin::MutexTimedLock), 1u);
+    EXPECT_EQ(countBuiltinCalls(*m, Builtin::CaBackoff), 1u);
+    // Plain locks remaining: the unconverted site + the give-up
+    // fallback inside the converted site's fail path.
+    EXPECT_EQ(countBuiltinCalls(*m, Builtin::MutexLock), 2u);
+    // Every acquisition (plain or converted) logs compensation.
+    EXPECT_GE(countBuiltinCalls(*m, Builtin::CaNoteLock), 3u);
+}
+
+TEST(Transform, SegfaultSiteGetsPtrCheck)
+{
+    auto m = parseIR(R"(
+global @p : ptr[1]
+
+func @main() -> i64 {
+entry:
+    %0 = load ptr, @p
+    %1 = load i64, %0 #"deref.main.1"
+    ret %1
+}
+)");
+    ConAirReport r = applyConAir(*m);
+    EXPECT_EQ(r.identified.segfault, 1u);
+    EXPECT_EQ(r.recoverable.segfault, 1u);
+    EXPECT_EQ(r.transform.ptrChecksInserted, 1u);
+    EXPECT_EQ(countBuiltinCalls(*m, Builtin::CaPtrCheck), 1u);
+    EXPECT_EQ(countBuiltinCalls(*m, Builtin::CaTryRollback), 1u);
+}
+
+TEST(Transform, MallocSitesGetCompensationHooks)
+{
+    auto m = parseIR(R"(
+func @main() -> i64 {
+entry:
+    %0 = call $malloc(4)
+    %1 = call $malloc(8)
+    call $free(%0)
+    call $free(%1)
+    ret 0
+}
+)");
+    applyConAir(*m);
+    EXPECT_EQ(countBuiltinCalls(*m, Builtin::CaNoteAlloc), 2u);
+}
+
+TEST(Transform, OracleFreeOutputSitesGetNoRetryLoop)
+{
+    auto m = parseIR(R"(
+global @g : i64[1]
+
+func @main() -> i64 {
+entry:
+    %0 = load i64, @g
+    call $print_i64(%0) #"out.main.1"
+    ret 0
+}
+)");
+    ConAirReport r = applyConAir(*m);
+    EXPECT_EQ(r.identified.wrongOutput, 1u);
+    // Hardened (checkpoint) but no retry: no oracle to check against.
+    EXPECT_GE(r.staticReexecPoints, 1u);
+    EXPECT_EQ(countBuiltinCalls(*m, Builtin::CaTryRollback), 0u);
+}
+
+TEST(Transform, TransformedModuleStillRuns)
+{
+    auto m = parseIR(R"(
+global @g : i64[1] = [5]
+mutex @mu
+
+func @main() -> i64 {
+entry:
+    call $mutex_lock(@mu) #"lock.main.1"
+    %0 = load i64, @g
+    %1 = icmp.sgt %0, 0
+    condbr %1, ok, fail
+ok:
+    call $mutex_unlock(@mu)
+    %2 = call $malloc(2)
+    store %0, %2
+    %3 = load i64, %2
+    call $free(%2)
+    ret %3
+fail:
+    call $assert_fail("boom") #"assert.main.1"
+    unreachable
+}
+)");
+    applyConAir(*m);
+    vm::RunResult r = vm::runProgram(*m);
+    EXPECT_EQ(r.outcome, vm::Outcome::Success) << r.failureMsg;
+    EXPECT_EQ(r.exitCode, 5);
+}
+
+TEST(Transform, FixModeTouchesOnlyNamedSite)
+{
+    auto m = parseIR(R"(
+global @g : i64[1]
+global @h : i64[1]
+
+func @main() -> i64 {
+entry:
+    %0 = load i64, @g
+    %1 = icmp.sge %0, 0
+    condbr %1, mid, fail1
+mid:
+    %2 = load i64, @h
+    %3 = icmp.sge %2, 0
+    condbr %3, ok, fail2
+ok:
+    ret 0
+fail1:
+    call $assert_fail("a") #"assert.main.1"
+    unreachable
+fail2:
+    call $assert_fail("b") #"assert.main.2"
+    unreachable
+}
+)");
+    ConAirOptions opts;
+    opts.mode = Mode::Fix;
+    opts.fixTags = {"assert.main.2"};
+    ConAirReport r = applyConAir(*m, opts);
+    EXPECT_EQ(r.identified.total(), 1u);
+    EXPECT_EQ(countBuiltinCalls(*m, Builtin::CaTryRollback), 1u);
+    // The retry call carries the named site's tag.
+    bool tagged = false;
+    for (auto &f : m->functions())
+        for (auto &bb : f->blocks())
+            for (auto &inst : bb->insts())
+                if (inst->builtin() == Builtin::CaTryRollback)
+                    tagged = inst->tag() == "assert.main.2";
+    EXPECT_TRUE(tagged);
+}
+
+TEST(Transform, VerifierCleanOnComplexInput)
+{
+    DiagEngine d;
+    auto m = fe::compileMiniC(R"(
+int table[64];
+int* cache;
+mutex big;
+int hits;
+
+int lookup(int key) {
+    lock(big);
+    int v = table[key % 64];
+    unlock(big);
+    if (cache) {
+        if (cache[0] == key) hits += 1;
+    }
+    assert(v >= 0);
+    return v;
+}
+
+int refill(int n) {
+    cache = malloc(16);
+    for (int i = 0; i < n; i++) {
+        lock(big);
+        table[i % 64] = i;
+        unlock(big);
+    }
+    return 0;
+}
+
+int main() {
+    int t = spawn(refill, 100);
+    int acc = 0;
+    for (int i = 0; i < 50; i++) acc += lookup(i);
+    join(t);
+    print("acc=", acc, "\n");
+    return 0;
+}
+)",
+                              d);
+    ASSERT_TRUE(m) << d.str();
+    ConAirReport r = applyConAir(*m); // verifyAfter fatals on bugs
+    EXPECT_GT(r.identified.total(), 0u);
+    vm::RunResult run = vm::runProgram(*m);
+    EXPECT_EQ(run.outcome, vm::Outcome::Success) << run.failureMsg;
+}
+
+} // namespace
+} // namespace conair::ca

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include "analysis/dominators.h"
+#include "frontend/compile.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace conair::fe {
+namespace {
+
+using ir::Builtin;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+
+std::unique_ptr<ir::Module>
+compileOk(const std::string &src, bool promote = true)
+{
+    DiagEngine d;
+    CompileOptions opts;
+    opts.promoteToSSA = promote;
+    auto m = compileMiniC(src, d, opts);
+    EXPECT_TRUE(m) << d.str();
+    return m;
+}
+
+void
+compileErr(const std::string &src)
+{
+    DiagEngine d;
+    auto m = compileMiniC(src, d);
+    EXPECT_FALSE(m);
+    EXPECT_TRUE(d.hasErrors());
+}
+
+unsigned
+countOp(const Function &f, Opcode op)
+{
+    unsigned n = 0;
+    for (const auto &bb : f.blocks())
+        for (const auto &inst : bb->insts())
+            n += inst->opcode() == op;
+    return n;
+}
+
+unsigned
+countBuiltin(const Function &f, Builtin b)
+{
+    unsigned n = 0;
+    for (const auto &bb : f.blocks())
+        for (const auto &inst : bb->insts())
+            n += inst->opcode() == Opcode::Call && inst->builtin() == b;
+    return n;
+}
+
+TEST(Codegen, MinimalMain)
+{
+    auto m = compileOk("int main() { return 7; }");
+    Function *main_fn = m->findFunction("main");
+    ASSERT_NE(main_fn, nullptr);
+    EXPECT_EQ(main_fn->returnType(), ir::Type::I64);
+}
+
+TEST(Codegen, SSAPromotionRemovesScalarSlots)
+{
+    auto m = compileOk(R"(
+int main() {
+    int x = 1;
+    int y = x + 2;
+    x = y * 3;
+    return x;
+}
+)");
+    Function *f = m->findFunction("main");
+    EXPECT_EQ(countOp(*f, Opcode::Alloca), 0u);
+    EXPECT_EQ(countOp(*f, Opcode::Load), 0u);
+}
+
+TEST(Codegen, WithoutPromotionKeepsSlots)
+{
+    auto m = compileOk("int main() { int x = 1; return x; }",
+                       /*promote=*/false);
+    Function *f = m->findFunction("main");
+    EXPECT_GE(countOp(*f, Opcode::Alloca), 1u);
+    EXPECT_GE(countOp(*f, Opcode::Store), 1u);
+}
+
+TEST(Codegen, AddressTakenLocalStaysInMemory)
+{
+    auto m = compileOk(R"(
+int main() {
+    int x = 1;
+    int* p = &x;
+    *p = 5;
+    return x;
+}
+)");
+    Function *f = m->findFunction("main");
+    // x stays as an alloca because its address escapes; p promotes.
+    EXPECT_EQ(countOp(*f, Opcode::Alloca), 1u);
+}
+
+TEST(Codegen, LocalArraysAreAllocas)
+{
+    auto m = compileOk(R"(
+int main() {
+    int a[4];
+    a[0] = 1;
+    a[1] = a[0] + 1;
+    return a[1];
+}
+)");
+    Function *f = m->findFunction("main");
+    EXPECT_EQ(countOp(*f, Opcode::Alloca), 1u);
+    EXPECT_GE(countOp(*f, Opcode::PtrAdd), 3u);
+}
+
+TEST(Codegen, GlobalsLowerToGlobalAccesses)
+{
+    auto m = compileOk(R"(
+int counter = 3;
+int main() {
+    counter = counter + 1;
+    return counter;
+}
+)");
+    ASSERT_NE(m->findGlobal("counter"), nullptr);
+    EXPECT_EQ(m->findGlobal("counter")->initInt()[0], 3);
+    Function *f = m->findFunction("main");
+    EXPECT_GE(countOp(*f, Opcode::Load), 2u);
+    EXPECT_GE(countOp(*f, Opcode::Store), 1u);
+}
+
+TEST(Codegen, AssertLowersToCondBrAndAssertFail)
+{
+    auto m = compileOk(R"(
+int main() {
+    int x = 5;
+    assert(x > 0);
+    return x;
+}
+)");
+    Function *f = m->findFunction("main");
+    EXPECT_EQ(countBuiltin(*f, Builtin::AssertFail), 1u);
+    EXPECT_GE(countOp(*f, Opcode::Unreachable), 1u);
+    // The assert-fail call carries a fix-mode tag.
+    bool tagged = false;
+    for (const auto &bb : f->blocks())
+        for (const auto &inst : bb->insts())
+            if (inst->builtin() == Builtin::AssertFail)
+                tagged = inst->tag().rfind("assert.main.", 0) == 0;
+    EXPECT_TRUE(tagged);
+}
+
+TEST(Codegen, OracleLowersToOracleFail)
+{
+    auto m = compileOk(R"(
+int main() {
+    int x = 1;
+    oracle(x == 1);
+    print("x=", x, "\n");
+    return 0;
+}
+)");
+    Function *f = m->findFunction("main");
+    EXPECT_EQ(countBuiltin(*f, Builtin::OracleFail), 1u);
+    EXPECT_EQ(countBuiltin(*f, Builtin::PrintStr), 2u);
+    EXPECT_EQ(countBuiltin(*f, Builtin::PrintI64), 1u);
+}
+
+TEST(Codegen, ThreadingBuiltins)
+{
+    auto m = compileOk(R"(
+mutex lk;
+int worker(int n) {
+    lock(lk);
+    unlock(lk);
+    return n;
+}
+int main() {
+    int t = spawn(worker, 9);
+    join(t);
+    return 0;
+}
+)");
+    Function *main_fn = m->findFunction("main");
+    EXPECT_EQ(countBuiltin(*main_fn, Builtin::ThreadCreate), 1u);
+    EXPECT_EQ(countBuiltin(*main_fn, Builtin::ThreadJoin), 1u);
+    Function *w = m->findFunction("worker");
+    EXPECT_EQ(countBuiltin(*w, Builtin::MutexLock), 1u);
+    EXPECT_EQ(countBuiltin(*w, Builtin::MutexUnlock), 1u);
+}
+
+TEST(Codegen, ShortCircuitGeneratesBranches)
+{
+    auto m = compileOk(R"(
+int* gp;
+int main() {
+    if (gp && gp[0] > 2) {
+        return 1;
+    }
+    return 0;
+}
+)");
+    // Null guard must evaluate gp[0] only after gp != null: the deref
+    // load must sit in a block distinct from the first compare's block.
+    Function *f = m->findFunction("main");
+    const ir::BasicBlock *deref_block = nullptr;
+    const ir::BasicBlock *first_cmp_block = f->entry();
+    for (const auto &bb : f->blocks())
+        for (const auto &inst : bb->insts())
+            if (inst->opcode() == Opcode::Load &&
+                inst->tag().rfind("deref.", 0) == 0)
+                deref_block = bb.get();
+    ASSERT_NE(deref_block, nullptr);
+    EXPECT_NE(deref_block, first_cmp_block);
+}
+
+TEST(Codegen, MixedArithmeticPromotesToDouble)
+{
+    auto m = compileOk(R"(
+double half(int x) { return x / 2.0; }
+int main() { return 0; }
+)");
+    Function *f = m->findFunction("half");
+    EXPECT_EQ(countOp(*f, Opcode::SiToFp), 1u);
+    EXPECT_EQ(countOp(*f, Opcode::FDiv), 1u);
+}
+
+TEST(Codegen, HintLowersToSchedHint)
+{
+    auto m = compileOk("int main() { hint(3); return 0; }");
+    Function *f = m->findFunction("main");
+    EXPECT_EQ(countOp(*f, Opcode::SchedHint), 1u);
+}
+
+TEST(Codegen, SSAFormIsValid)
+{
+    auto m = compileOk(R"(
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 10; i++) {
+        acc += fib(i);
+    }
+    return acc;
+}
+)");
+    for (const auto &f : m->functions()) {
+        DiagEngine d;
+        EXPECT_TRUE(analysis::verifySSA(*f, d))
+            << d.str() << ir::printModule(*m);
+    }
+}
+
+TEST(Codegen, Errors)
+{
+    compileErr("int main() { return y; }");             // unknown var
+    compileErr("int main() { int x; x(); return 0; }"); // unknown func
+    compileErr("int main() { double d; return *d; }"); // deref non-ptr
+    compileErr("int main() { int a[3]; a = 0; return 0; }");
+    compileErr("void main2() { return 1; }  int main() { return 0; }");
+    compileErr("int main() { break; }");
+    compileErr("mutex m; int main() { m = 3; return 0; }");
+    compileErr("int main() { int x = \"str\"; return x; }");
+}
+
+TEST(Codegen, BreakAndContinueTargetLoops)
+{
+    auto m = compileOk(R"(
+int main() {
+    int n = 0;
+    for (int i = 0; i < 10; i++) {
+        if (i == 3) continue;
+        if (i == 7) break;
+        n += 1;
+    }
+    return n;
+}
+)");
+    EXPECT_NE(m, nullptr);
+}
+
+TEST(Codegen, WhileConditionReloadsGlobal)
+{
+    // Spin-wait loops must re-read the global each iteration.
+    auto m = compileOk(R"(
+int flag;
+int main() {
+    while (!flag) { yield(); }
+    return flag;
+}
+)");
+    Function *f = m->findFunction("main");
+    unsigned loads = countOp(*f, Opcode::Load);
+    EXPECT_GE(loads, 2u); // one in the loop header per iteration + final
+}
+
+} // namespace
+} // namespace conair::fe

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * MiniC end-to-end language-semantics tests: every construct compiled
+ * and executed, checking C-like behaviour on the VM.
+ */
+#include <gtest/gtest.h>
+
+#include "frontend/compile.h"
+#include "vm/interp.h"
+
+namespace conair::fe {
+namespace {
+
+int64_t
+evalMain(const std::string &src)
+{
+    DiagEngine d;
+    auto m = compileMiniC(src, d);
+    EXPECT_TRUE(m) << d.str();
+    if (!m)
+        return INT64_MIN;
+    vm::RunResult r = vm::runProgram(*m);
+    EXPECT_EQ(r.outcome, vm::Outcome::Success) << r.failureMsg;
+    return r.exitCode;
+}
+
+TEST(Semantics, OperatorPrecedence)
+{
+    EXPECT_EQ(evalMain("int main() { return 2 + 3 * 4; }"), 14);
+    EXPECT_EQ(evalMain("int main() { return (2 + 3) * 4; }"), 20);
+    EXPECT_EQ(evalMain("int main() { return 20 - 8 / 2 - 1; }"), 15);
+    EXPECT_EQ(evalMain("int main() { return 1 << 3 | 1; }"), 9);
+    EXPECT_EQ(evalMain("int main() { return 7 & 3 ^ 1; }"), 2);
+}
+
+TEST(Semantics, ComparisonChainsViaLogicalOps)
+{
+    EXPECT_EQ(evalMain("int main() { return 1 < 2 && 2 < 3; }"), 1);
+    EXPECT_EQ(evalMain("int main() { return 1 < 2 && 3 < 2; }"), 0);
+    EXPECT_EQ(evalMain("int main() { return 0 || 5; }"), 1);
+    EXPECT_EQ(evalMain("int main() { return !(3 == 3); }"), 0);
+}
+
+TEST(Semantics, ShortCircuitSideEffectOrder)
+{
+    EXPECT_EQ(evalMain(R"(
+int calls;
+int bump() { calls = calls + 1; return 1; }
+int main() {
+    int r = 0 && bump();
+    int s = 1 || bump();
+    return calls * 10 + r + s;   // bump never called
+}
+)"),
+              1);
+}
+
+TEST(Semantics, CompoundAssignAndIncrements)
+{
+    EXPECT_EQ(evalMain(R"(
+int main() {
+    int x = 10;
+    x += 5;
+    x -= 3;
+    x++;
+    ++x;
+    x--;
+    return x;   // 13
+}
+)"),
+              13);
+}
+
+TEST(Semantics, NestedLoopsWithBreakContinue)
+{
+    EXPECT_EQ(evalMain(R"(
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 5; i++) {
+        if (i == 3) continue;
+        for (int j = 0; j < 5; j++) {
+            if (j > i) break;
+            acc += 1;
+        }
+    }
+    return acc;   // rows 0,1,2,4 -> 1+2+3+5 = 11
+}
+)"),
+              11);
+}
+
+TEST(Semantics, RecursionAndMutualCalls)
+{
+    // No prototypes needed: all functions are pre-declared.
+    EXPECT_EQ(evalMain(R"(
+int is_even(int n) {
+    if (n == 0) return 1;
+    return is_odd(n - 1);
+}
+int is_odd(int n) {
+    if (n == 0) return 0;
+    return is_even(n - 1);
+}
+int main() { return is_even(10) * 10 + is_odd(7); }
+)"),
+              11);
+}
+
+TEST(Semantics, PointerToPointer)
+{
+    EXPECT_EQ(evalMain(R"(
+int main() {
+    int x = 5;
+    int* p = &x;
+    int** pp = &p;
+    **pp = 9;
+    return x;
+}
+)"),
+              9);
+}
+
+TEST(Semantics, PointerArithmeticAndCompare)
+{
+    EXPECT_EQ(evalMain(R"(
+int main() {
+    int* p = malloc(8);
+    int* q = p + 3;
+    q[0] = 7;
+    int eq = (p + 3) == q;
+    int ne = p != q;
+    int v = p[3];
+    free(p);
+    return eq * 100 + ne * 10 + v % 10;
+}
+)"),
+              117);
+}
+
+TEST(Semantics, DoubleMathAndConversion)
+{
+    EXPECT_EQ(evalMain(R"(
+double mix(int a, double b) { return a / 4.0 + b; }
+int main() {
+    double d = mix(10, 0.5);   // 3.0
+    int i = d * 2.0;           // 6
+    double neg = -d;
+    return i + (neg < 0.0);
+}
+)"),
+              7);
+}
+
+TEST(Semantics, GlobalArrayInitialisers)
+{
+    EXPECT_EQ(evalMain(R"(
+int primes[5] = {2, 3, 5, 7, 11};
+double weights[2] = {0.5, 1.5};
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 5; i++) acc += primes[i];
+    return acc + (weights[0] + weights[1] == 2.0);  // 28 + 1
+}
+)"),
+              29);
+}
+
+TEST(Semantics, VariableShadowingInBlocks)
+{
+    EXPECT_EQ(evalMain(R"(
+int main() {
+    int x = 1;
+    {
+        int x = 2;
+        x = x + 1;
+    }
+    return x;
+}
+)"),
+              1);
+}
+
+TEST(Semantics, ForScopeIsPerStatement)
+{
+    EXPECT_EQ(evalMain(R"(
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 3; i++) acc += i;
+    for (int i = 10; i < 12; i++) acc += i;
+    return acc;   // 3 + 21
+}
+)"),
+              24);
+}
+
+TEST(Semantics, NegativeDivisionTruncatesTowardZero)
+{
+    EXPECT_EQ(evalMain("int main() { return -7 / 2; }"), -3);
+    EXPECT_EQ(evalMain("int main() { return -7 % 2; }"), -1);
+    EXPECT_EQ(evalMain("int main() { return 7 / -2; }"), -3);
+}
+
+TEST(Semantics, FunctionArgumentsAreByValue)
+{
+    EXPECT_EQ(evalMain(R"(
+int clobber(int x) { x = 999; return x; }
+int main() {
+    int v = 5;
+    clobber(v);
+    return v;
+}
+)"),
+              5);
+}
+
+} // namespace
+} // namespace conair::fe

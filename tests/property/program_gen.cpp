@@ -1,0 +1,271 @@
+#include "tests/property/program_gen.h"
+
+namespace conair::proptest {
+
+namespace {
+
+/** Emits statements/expressions with bounded, well-defined behavior. */
+class Generator
+{
+  public:
+    Generator(uint64_t seed, const GenOptions &opts)
+        : rng_(seed), opts_(opts)
+    {}
+
+    std::string
+    run()
+    {
+        emitGlobals();
+        unsigned helpers = 1 + rng_.range(opts_.maxFunctions);
+        for (unsigned i = 0; i < helpers; ++i)
+            emitHelper(i);
+        if (opts_.withThreads)
+            emitWorker();
+        emitMain(helpers);
+        return out_;
+    }
+
+  private:
+    //
+    // Expressions.  All integer-typed; depth-bounded; `vars` holds the
+    // names of in-scope int variables.
+    //
+
+    std::string
+    expr(const std::vector<std::string> &vars, unsigned depth)
+    {
+        if (depth == 0 || rng_.chance(2, 5)) {
+            // Leaf: variable or literal.
+            if (!vars.empty() && rng_.chance(3, 5))
+                return vars[rng_.range(vars.size())];
+            return strfmt("%lld", (long long)rng_.rangeInclusive(-9, 99));
+        }
+        std::string lhs = expr(vars, depth - 1);
+        std::string rhs = expr(vars, depth - 1);
+        switch (rng_.range(8)) {
+          case 0: return "(" + lhs + " + " + rhs + ")";
+          case 1: return "(" + lhs + " - " + rhs + ")";
+          case 2: return "(" + lhs + " * " + rhs + ")";
+          case 3:
+            // Non-zero divisor by construction.
+            return "(" + lhs + " / ((" + rhs + ") % 7 + 8))";
+          case 4:
+            return "(" + lhs + " % ((" + rhs + ") % 5 + 6))";
+          case 5: return "(" + lhs + " ^ " + rhs + ")";
+          case 6:
+            return "((" + lhs + " < " + rhs + ") + (" + lhs + " & 15))";
+          default:
+            return "(" + lhs + " + (" + rhs + " >> 3))";
+        }
+    }
+
+    /** An in-bounds index expression for the fixed-size array. */
+    std::string
+    index(const std::vector<std::string> &vars, unsigned depth)
+    {
+        // ((e % N) + N) % N is always in [0, N).
+        std::string e = expr(vars, depth);
+        return strfmt("(((%s) %% %u + %u) %% %u)", e.c_str(),
+                      opts_.arraySize, opts_.arraySize, opts_.arraySize);
+    }
+
+    //
+    // Statements.
+    //
+
+    void
+    block(std::vector<std::string> vars, unsigned depth,
+          const std::string &ind)
+    {
+        unsigned stmts = 1 + rng_.range(opts_.maxStmtsPerBlock);
+        for (unsigned s = 0; s < stmts; ++s)
+            statement(vars, depth, ind);
+    }
+
+    void
+    statement(std::vector<std::string> &vars, unsigned depth,
+              const std::string &ind)
+    {
+        switch (rng_.range(depth > 0 ? 7 : 5)) {
+          case 0: { // new local
+            std::string name = strfmt("v%u", varCounter_++);
+            line(ind + "int " + name + " = " + expr(vars, 2) + ";");
+            vars.push_back(name);
+            break;
+          }
+          case 1: { // assignment — never to a loop counter ("i..."),
+                    // which would unbound the loop
+            std::vector<std::string> targets;
+            for (const std::string &v : vars)
+                if (v[0] == 'v')
+                    targets.push_back(v);
+            if (targets.empty())
+                break;
+            const std::string &v = targets[rng_.range(targets.size())];
+            line(ind + v + " = " + expr(vars, 2) + ";");
+            break;
+          }
+          case 2: { // global array update
+            line(ind +
+                 strfmt("garr[%s] = garr[%s] + %s;",
+                        index(vars, 1).c_str(), index(vars, 1).c_str(),
+                        expr(vars, 1).c_str()));
+            break;
+          }
+          case 3: { // scalar global update
+            unsigned g = rng_.range(opts_.numGlobals);
+            line(ind + strfmt("g%u = g%u + %s;", g, g,
+                              expr(vars, 1).c_str()));
+            break;
+          }
+          case 4: { // tautological assert: a failure site, never fires
+            if (!opts_.withAsserts)
+                break;
+            std::string e = expr(vars, 1);
+            line(ind + strfmt("assert((%s) - (%s) == 0);", e.c_str(),
+                              e.c_str()));
+            break;
+          }
+          case 5: { // if/else
+            line(ind + "if (" + expr(vars, 2) + " > " + expr(vars, 1) +
+                 ") {");
+            block(vars, depth - 1, ind + "    ");
+            if (rng_.chance(1, 2)) {
+                line(ind + "} else {");
+                block(vars, depth - 1, ind + "    ");
+            }
+            line(ind + "}");
+            break;
+          }
+          default: { // bounded for loop
+            std::string i = strfmt("i%u", varCounter_++);
+            unsigned bound = 1 + rng_.range(6);
+            line(ind + strfmt("for (int %s = 0; %s < %u; %s++) {",
+                              i.c_str(), i.c_str(), bound, i.c_str()));
+            auto inner = vars;
+            inner.push_back(i);
+            block(inner, depth - 1, ind + "    ");
+            line(ind + "}");
+            break;
+          }
+        }
+    }
+
+    //
+    // Top-level pieces.
+    //
+
+    void
+    emitGlobals()
+    {
+        for (unsigned g = 0; g < opts_.numGlobals; ++g)
+            line(strfmt("int g%u = %lld;", g,
+                        (long long)rng_.rangeInclusive(-5, 5)));
+        line(strfmt("int garr[%u];", opts_.arraySize));
+        line("int shared_total;");
+        line("mutex mx;");
+        if (opts_.withPointers)
+            line("int* buf;");
+        line("");
+    }
+
+    void
+    emitHelper(unsigned id)
+    {
+        line(strfmt("int helper%u(int a, int b) {", id));
+        std::vector<std::string> vars{"a", "b"};
+        block(vars, opts_.maxDepth, "    ");
+        line("    return " + expr(vars, 2) + ";");
+        line("}");
+        line("");
+    }
+
+    void
+    emitWorker()
+    {
+        // Commutative locked updates: the final shared_total is the
+        // same under every interleaving.
+        line("int worker(int n) {");
+        line("    for (int i = 0; i < n; i++) {");
+        line("        lock(mx);");
+        line(strfmt("        shared_total = shared_total + i %% %u + 1;",
+                    3 + unsigned(rng_.range(5))));
+        line("        unlock(mx);");
+        line("    }");
+        line("    return 0;");
+        line("}");
+        line("");
+    }
+
+    void
+    emitMain(unsigned helpers)
+    {
+        line("int main() {");
+        std::vector<std::string> vars;
+        if (opts_.withThreads) {
+            line("    int t1 = spawn(worker, 7);");
+            line("    int t2 = spawn(worker, 5);");
+        }
+        if (opts_.withPointers) {
+            line(strfmt("    buf = malloc(%u);", opts_.arraySize));
+            line(strfmt("    for (int i = 0; i < %u; i++) "
+                        "{ buf[i] = i * 3; }",
+                        opts_.arraySize));
+        }
+        block(vars, opts_.maxDepth, "    ");
+        for (unsigned h = 0; h < helpers; ++h) {
+            std::string name = strfmt("r%u", varCounter_++);
+            line(strfmt("    int %s = helper%u(%s, %s);", name.c_str(),
+                        h, expr(vars, 1).c_str(),
+                        expr(vars, 1).c_str()));
+            vars.push_back(name);
+        }
+        if (opts_.withPointers) {
+            line(strfmt(
+                "    int pdigest = buf[%s];",
+                index(vars, 1).c_str()));
+            vars.push_back("pdigest");
+        }
+        if (opts_.withThreads) {
+            line("    join(t1);");
+            line("    join(t2);");
+        }
+        // Digest everything observable.
+        std::string digest = "0";
+        for (unsigned g = 0; g < opts_.numGlobals; ++g)
+            digest += strfmt(" + g%u * %u", g, 3 + g);
+        line("    int digest = " + digest + ";");
+        line(strfmt("    for (int i = 0; i < %u; i++) "
+                    "{ digest = digest * 31 + garr[i]; }",
+                    opts_.arraySize));
+        for (const std::string &v : vars)
+            line("    digest = digest * 7 + " + v + ";");
+        if (opts_.withThreads)
+            line("    digest = digest * 13 + shared_total;");
+        line("    print(\"digest=\", digest % 1000003, \"\\n\");");
+        line("    return 0;");
+        line("}");
+    }
+
+    void
+    line(const std::string &s)
+    {
+        out_ += s;
+        out_ += '\n';
+    }
+
+    Rng rng_;
+    GenOptions opts_;
+    std::string out_;
+    unsigned varCounter_ = 0;
+};
+
+} // namespace
+
+std::string
+generateProgram(uint64_t seed, const GenOptions &opts)
+{
+    return Generator(seed, opts).run();
+}
+
+} // namespace conair::proptest

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * A seeded random MiniC program generator for property-based testing.
+ *
+ * Generated programs are deterministic by construction so results can
+ * be compared across configurations:
+ *  - loops are bounded counters, division/modulo operands are made
+ *    non-zero, array indices stay in bounds;
+ *  - all shared-global updates in worker threads are commutative
+ *    (additions under one mutex), so the final state is independent of
+ *    the interleaving;
+ *  - main prints a digest of every global after joining the workers.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/str.h"
+
+namespace conair::proptest {
+
+/** Shape knobs for generated programs. */
+struct GenOptions
+{
+    unsigned maxFunctions = 3;  ///< helper functions besides main
+    unsigned maxStmtsPerBlock = 6;
+    unsigned maxDepth = 3;      ///< nesting depth of if/for
+    unsigned numGlobals = 4;
+    unsigned arraySize = 8;
+    bool withThreads = true;    ///< spawn locked commutative workers
+    bool withPointers = true;   ///< a malloc'd buffer + derefs
+    bool withAsserts = true;    ///< always-true asserts (failure sites)
+};
+
+/** Generates one program from @p seed. */
+std::string generateProgram(uint64_t seed, const GenOptions &opts = {});
+
+} // namespace conair::proptest

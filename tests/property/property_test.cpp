@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Property-based tests over randomly generated MiniC programs.
+ *
+ * Invariants checked per seed:
+ *  1. the front-end output verifies (structurally and as SSA);
+ *  2. the IR text round-trips through print -> parse -> print;
+ *  3. SSA promotion does not change program behaviour;
+ *  4. the ConAir transformation preserves semantics on clean runs
+ *     under several schedules (the paper's correctness property);
+ *  5. injected chaos rollbacks inside clean windows never change
+ *     behaviour — §2.2's idempotency argument, tested mechanically.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/dominators.h"
+#include "apps/harness.h"
+#include "conair/driver.h"
+#include "frontend/compile.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "tests/property/program_gen.h"
+#include "vm/interp.h"
+
+namespace conair::proptest {
+namespace {
+
+class RandomProgram : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    std::string
+    source() const
+    {
+        return generateProgram(GetParam());
+    }
+
+    static std::unique_ptr<ir::Module>
+    compile(const std::string &src, bool promote = true)
+    {
+        DiagEngine d;
+        fe::CompileOptions opts;
+        opts.promoteToSSA = promote;
+        auto m = fe::compileMiniC(src, d, opts);
+        EXPECT_TRUE(m) << d.str() << "\n--- source ---\n" << src;
+        return m;
+    }
+};
+
+TEST_P(RandomProgram, CompilesAndVerifies)
+{
+    auto m = compile(source());
+    ASSERT_TRUE(m);
+    DiagEngine d;
+    EXPECT_TRUE(ir::verifyModule(*m, d)) << d.str();
+    for (const auto &f : m->functions()) {
+        DiagEngine d2;
+        EXPECT_TRUE(analysis::verifySSA(*f, d2)) << d2.str();
+    }
+}
+
+TEST_P(RandomProgram, IrTextRoundTrips)
+{
+    auto m = compile(source());
+    ASSERT_TRUE(m);
+    std::string p1 = ir::printModule(*m);
+    DiagEngine d;
+    auto m2 = ir::parseModule(p1, d);
+    ASSERT_TRUE(m2) << d.str() << p1;
+    EXPECT_EQ(ir::printModule(*m2), p1);
+}
+
+TEST_P(RandomProgram, SsaPromotionPreservesBehaviour)
+{
+    std::string src = source();
+    auto promoted = compile(src, true);
+    auto memory = compile(src, false);
+    ASSERT_TRUE(promoted && memory);
+    vm::VmConfig cfg;
+    cfg.seed = GetParam() * 31 + 1;
+    vm::RunResult a = vm::runProgram(*promoted, cfg);
+    vm::RunResult b = vm::runProgram(*memory, cfg);
+    ASSERT_EQ(a.outcome, vm::Outcome::Success)
+        << a.failureMsg << "\n" << src;
+    ASSERT_EQ(b.outcome, vm::Outcome::Success) << b.failureMsg;
+    // Step counts differ (loads/stores vs registers); results must not.
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.exitCode, b.exitCode);
+}
+
+TEST_P(RandomProgram, ConAirPreservesSemantics)
+{
+    std::string src = source();
+    auto original = compile(src);
+    auto hardened = compile(src);
+    ASSERT_TRUE(original && hardened);
+    ca::ConAirReport report = ca::applyConAir(*hardened);
+    EXPECT_GT(report.identified.total(), 0u);
+    for (uint64_t s = 1; s <= 3; ++s) {
+        vm::VmConfig cfg;
+        cfg.seed = GetParam() * 131 + s;
+        cfg.quantum = 20 + s * 17;
+        vm::RunResult a = vm::runProgram(*original, cfg);
+        vm::RunResult b = vm::runProgram(*hardened, cfg);
+        ASSERT_EQ(a.outcome, vm::Outcome::Success)
+            << a.failureMsg << "\n" << src;
+        ASSERT_EQ(b.outcome, vm::Outcome::Success)
+            << b.failureMsg << "\n" << src;
+        EXPECT_EQ(a.output, b.output) << "schedule seed " << cfg.seed;
+        EXPECT_EQ(a.exitCode, b.exitCode);
+    }
+}
+
+TEST_P(RandomProgram, ChaosRollbacksAreInvisible)
+{
+    std::string src = source();
+    auto baseline = compile(src);
+    auto chaotic = compile(src);
+    ASSERT_TRUE(baseline && chaotic);
+    ca::applyConAir(*baseline);
+    ca::applyConAir(*chaotic);
+
+    vm::VmConfig plain;
+    plain.seed = GetParam() + 5;
+    vm::RunResult a = vm::runProgram(*baseline, plain);
+
+    vm::VmConfig chaos = plain;
+    chaos.chaosRollbackEveryN = 40;
+    vm::RunResult b = vm::runProgram(*chaotic, chaos);
+
+    ASSERT_EQ(a.outcome, vm::Outcome::Success) << a.failureMsg;
+    ASSERT_EQ(b.outcome, vm::Outcome::Success)
+        << b.failureMsg << "\n" << src;
+    EXPECT_EQ(a.output, b.output)
+        << b.stats.chaosRollbacks << " chaos rollbacks\n" << src;
+    EXPECT_EQ(a.exitCode, b.exitCode);
+    // (Some seeds inject nothing — windows can be sparse; the
+    // ChaosInjectionFires test below guarantees non-vacuity.)
+}
+
+TEST(ChaosMode, ChaosInjectionFires)
+{
+    // A hot idempotent window: the assert's region re-reads a global
+    // inside a loop, so checkpoints and clean windows abound.
+    DiagEngine d;
+    auto m = fe::compileMiniC(R"(
+int g = 1;
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 500; i++) {
+        assert(g == 1);
+        acc = acc + g;
+    }
+    print("acc=", acc, "\n");
+    return 0;
+}
+)",
+                              d);
+    ASSERT_TRUE(m) << d.str();
+    ca::applyConAir(*m);
+    vm::VmConfig cfg;
+    cfg.chaosRollbackEveryN = 16;
+    vm::RunResult r = vm::runProgram(*m, cfg);
+    ASSERT_EQ(r.outcome, vm::Outcome::Success) << r.failureMsg;
+    EXPECT_EQ(r.output, "acc=500\n");
+    EXPECT_GT(r.stats.chaosRollbacks, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram,
+                         ::testing::Range<uint64_t>(1, 21));
+
+//
+// Chaos injection on the ten real bug kernels: clean and failing runs.
+//
+
+class AppChaos : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AppChaos, CleanRunsUnchangedUnderChaos)
+{
+    const apps::AppSpec *app = apps::findApp(GetParam());
+    ASSERT_NE(app, nullptr);
+    apps::PreparedApp p = apps::prepareApp(*app, apps::HardenOptions{});
+
+    vm::VmConfig plain = app->cleanConfig;
+    plain.seed = 2;
+    vm::RunResult a = vm::runProgram(*p.module, plain);
+
+    vm::VmConfig chaos = plain;
+    chaos.chaosRollbackEveryN = 64;
+    vm::RunResult b = vm::runProgram(*p.module, chaos);
+
+    ASSERT_EQ(a.outcome, vm::Outcome::Success) << a.failureMsg;
+    ASSERT_EQ(b.outcome, vm::Outcome::Success) << b.failureMsg;
+    EXPECT_EQ(a.output, b.output)
+        << b.stats.chaosRollbacks << " chaos rollbacks";
+    EXPECT_EQ(a.exitCode, b.exitCode);
+}
+
+TEST_P(AppChaos, RecoveryStillWorksUnderChaos)
+{
+    const apps::AppSpec *app = apps::findApp(GetParam());
+    apps::PreparedApp p = apps::prepareApp(*app, apps::HardenOptions{});
+    vm::VmConfig cfg = app->buggyConfig;
+    cfg.seed = 3;
+    cfg.chaosRollbackEveryN = 128;
+    vm::RunResult r = vm::runProgram(*p.module, cfg);
+    EXPECT_EQ(r.outcome, vm::Outcome::Success) << r.failureMsg;
+    EXPECT_TRUE(apps::runIsCorrect(*app, r)) << r.output;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, AppChaos,
+    ::testing::Values("FFT", "HawkNL", "HTTrack", "MozillaXP",
+                      "MozillaJS", "MySQL1", "MySQL2", "Transmission",
+                      "SQLite", "ZSNES"),
+    [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace conair::proptest

@@ -1,0 +1,42 @@
+#include "support/diag.h"
+
+#include <gtest/gtest.h>
+
+namespace conair {
+namespace {
+
+TEST(DiagEngine, CountsErrorsOnly)
+{
+    DiagEngine d;
+    EXPECT_FALSE(d.hasErrors());
+    d.warning({1, 1}, "w");
+    d.note({1, 2}, "n");
+    EXPECT_FALSE(d.hasErrors());
+    d.error({2, 3}, "e");
+    EXPECT_TRUE(d.hasErrors());
+    EXPECT_EQ(d.numErrors(), 1u);
+    EXPECT_EQ(d.diags().size(), 3u);
+}
+
+TEST(DiagEngine, RendersLocations)
+{
+    DiagEngine d;
+    d.error({10, 4}, "boom");
+    EXPECT_EQ(d.str(), "10:4: error: boom\n");
+}
+
+TEST(DiagEngine, RendersUnknownLocation)
+{
+    DiagEngine d;
+    d.error({}, "no loc");
+    EXPECT_EQ(d.str(), "error: no loc\n");
+}
+
+TEST(SrcLoc, Validity)
+{
+    EXPECT_FALSE(SrcLoc{}.valid());
+    EXPECT_TRUE((SrcLoc{1, 1}).valid());
+}
+
+} // namespace
+} // namespace conair

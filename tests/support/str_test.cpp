@@ -1,0 +1,59 @@
+#include "support/str.h"
+
+#include <gtest/gtest.h>
+
+namespace conair {
+namespace {
+
+TEST(StrFmt, FormatsBasicTypes)
+{
+    EXPECT_EQ(strfmt("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(strfmt("%s", "hello"), "hello");
+    EXPECT_EQ(strfmt("%lld", (long long)-9007199254740993ll),
+              "-9007199254740993");
+}
+
+TEST(StrFmt, EmptyFormat)
+{
+    EXPECT_EQ(strfmt("%s", ""), "");
+}
+
+TEST(Join, JoinsWithSeparator)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({"solo"}, ", "), "solo");
+    EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(FpToStr, RoundTripsExactly)
+{
+    for (double v : {0.0, 1.0, -1.5, 3.141592653589793, 1e-300, 1e300,
+                     0.1, 2.2250738585072014e-308}) {
+        std::string s = fpToStr(v);
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    }
+}
+
+TEST(FpToStr, IntegralValuesKeepFloatMarker)
+{
+    // Must parse back as a float token, not an integer.
+    EXPECT_NE(fpToStr(4.0).find_first_of(".e"), std::string::npos);
+}
+
+TEST(Escape, RoundTrips)
+{
+    for (std::string s : {"plain", "with\nnewline", "tab\there",
+                          "quote\"inside", "back\\slash", ""}) {
+        EXPECT_EQ(unescape(escape(s)), s);
+    }
+}
+
+TEST(StartsWith, Basics)
+{
+    EXPECT_TRUE(startsWith("conair", "con"));
+    EXPECT_TRUE(startsWith("x", ""));
+    EXPECT_FALSE(startsWith("con", "conair"));
+}
+
+} // namespace
+} // namespace conair

@@ -1,0 +1,186 @@
+#include "tests/vm/vm_test_util.h"
+
+namespace conair::vm {
+namespace {
+
+using testutil::runC;
+
+TEST(InterpBasic, ExitCode)
+{
+    RunResult r = runC("int main() { return 42; }");
+    EXPECT_EQ(r.outcome, Outcome::Success);
+    EXPECT_EQ(r.exitCode, 42);
+}
+
+TEST(InterpBasic, ArithmeticAndLoops)
+{
+    RunResult r = runC(R"(
+int main() {
+    int acc = 0;
+    for (int i = 1; i <= 10; i++) acc += i;
+    return acc;
+}
+)");
+    EXPECT_EQ(r.exitCode, 55);
+}
+
+TEST(InterpBasic, DoubleArithmetic)
+{
+    RunResult r = runC(R"(
+int main() {
+    double x = 1.5;
+    double y = x * 4.0 - 1.0;   // 5.0
+    print(y, "\n");
+    return y > 4.9 && y < 5.1;
+}
+)");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_EQ(r.output, "5\n");
+}
+
+TEST(InterpBasic, FunctionsAndRecursion)
+{
+    RunResult r = runC(R"(
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }
+)");
+    EXPECT_EQ(r.exitCode, 144);
+}
+
+TEST(InterpBasic, GlobalState)
+{
+    RunResult r = runC(R"(
+int counter = 10;
+int bump(int by) { counter += by; return counter; }
+int main() {
+    bump(5);
+    bump(1);
+    return counter;
+}
+)");
+    EXPECT_EQ(r.exitCode, 16);
+}
+
+TEST(InterpBasic, PrintFormatting)
+{
+    RunResult r = runC(R"(
+int main() {
+    print("n=", 7, " f=", 2.5, " done\n");
+    return 0;
+}
+)");
+    EXPECT_EQ(r.output, "n=7 f=2.5 done\n");
+}
+
+TEST(InterpBasic, AssertPassAndFail)
+{
+    EXPECT_EQ(runC("int main() { assert(1 == 1); return 0; }").outcome,
+              Outcome::Success);
+    RunResult r = runC("int main() { assert(1 == 2); return 0; }");
+    EXPECT_EQ(r.outcome, Outcome::AssertFail);
+    EXPECT_NE(r.failureMsg.find("assert failed"), std::string::npos);
+    EXPECT_NE(r.failureTag.find("assert.main."), std::string::npos);
+}
+
+TEST(InterpBasic, OracleFailIsDistinct)
+{
+    RunResult r = runC("int main() { oracle(0); return 0; }");
+    EXPECT_EQ(r.outcome, Outcome::OracleFail);
+}
+
+TEST(InterpBasic, DivisionByZeroTraps)
+{
+    RunResult r = runC("int main() { int z = 0; return 5 / z; }");
+    EXPECT_EQ(r.outcome, Outcome::Trap);
+}
+
+TEST(InterpBasic, ShortCircuitProtectsNullDeref)
+{
+    RunResult r = runC(R"(
+int* gp;
+int main() {
+    if (gp && gp[0] == 1) return 1;
+    return 2;
+}
+)");
+    EXPECT_EQ(r.outcome, Outcome::Success);
+    EXPECT_EQ(r.exitCode, 2);
+}
+
+TEST(InterpBasic, LogicalOperatorsAsValues)
+{
+    RunResult r = runC(R"(
+int main() {
+    int a = 3 > 2;        // 1
+    int b = (a && 0) + (a || 0) + !a; // 0 + 1 + 0
+    return a * 10 + b;
+}
+)");
+    EXPECT_EQ(r.exitCode, 11);
+}
+
+TEST(InterpBasic, TimeIsMonotonicAndPositive)
+{
+    RunResult r = runC(R"(
+int main() {
+    int t1 = time();
+    int t2 = time();
+    return t1 > 0 && t2 >= t1;
+}
+)");
+    EXPECT_EQ(r.exitCode, 1);
+}
+
+TEST(InterpBasic, InstructionBudgetTimeout)
+{
+    VmConfig cfg;
+    cfg.maxSteps = 10'000;
+    RunResult r = runC("int main() { while (1) {} return 0; }", cfg);
+    EXPECT_EQ(r.outcome, Outcome::Timeout);
+}
+
+TEST(InterpBasic, DeterministicAcrossRuns)
+{
+    const char *src = R"(
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 100; i++) acc += rand(10);
+    return acc;
+}
+)";
+    RunResult a = runC(src);
+    RunResult b = runC(src);
+    EXPECT_EQ(a.exitCode, b.exitCode);
+    EXPECT_EQ(a.stats.steps, b.stats.steps);
+}
+
+TEST(InterpBasic, NegativeNumbersAndModulo)
+{
+    RunResult r = runC(R"(
+int main() {
+    int a = -17;
+    int b = a % 5;      // -2 in C semantics
+    int c = a / 5;      // -3
+    return b * 100 + c; // -203
+}
+)");
+    EXPECT_EQ(r.exitCode, -203);
+}
+
+TEST(InterpBasic, ImplicitIntDoubleConversions)
+{
+    RunResult r = runC(R"(
+double scale(int x) { return x * 1.5; }
+int main() {
+    int y = scale(4);  // 6.0 -> 6
+    return y;
+}
+)");
+    EXPECT_EQ(r.exitCode, 6);
+}
+
+} // namespace
+} // namespace conair::vm

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Tests of the ConAir runtime intrinsics (checkpoint / try_rollback /
+ * compensation / ptr_check) at the IR level, independent of the static
+ * transformation pass.
+ */
+#include "tests/vm/vm_test_util.h"
+
+namespace conair::vm {
+namespace {
+
+using testutil::parseIR;
+
+RunResult
+runIR(const std::string &text, VmConfig cfg = {})
+{
+    auto m = parseIR(text);
+    if (!m)
+        return {};
+    return runProgram(*m, cfg);
+}
+
+TEST(ConAirRuntime, RollbackReexecutesRegion)
+{
+    // The region re-reads @flag; a second thread sets it.  The retry
+    // loop must roll back until the assert-equivalent condition holds.
+    RunResult r = runIR(R"(
+global @flag : i64[1]
+
+func @setter(i64 %arg) -> i64 {
+entry:
+    sched_hint 1
+    store 1, @flag
+    ret 0
+}
+
+func @main() -> i64 {
+entry:
+    %t = call $thread_create(@setter, 0)
+    call $conair.checkpoint(0)
+    br region
+region:
+    %v = load i64, @flag
+    %ok = icmp.eq %v, 1
+    condbr %ok, good, fail
+fail:
+    call $conair.try_rollback(5) #"site5"
+    call $assert_fail("flag was 0")
+    unreachable
+good:
+    call $conair.recovered(5)
+    call $thread_join(%t)
+    ret %v
+}
+)",
+                        [] {
+                            VmConfig cfg;
+                            cfg.delays = {{1, 2'000}};
+                            return cfg;
+                        }());
+    EXPECT_EQ(r.outcome, Outcome::Success);
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_GE(r.stats.rollbacks, 1u);
+    ASSERT_EQ(r.stats.recoveries.size(), 1u);
+    EXPECT_EQ(r.stats.recoveries[0].siteTag, "site5");
+    EXPECT_GE(r.stats.recoveries[0].retries, 1u);
+    EXPECT_GT(r.stats.recoveries[0].endClock,
+              r.stats.recoveries[0].startClock);
+}
+
+TEST(ConAirRuntime, RetryBudgetExhaustionFallsThrough)
+{
+    // Nothing ever sets @flag, so rollback can never succeed; after
+    // maxRetries the original assert failure must surface.
+    VmConfig cfg;
+    cfg.maxRetries = 50;
+    RunResult r = runIR(R"(
+global @flag : i64[1]
+
+func @main() -> i64 {
+entry:
+    call $conair.checkpoint(0)
+    br region
+region:
+    %v = load i64, @flag
+    %ok = icmp.eq %v, 1
+    condbr %ok, good, fail
+fail:
+    call $conair.try_rollback(5)
+    call $assert_fail("flag never set")
+    unreachable
+good:
+    ret %v
+}
+)",
+                        cfg);
+    EXPECT_EQ(r.outcome, Outcome::AssertFail);
+    EXPECT_EQ(r.stats.rollbacks, 50u);
+}
+
+TEST(ConAirRuntime, NoCheckpointMeansNoRollback)
+{
+    RunResult r = runIR(R"(
+func @main() -> i64 {
+entry:
+    call $conair.try_rollback(1)
+    call $assert_fail("no checkpoint taken")
+    unreachable
+}
+)");
+    EXPECT_EQ(r.outcome, Outcome::AssertFail);
+    EXPECT_EQ(r.stats.rollbacks, 0u);
+}
+
+TEST(ConAirRuntime, CompensationFreesRegionAllocations)
+{
+    // The region mallocs on every attempt; compensation must free the
+    // allocation of the failed attempt, so exactly one block stays live.
+    RunResult r = runIR(R"(
+global @flag : i64[1]
+
+func @setter(i64 %arg) -> i64 {
+entry:
+    sched_hint 1
+    store 1, @flag
+    ret 0
+}
+
+func @main() -> i64 {
+entry:
+    %t = call $thread_create(@setter, 0)
+    call $conair.checkpoint(0)
+    br region
+region:
+    %p = call $malloc(4)
+    call $conair.note_alloc(%p)
+    %v = load i64, @flag
+    %ok = icmp.eq %v, 1
+    condbr %ok, good, fail
+fail:
+    call $conair.try_rollback(9)
+    call $assert_fail("never")
+    unreachable
+good:
+    store 7, %p
+    %r = load i64, %p
+    call $thread_join(%t)
+    ret %r
+}
+)",
+                        [] {
+                            VmConfig cfg;
+                            cfg.delays = {{1, 1'000}};
+                            return cfg;
+                        }());
+    EXPECT_EQ(r.outcome, Outcome::Success);
+    EXPECT_EQ(r.exitCode, 7);
+    EXPECT_GE(r.stats.rollbacks, 1u);
+    EXPECT_EQ(r.stats.compensationFrees, r.stats.rollbacks);
+}
+
+TEST(ConAirRuntime, CompensationReleasesRegionLocks)
+{
+    // Deadlock recovery (HawkNL pattern, Fig 11): thread 2's region
+    // re-acquires @slock; rolling back must release it so thread 1 can
+    // finish, after which the retry succeeds.
+    RunResult r = runIR(R"(
+mutex @nlock
+mutex @slock
+
+func @closer(i64 %arg) -> i64 {
+entry:
+    call $mutex_lock(@nlock)
+    sched_hint 1
+    call $mutex_lock(@slock)
+    call $mutex_unlock(@slock)
+    call $mutex_unlock(@nlock)
+    ret 0
+}
+
+func @main() -> i64 {
+entry:
+    %t = call $thread_create(@closer, 0)
+    sched_hint 2
+    call $conair.checkpoint(0)
+    br region
+region:
+    %r1 = call $mutex_timedlock(@slock, 500)
+    %ok1 = icmp.eq %r1, 0
+    condbr %ok1, havelock, fail
+havelock:
+    call $conair.note_lock(@slock)
+    %r2 = call $mutex_timedlock(@nlock, 500)
+    %ok2 = icmp.eq %r2, 0
+    condbr %ok2, good, fail
+fail:
+    call $conair.backoff()
+    call $conair.try_rollback(3)
+    call $assert_fail("deadlock unrecovered")
+    unreachable
+good:
+    call $conair.recovered(3)
+    call $mutex_unlock(@nlock)
+    call $mutex_unlock(@slock)
+    call $thread_join(%t)
+    ret 77
+}
+)",
+                        [] {
+                            VmConfig cfg;
+                            // closer grabs nlock then stalls; main grabs
+                            // slock and hits the timed nlock acquisition.
+                            cfg.delays = {{1, 3'000}, {2, 100}};
+                            return cfg;
+                        }());
+    EXPECT_EQ(r.outcome, Outcome::Success);
+    EXPECT_EQ(r.exitCode, 77);
+    EXPECT_GE(r.stats.rollbacks, 1u);
+    EXPECT_GE(r.stats.compensationUnlocks, 1u);
+    EXPECT_EQ(r.stats.recoveries.size(), 1u);
+}
+
+TEST(ConAirRuntime, PtrCheckClassifiesPointers)
+{
+    RunResult r = runIR(R"(
+global @g : i64[2]
+
+func @main() -> i64 {
+entry:
+    %a = call $conair.ptr_check(null)
+    %p = call $malloc(2)
+    %b = call $conair.ptr_check(%p)
+    call $free(%p)
+    %c = call $conair.ptr_check(%p)
+    %d = call $conair.ptr_check(@g)
+    %e = ptradd @g, 9
+    %f = call $conair.ptr_check(%e)
+    %za = zext %a
+    %zb = zext %b
+    %zc = zext %c
+    %zd = zext %d
+    %zf = zext %f
+    %s1 = mul %za, 10000
+    %s2 = mul %zb, 1000
+    %s3 = mul %zc, 100
+    %s4 = mul %zd, 10
+    %t1 = add %s1, %s2
+    %t2 = add %t1, %s3
+    %t3 = add %t2, %s4
+    %t4 = add %t3, %zf
+    ret %t4
+}
+)");
+    // null invalid, live heap valid, freed invalid, global valid,
+    // out-of-bounds invalid: 0*10000 + 1*1000 + 0*100 + 1*10 + 0.
+    EXPECT_EQ(r.outcome, Outcome::Success);
+    EXPECT_EQ(r.exitCode, 1010);
+}
+
+TEST(ConAirRuntime, CheckpointsAreCountedAsDynamicReexecPoints)
+{
+    RunResult r = runIR(R"(
+func @main() -> i64 {
+entry:
+    br loop
+loop:
+    %i = phi i64 [0, entry], [%n, loop]
+    call $conair.checkpoint(0)
+    %n = add %i, 1
+    %c = icmp.slt %n, 10
+    condbr %c, loop, done
+done:
+    ret 0
+}
+)");
+    EXPECT_EQ(r.outcome, Outcome::Success);
+    EXPECT_EQ(r.stats.checkpointsExecuted, 10u);
+}
+
+TEST(ConAirRuntime, InterproceduralRollbackUnwindsFrames)
+{
+    // Checkpoint in the caller; the callee fails and rolls back across
+    // the frame boundary (MozillaXP pattern, Fig 10).
+    RunResult r = runIR(R"(
+global @mthd : ptr[1]
+
+func @init(i64 %arg) -> i64 {
+entry:
+    sched_hint 1
+    %p = call $malloc(2)
+    store 42, %p
+    store %p, @mthd
+    ret 0
+}
+
+func @get_state(ptr %thd) -> i64 {
+entry:
+    %ok = call $conair.ptr_check(%thd)
+    condbr %ok, good, fail
+fail:
+    call $conair.try_rollback(4)
+    call $assert_fail("segv")
+    unreachable
+good:
+    call $conair.recovered(4)
+    %v = load i64, %thd
+    ret %v
+}
+
+func @main() -> i64 {
+entry:
+    %t = call $thread_create(@init, 0)
+    call $conair.checkpoint(0)
+    br get
+get:
+    %p = load ptr, @mthd
+    %v = call @get_state(%p)
+    call $thread_join(%t)
+    ret %v
+}
+)",
+                        [] {
+                            VmConfig cfg;
+                            cfg.delays = {{1, 2'000}};
+                            return cfg;
+                        }());
+    EXPECT_EQ(r.outcome, Outcome::Success);
+    EXPECT_EQ(r.exitCode, 42);
+    EXPECT_GE(r.stats.rollbacks, 1u);
+    EXPECT_EQ(r.stats.recoveries.size(), 1u);
+}
+
+TEST(ConAirRuntime, RecoveredHookIsZeroCost)
+{
+    // Two identical programs, one with conair.recovered: step counts
+    // must match exactly.
+    const char *with = R"(
+func @main() -> i64 {
+entry:
+    %a = add 1, 2
+    call $conair.recovered(0)
+    ret %a
+}
+)";
+    const char *without = R"(
+func @main() -> i64 {
+entry:
+    %a = add 1, 2
+    ret %a
+}
+)";
+    RunResult rw = runIR(with);
+    RunResult ro = runIR(without);
+    EXPECT_EQ(rw.stats.steps, ro.stats.steps);
+    EXPECT_EQ(rw.clock, ro.clock);
+}
+
+} // namespace
+} // namespace conair::vm

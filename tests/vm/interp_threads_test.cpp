@@ -1,0 +1,282 @@
+#include "tests/vm/vm_test_util.h"
+
+namespace conair::vm {
+namespace {
+
+using testutil::runC;
+
+TEST(InterpThreads, SpawnAndJoin)
+{
+    RunResult r = runC(R"(
+int result;
+int worker(int n) {
+    result = n * 2;
+    return 0;
+}
+int main() {
+    int t = spawn(worker, 21);
+    join(t);
+    return result;
+}
+)");
+    EXPECT_EQ(r.outcome, Outcome::Success);
+    EXPECT_EQ(r.exitCode, 42);
+    EXPECT_EQ(r.stats.threadsSpawned, 1u);
+}
+
+TEST(InterpThreads, ManyThreadsAccumulateUnderLock)
+{
+    RunResult r = runC(R"(
+int total;
+mutex m;
+int worker(int n) {
+    for (int i = 0; i < n; i++) {
+        lock(m);
+        total += 1;
+        unlock(m);
+    }
+    return 0;
+}
+int main() {
+    int t1 = spawn(worker, 100);
+    int t2 = spawn(worker, 100);
+    int t3 = spawn(worker, 100);
+    join(t1); join(t2); join(t3);
+    return total;
+}
+)");
+    EXPECT_EQ(r.outcome, Outcome::Success);
+    EXPECT_EQ(r.exitCode, 300);
+}
+
+TEST(InterpThreads, RacyIncrementLosesUpdates)
+{
+    // Without a lock, the interleaved read-modify-write must lose
+    // updates under at least one seed — demonstrating the VM exposes
+    // real races.
+    const char *src = R"(
+int total;
+int worker(int n) {
+    for (int i = 0; i < n; i++) {
+        int tmp = total;
+        yield();
+        total = tmp + 1;
+    }
+    return 0;
+}
+int main() {
+    int t1 = spawn(worker, 50);
+    int t2 = spawn(worker, 50);
+    join(t1); join(t2);
+    return total;
+}
+)";
+    bool lost = false;
+    for (uint64_t seed = 1; seed <= 5 && !lost; ++seed) {
+        VmConfig cfg;
+        cfg.seed = seed;
+        cfg.quantum = 3;
+        RunResult r = runC(src, cfg);
+        EXPECT_EQ(r.outcome, Outcome::Success);
+        lost |= r.exitCode < 100;
+    }
+    EXPECT_TRUE(lost);
+}
+
+TEST(InterpThreads, MutexProvidesExclusion)
+{
+    // With the lock held across the read-modify-write, no update is
+    // lost under any seed.
+    const char *src = R"(
+int total;
+mutex m;
+int worker(int n) {
+    for (int i = 0; i < n; i++) {
+        lock(m);
+        int tmp = total;
+        yield();
+        total = tmp + 1;
+        unlock(m);
+    }
+    return 0;
+}
+int main() {
+    int t1 = spawn(worker, 30);
+    int t2 = spawn(worker, 30);
+    join(t1); join(t2);
+    return total;
+}
+)";
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        VmConfig cfg;
+        cfg.seed = seed;
+        cfg.quantum = 3;
+        RunResult r = runC(src, cfg);
+        EXPECT_EQ(r.outcome, Outcome::Success) << seed;
+        EXPECT_EQ(r.exitCode, 60) << seed;
+    }
+}
+
+TEST(InterpThreads, ClassicDeadlockHangs)
+{
+    RunResult r = runC(R"(
+mutex a;
+mutex b;
+int t1(int x) {
+    lock(a);
+    hint(1);
+    lock(b);
+    unlock(b);
+    unlock(a);
+    return 0;
+}
+int t2(int x) {
+    lock(b);
+    hint(2);
+    lock(a);
+    unlock(a);
+    unlock(b);
+    return 0;
+}
+int main() {
+    int x = spawn(t1, 0);
+    int y = spawn(t2, 0);
+    join(x); join(y);
+    return 0;
+}
+)",
+                       [] {
+                           VmConfig cfg;
+                           cfg.delays = {{1, 500}, {2, 500}};
+                           cfg.hangTimeout = 20'000;
+                           return cfg;
+                       }());
+    EXPECT_EQ(r.outcome, Outcome::Hang);
+}
+
+TEST(InterpThreads, TimedLockTimesOutInsteadOfHanging)
+{
+    RunResult r = runC(R"(
+mutex a;
+mutex b;
+int t1(int x) {
+    lock(a);
+    hint(1);
+    int rc = timedlock(b, 2000);
+    if (rc == 0) unlock(b);
+    unlock(a);
+    return 0;
+}
+int t2(int x) {
+    lock(b);
+    hint(2);
+    int rc = timedlock(a, 2000);
+    if (rc == 0) unlock(a);
+    unlock(b);
+    return 0;
+}
+int main() {
+    int x = spawn(t1, 0);
+    int y = spawn(t2, 0);
+    join(x); join(y);
+    return 0;
+}
+)",
+                       [] {
+                           VmConfig cfg;
+                           cfg.delays = {{1, 500}, {2, 500}};
+                           return cfg;
+                       }());
+    EXPECT_EQ(r.outcome, Outcome::Success);
+}
+
+TEST(InterpThreads, DelayRuleForcesOrdering)
+{
+    // The delayed thread must observe the other thread's write.
+    const char *src = R"(
+int flag;
+int observed;
+int writer(int x) {
+    flag = 1;
+    return 0;
+}
+int main() {
+    int t = spawn(writer, 0);
+    hint(7);
+    observed = flag;
+    join(t);
+    return observed;
+}
+)";
+    VmConfig with_delay;
+    with_delay.delays = {{7, 10'000}};
+    EXPECT_EQ(runC(src, with_delay).exitCode, 1);
+}
+
+TEST(InterpThreads, SleepAdvancesVirtualClock)
+{
+    RunResult r = runC(R"(
+int main() {
+    int before = time();
+    sleep(5000);
+    int after = time();
+    return after - before >= 5000;
+}
+)");
+    EXPECT_EQ(r.exitCode, 1);
+}
+
+TEST(InterpThreads, JoinUnknownThreadTraps)
+{
+    RunResult r = runC("int main() { join(99); return 0; }");
+    EXPECT_EQ(r.outcome, Outcome::Trap);
+}
+
+TEST(InterpThreads, UnlockNotHeldTraps)
+{
+    RunResult r = runC(R"(
+mutex m;
+int main() { unlock(m); return 0; }
+)");
+    EXPECT_EQ(r.outcome, Outcome::Trap);
+}
+
+TEST(InterpThreads, SelfDeadlockHangs)
+{
+    VmConfig cfg;
+    cfg.hangTimeout = 10'000;
+    RunResult r = runC(R"(
+mutex m;
+int main() { lock(m); lock(m); return 0; }
+)",
+                       cfg);
+    EXPECT_EQ(r.outcome, Outcome::Hang);
+}
+
+TEST(InterpThreads, HeapCellCanActAsMutex)
+{
+    RunResult r = runC(R"(
+int total;
+int* locks;
+int worker(int n) {
+    for (int i = 0; i < n; i++) {
+        lock(locks);
+        total += 1;
+        unlock(locks);
+    }
+    return 0;
+}
+int main() {
+    locks = malloc(1);
+    int t1 = spawn(worker, 40);
+    int t2 = spawn(worker, 40);
+    join(t1); join(t2);
+    return total;
+}
+)");
+    EXPECT_EQ(r.outcome, Outcome::Success);
+    EXPECT_EQ(r.exitCode, 80);
+}
+
+} // namespace
+} // namespace conair::vm

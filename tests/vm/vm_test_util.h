@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for VM tests: compile MiniC or parse MiniIR, then run.
+ */
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.h"
+#include "ir/parser.h"
+#include "vm/interp.h"
+
+namespace conair::vm::testutil {
+
+inline std::unique_ptr<ir::Module>
+compileC(const std::string &src)
+{
+    DiagEngine d;
+    auto m = fe::compileMiniC(src, d);
+    EXPECT_TRUE(m) << d.str();
+    return m;
+}
+
+inline std::unique_ptr<ir::Module>
+parseIR(const std::string &text)
+{
+    DiagEngine d;
+    auto m = ir::parseModule(text, d);
+    EXPECT_TRUE(m) << d.str();
+    return m;
+}
+
+inline RunResult
+runC(const std::string &src, VmConfig cfg = {})
+{
+    auto m = compileC(src);
+    if (!m)
+        return {};
+    return runProgram(*m, cfg);
+}
+
+} // namespace conair::vm::testutil
