@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_patterns"
+  "../bench/bench_fig2_patterns.pdb"
+  "CMakeFiles/bench_fig2_patterns.dir/bench_fig2_patterns.cpp.o"
+  "CMakeFiles/bench_fig2_patterns.dir/bench_fig2_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_recovery"
+  "../bench/bench_table3_recovery.pdb"
+  "CMakeFiles/bench_table3_recovery.dir/bench_table3_recovery.cpp.o"
+  "CMakeFiles/bench_table3_recovery.dir/bench_table3_recovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_failure_sites"
+  "../bench/bench_table4_failure_sites.pdb"
+  "CMakeFiles/bench_table4_failure_sites.dir/bench_table4_failure_sites.cpp.o"
+  "CMakeFiles/bench_table4_failure_sites.dir/bench_table4_failure_sites.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_failure_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_reexec_points"
+  "../bench/bench_table5_reexec_points.pdb"
+  "CMakeFiles/bench_table5_reexec_points.dir/bench_table5_reexec_points.cpp.o"
+  "CMakeFiles/bench_table5_reexec_points.dir/bench_table5_reexec_points.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_reexec_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

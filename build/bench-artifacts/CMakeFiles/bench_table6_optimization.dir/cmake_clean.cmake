@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_optimization"
+  "../bench/bench_table6_optimization.pdb"
+  "CMakeFiles/bench_table6_optimization.dir/bench_table6_optimization.cpp.o"
+  "CMakeFiles/bench_table6_optimization.dir/bench_table6_optimization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixmode_patch.dir/fixmode_patch.cpp.o"
+  "CMakeFiles/fixmode_patch.dir/fixmode_patch.cpp.o.d"
+  "fixmode_patch"
+  "fixmode_patch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixmode_patch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fixmode_patch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survival_server.dir/survival_server.cpp.o"
+  "CMakeFiles/survival_server.dir/survival_server.cpp.o.d"
+  "survival_server"
+  "survival_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survival_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fixmode_patch "/root/repo/build/examples/fixmode_patch")
+set_tests_properties(example_fixmode_patch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_survival_server "/root/repo/build/examples/survival_server")
+set_tests_properties(example_survival_server PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_deadlock_recovery "/root/repo/build/examples/deadlock_recovery")
+set_tests_properties(example_deadlock_recovery PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_minicc_recovers "/root/repo/build/examples/minicc" "--conair" "--delay" "1:5000" "/root/repo/examples/data/racy_counter.mc")
+set_tests_properties(example_minicc_recovers PROPERTIES  PASS_REGULAR_EXPRESSION "value=42" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_minicc_deadlock "/root/repo/build/examples/minicc" "--conair" "--delay" "1:2000" "--delay" "2:300" "/root/repo/examples/data/two_lock_server.mc")
+set_tests_properties(example_minicc_deadlock PROPERTIES  PASS_REGULAR_EXPRESSION "requests=1 bytes=512" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

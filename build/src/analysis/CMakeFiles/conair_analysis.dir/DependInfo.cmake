@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/callgraph.cpp" "src/analysis/CMakeFiles/conair_analysis.dir/callgraph.cpp.o" "gcc" "src/analysis/CMakeFiles/conair_analysis.dir/callgraph.cpp.o.d"
+  "/root/repo/src/analysis/cfg_utils.cpp" "src/analysis/CMakeFiles/conair_analysis.dir/cfg_utils.cpp.o" "gcc" "src/analysis/CMakeFiles/conair_analysis.dir/cfg_utils.cpp.o.d"
+  "/root/repo/src/analysis/dominators.cpp" "src/analysis/CMakeFiles/conair_analysis.dir/dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/conair_analysis.dir/dominators.cpp.o.d"
+  "/root/repo/src/analysis/mem2reg.cpp" "src/analysis/CMakeFiles/conair_analysis.dir/mem2reg.cpp.o" "gcc" "src/analysis/CMakeFiles/conair_analysis.dir/mem2reg.cpp.o.d"
+  "/root/repo/src/analysis/memory_class.cpp" "src/analysis/CMakeFiles/conair_analysis.dir/memory_class.cpp.o" "gcc" "src/analysis/CMakeFiles/conair_analysis.dir/memory_class.cpp.o.d"
+  "/root/repo/src/analysis/slicing.cpp" "src/analysis/CMakeFiles/conair_analysis.dir/slicing.cpp.o" "gcc" "src/analysis/CMakeFiles/conair_analysis.dir/slicing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/conair_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/conair_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conair_analysis.dir/callgraph.cpp.o"
+  "CMakeFiles/conair_analysis.dir/callgraph.cpp.o.d"
+  "CMakeFiles/conair_analysis.dir/cfg_utils.cpp.o"
+  "CMakeFiles/conair_analysis.dir/cfg_utils.cpp.o.d"
+  "CMakeFiles/conair_analysis.dir/dominators.cpp.o"
+  "CMakeFiles/conair_analysis.dir/dominators.cpp.o.d"
+  "CMakeFiles/conair_analysis.dir/mem2reg.cpp.o"
+  "CMakeFiles/conair_analysis.dir/mem2reg.cpp.o.d"
+  "CMakeFiles/conair_analysis.dir/memory_class.cpp.o"
+  "CMakeFiles/conair_analysis.dir/memory_class.cpp.o.d"
+  "CMakeFiles/conair_analysis.dir/slicing.cpp.o"
+  "CMakeFiles/conair_analysis.dir/slicing.cpp.o.d"
+  "libconair_analysis.a"
+  "libconair_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conair_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

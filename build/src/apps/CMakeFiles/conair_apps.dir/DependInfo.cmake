@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/conair_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/conair_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/harness.cpp" "src/apps/CMakeFiles/conair_apps.dir/harness.cpp.o" "gcc" "src/apps/CMakeFiles/conair_apps.dir/harness.cpp.o.d"
+  "/root/repo/src/apps/hawknl.cpp" "src/apps/CMakeFiles/conair_apps.dir/hawknl.cpp.o" "gcc" "src/apps/CMakeFiles/conair_apps.dir/hawknl.cpp.o.d"
+  "/root/repo/src/apps/httrack.cpp" "src/apps/CMakeFiles/conair_apps.dir/httrack.cpp.o" "gcc" "src/apps/CMakeFiles/conair_apps.dir/httrack.cpp.o.d"
+  "/root/repo/src/apps/mozilla_js.cpp" "src/apps/CMakeFiles/conair_apps.dir/mozilla_js.cpp.o" "gcc" "src/apps/CMakeFiles/conair_apps.dir/mozilla_js.cpp.o.d"
+  "/root/repo/src/apps/mozilla_xp.cpp" "src/apps/CMakeFiles/conair_apps.dir/mozilla_xp.cpp.o" "gcc" "src/apps/CMakeFiles/conair_apps.dir/mozilla_xp.cpp.o.d"
+  "/root/repo/src/apps/mysql1.cpp" "src/apps/CMakeFiles/conair_apps.dir/mysql1.cpp.o" "gcc" "src/apps/CMakeFiles/conair_apps.dir/mysql1.cpp.o.d"
+  "/root/repo/src/apps/mysql2.cpp" "src/apps/CMakeFiles/conair_apps.dir/mysql2.cpp.o" "gcc" "src/apps/CMakeFiles/conair_apps.dir/mysql2.cpp.o.d"
+  "/root/repo/src/apps/patterns.cpp" "src/apps/CMakeFiles/conair_apps.dir/patterns.cpp.o" "gcc" "src/apps/CMakeFiles/conair_apps.dir/patterns.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/conair_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/conair_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/sqlite.cpp" "src/apps/CMakeFiles/conair_apps.dir/sqlite.cpp.o" "gcc" "src/apps/CMakeFiles/conair_apps.dir/sqlite.cpp.o.d"
+  "/root/repo/src/apps/transmission.cpp" "src/apps/CMakeFiles/conair_apps.dir/transmission.cpp.o" "gcc" "src/apps/CMakeFiles/conair_apps.dir/transmission.cpp.o.d"
+  "/root/repo/src/apps/zsnes.cpp" "src/apps/CMakeFiles/conair_apps.dir/zsnes.cpp.o" "gcc" "src/apps/CMakeFiles/conair_apps.dir/zsnes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/conair/CMakeFiles/conair_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/conair_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/conair_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/conair_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/conair_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/conair_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conair_apps.dir/fft.cpp.o"
+  "CMakeFiles/conair_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/conair_apps.dir/harness.cpp.o"
+  "CMakeFiles/conair_apps.dir/harness.cpp.o.d"
+  "CMakeFiles/conair_apps.dir/hawknl.cpp.o"
+  "CMakeFiles/conair_apps.dir/hawknl.cpp.o.d"
+  "CMakeFiles/conair_apps.dir/httrack.cpp.o"
+  "CMakeFiles/conair_apps.dir/httrack.cpp.o.d"
+  "CMakeFiles/conair_apps.dir/mozilla_js.cpp.o"
+  "CMakeFiles/conair_apps.dir/mozilla_js.cpp.o.d"
+  "CMakeFiles/conair_apps.dir/mozilla_xp.cpp.o"
+  "CMakeFiles/conair_apps.dir/mozilla_xp.cpp.o.d"
+  "CMakeFiles/conair_apps.dir/mysql1.cpp.o"
+  "CMakeFiles/conair_apps.dir/mysql1.cpp.o.d"
+  "CMakeFiles/conair_apps.dir/mysql2.cpp.o"
+  "CMakeFiles/conair_apps.dir/mysql2.cpp.o.d"
+  "CMakeFiles/conair_apps.dir/patterns.cpp.o"
+  "CMakeFiles/conair_apps.dir/patterns.cpp.o.d"
+  "CMakeFiles/conair_apps.dir/registry.cpp.o"
+  "CMakeFiles/conair_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/conair_apps.dir/sqlite.cpp.o"
+  "CMakeFiles/conair_apps.dir/sqlite.cpp.o.d"
+  "CMakeFiles/conair_apps.dir/transmission.cpp.o"
+  "CMakeFiles/conair_apps.dir/transmission.cpp.o.d"
+  "CMakeFiles/conair_apps.dir/zsnes.cpp.o"
+  "CMakeFiles/conair_apps.dir/zsnes.cpp.o.d"
+  "libconair_apps.a"
+  "libconair_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conair_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conair_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/conair_baselines.dir/baselines.cpp.o.d"
+  "libconair_baselines.a"
+  "libconair_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conair_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conair/driver.cpp" "src/conair/CMakeFiles/conair_core.dir/driver.cpp.o" "gcc" "src/conair/CMakeFiles/conair_core.dir/driver.cpp.o.d"
+  "/root/repo/src/conair/failure_sites.cpp" "src/conair/CMakeFiles/conair_core.dir/failure_sites.cpp.o" "gcc" "src/conair/CMakeFiles/conair_core.dir/failure_sites.cpp.o.d"
+  "/root/repo/src/conair/interproc.cpp" "src/conair/CMakeFiles/conair_core.dir/interproc.cpp.o" "gcc" "src/conair/CMakeFiles/conair_core.dir/interproc.cpp.o.d"
+  "/root/repo/src/conair/optimizer.cpp" "src/conair/CMakeFiles/conair_core.dir/optimizer.cpp.o" "gcc" "src/conair/CMakeFiles/conair_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/conair/regions.cpp" "src/conair/CMakeFiles/conair_core.dir/regions.cpp.o" "gcc" "src/conair/CMakeFiles/conair_core.dir/regions.cpp.o.d"
+  "/root/repo/src/conair/transform.cpp" "src/conair/CMakeFiles/conair_core.dir/transform.cpp.o" "gcc" "src/conair/CMakeFiles/conair_core.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/conair_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/conair_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/conair_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conair_core.dir/driver.cpp.o"
+  "CMakeFiles/conair_core.dir/driver.cpp.o.d"
+  "CMakeFiles/conair_core.dir/failure_sites.cpp.o"
+  "CMakeFiles/conair_core.dir/failure_sites.cpp.o.d"
+  "CMakeFiles/conair_core.dir/interproc.cpp.o"
+  "CMakeFiles/conair_core.dir/interproc.cpp.o.d"
+  "CMakeFiles/conair_core.dir/optimizer.cpp.o"
+  "CMakeFiles/conair_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/conair_core.dir/regions.cpp.o"
+  "CMakeFiles/conair_core.dir/regions.cpp.o.d"
+  "CMakeFiles/conair_core.dir/transform.cpp.o"
+  "CMakeFiles/conair_core.dir/transform.cpp.o.d"
+  "libconair_core.a"
+  "libconair_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conair_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

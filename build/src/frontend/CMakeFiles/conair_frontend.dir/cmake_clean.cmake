@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conair_frontend.dir/codegen.cpp.o"
+  "CMakeFiles/conair_frontend.dir/codegen.cpp.o.d"
+  "CMakeFiles/conair_frontend.dir/compile.cpp.o"
+  "CMakeFiles/conair_frontend.dir/compile.cpp.o.d"
+  "CMakeFiles/conair_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/conair_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/conair_frontend.dir/parser.cpp.o"
+  "CMakeFiles/conair_frontend.dir/parser.cpp.o.d"
+  "libconair_frontend.a"
+  "libconair_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conair_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

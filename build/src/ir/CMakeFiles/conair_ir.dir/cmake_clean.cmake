@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conair_ir.dir/builder.cpp.o"
+  "CMakeFiles/conair_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/conair_ir.dir/ir_core.cpp.o"
+  "CMakeFiles/conair_ir.dir/ir_core.cpp.o.d"
+  "CMakeFiles/conair_ir.dir/parser.cpp.o"
+  "CMakeFiles/conair_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/conair_ir.dir/printer.cpp.o"
+  "CMakeFiles/conair_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/conair_ir.dir/verifier.cpp.o"
+  "CMakeFiles/conair_ir.dir/verifier.cpp.o.d"
+  "libconair_ir.a"
+  "libconair_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conair_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

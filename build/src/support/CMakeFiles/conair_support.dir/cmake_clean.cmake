@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conair_support.dir/diag.cpp.o"
+  "CMakeFiles/conair_support.dir/diag.cpp.o.d"
+  "CMakeFiles/conair_support.dir/str.cpp.o"
+  "CMakeFiles/conair_support.dir/str.cpp.o.d"
+  "libconair_support.a"
+  "libconair_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conair_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/interp.cpp" "src/vm/CMakeFiles/conair_vm.dir/interp.cpp.o" "gcc" "src/vm/CMakeFiles/conair_vm.dir/interp.cpp.o.d"
+  "/root/repo/src/vm/regmap.cpp" "src/vm/CMakeFiles/conair_vm.dir/regmap.cpp.o" "gcc" "src/vm/CMakeFiles/conair_vm.dir/regmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/conair_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/conair_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conair_vm.dir/interp.cpp.o"
+  "CMakeFiles/conair_vm.dir/interp.cpp.o.d"
+  "CMakeFiles/conair_vm.dir/regmap.cpp.o"
+  "CMakeFiles/conair_vm.dir/regmap.cpp.o.d"
+  "libconair_vm.a"
+  "libconair_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conair_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

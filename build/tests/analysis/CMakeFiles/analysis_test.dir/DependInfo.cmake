@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/callgraph_test.cpp" "tests/analysis/CMakeFiles/analysis_test.dir/callgraph_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/analysis_test.dir/callgraph_test.cpp.o.d"
+  "/root/repo/tests/analysis/dominators_test.cpp" "tests/analysis/CMakeFiles/analysis_test.dir/dominators_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/analysis_test.dir/dominators_test.cpp.o.d"
+  "/root/repo/tests/analysis/mem2reg_test.cpp" "tests/analysis/CMakeFiles/analysis_test.dir/mem2reg_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/analysis_test.dir/mem2reg_test.cpp.o.d"
+  "/root/repo/tests/analysis/memory_class_test.cpp" "tests/analysis/CMakeFiles/analysis_test.dir/memory_class_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/analysis_test.dir/memory_class_test.cpp.o.d"
+  "/root/repo/tests/analysis/slicing_test.cpp" "tests/analysis/CMakeFiles/analysis_test.dir/slicing_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/analysis_test.dir/slicing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/conair_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/conair_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/conair_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/conair/driver_invariants_test.cpp" "tests/conair/CMakeFiles/conair_test.dir/driver_invariants_test.cpp.o" "gcc" "tests/conair/CMakeFiles/conair_test.dir/driver_invariants_test.cpp.o.d"
+  "/root/repo/tests/conair/end_to_end_test.cpp" "tests/conair/CMakeFiles/conair_test.dir/end_to_end_test.cpp.o" "gcc" "tests/conair/CMakeFiles/conair_test.dir/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/conair/failure_sites_test.cpp" "tests/conair/CMakeFiles/conair_test.dir/failure_sites_test.cpp.o" "gcc" "tests/conair/CMakeFiles/conair_test.dir/failure_sites_test.cpp.o.d"
+  "/root/repo/tests/conair/footnote5_test.cpp" "tests/conair/CMakeFiles/conair_test.dir/footnote5_test.cpp.o" "gcc" "tests/conair/CMakeFiles/conair_test.dir/footnote5_test.cpp.o.d"
+  "/root/repo/tests/conair/interproc_test.cpp" "tests/conair/CMakeFiles/conair_test.dir/interproc_test.cpp.o" "gcc" "tests/conair/CMakeFiles/conair_test.dir/interproc_test.cpp.o.d"
+  "/root/repo/tests/conair/local_writes_test.cpp" "tests/conair/CMakeFiles/conair_test.dir/local_writes_test.cpp.o" "gcc" "tests/conair/CMakeFiles/conair_test.dir/local_writes_test.cpp.o.d"
+  "/root/repo/tests/conair/optimizer_test.cpp" "tests/conair/CMakeFiles/conair_test.dir/optimizer_test.cpp.o" "gcc" "tests/conair/CMakeFiles/conair_test.dir/optimizer_test.cpp.o.d"
+  "/root/repo/tests/conair/regions_test.cpp" "tests/conair/CMakeFiles/conair_test.dir/regions_test.cpp.o" "gcc" "tests/conair/CMakeFiles/conair_test.dir/regions_test.cpp.o.d"
+  "/root/repo/tests/conair/transform_test.cpp" "tests/conair/CMakeFiles/conair_test.dir/transform_test.cpp.o" "gcc" "tests/conair/CMakeFiles/conair_test.dir/transform_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/conair/CMakeFiles/conair_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/conair_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/conair_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/conair_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/conair_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/conair_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/conair_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

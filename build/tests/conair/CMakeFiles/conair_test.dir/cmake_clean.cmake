@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conair_test.dir/driver_invariants_test.cpp.o"
+  "CMakeFiles/conair_test.dir/driver_invariants_test.cpp.o.d"
+  "CMakeFiles/conair_test.dir/end_to_end_test.cpp.o"
+  "CMakeFiles/conair_test.dir/end_to_end_test.cpp.o.d"
+  "CMakeFiles/conair_test.dir/failure_sites_test.cpp.o"
+  "CMakeFiles/conair_test.dir/failure_sites_test.cpp.o.d"
+  "CMakeFiles/conair_test.dir/footnote5_test.cpp.o"
+  "CMakeFiles/conair_test.dir/footnote5_test.cpp.o.d"
+  "CMakeFiles/conair_test.dir/interproc_test.cpp.o"
+  "CMakeFiles/conair_test.dir/interproc_test.cpp.o.d"
+  "CMakeFiles/conair_test.dir/local_writes_test.cpp.o"
+  "CMakeFiles/conair_test.dir/local_writes_test.cpp.o.d"
+  "CMakeFiles/conair_test.dir/optimizer_test.cpp.o"
+  "CMakeFiles/conair_test.dir/optimizer_test.cpp.o.d"
+  "CMakeFiles/conair_test.dir/regions_test.cpp.o"
+  "CMakeFiles/conair_test.dir/regions_test.cpp.o.d"
+  "CMakeFiles/conair_test.dir/transform_test.cpp.o"
+  "CMakeFiles/conair_test.dir/transform_test.cpp.o.d"
+  "conair_test"
+  "conair_test.pdb"
+  "conair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

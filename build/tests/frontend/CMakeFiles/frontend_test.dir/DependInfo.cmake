@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/frontend/codegen_test.cpp" "tests/frontend/CMakeFiles/frontend_test.dir/codegen_test.cpp.o" "gcc" "tests/frontend/CMakeFiles/frontend_test.dir/codegen_test.cpp.o.d"
+  "/root/repo/tests/frontend/lexer_test.cpp" "tests/frontend/CMakeFiles/frontend_test.dir/lexer_test.cpp.o" "gcc" "tests/frontend/CMakeFiles/frontend_test.dir/lexer_test.cpp.o.d"
+  "/root/repo/tests/frontend/parser_test.cpp" "tests/frontend/CMakeFiles/frontend_test.dir/parser_test.cpp.o" "gcc" "tests/frontend/CMakeFiles/frontend_test.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/frontend/semantics_test.cpp" "tests/frontend/CMakeFiles/frontend_test.dir/semantics_test.cpp.o" "gcc" "tests/frontend/CMakeFiles/frontend_test.dir/semantics_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/conair_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/conair_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/conair_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/conair_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/conair_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

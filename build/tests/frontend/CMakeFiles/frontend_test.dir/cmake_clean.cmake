@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_test.dir/codegen_test.cpp.o"
+  "CMakeFiles/frontend_test.dir/codegen_test.cpp.o.d"
+  "CMakeFiles/frontend_test.dir/lexer_test.cpp.o"
+  "CMakeFiles/frontend_test.dir/lexer_test.cpp.o.d"
+  "CMakeFiles/frontend_test.dir/parser_test.cpp.o"
+  "CMakeFiles/frontend_test.dir/parser_test.cpp.o.d"
+  "CMakeFiles/frontend_test.dir/semantics_test.cpp.o"
+  "CMakeFiles/frontend_test.dir/semantics_test.cpp.o.d"
+  "frontend_test"
+  "frontend_test.pdb"
+  "frontend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_test.dir/core_test.cpp.o"
+  "CMakeFiles/ir_test.dir/core_test.cpp.o.d"
+  "CMakeFiles/ir_test.dir/parser_robustness_test.cpp.o"
+  "CMakeFiles/ir_test.dir/parser_robustness_test.cpp.o.d"
+  "CMakeFiles/ir_test.dir/roundtrip_test.cpp.o"
+  "CMakeFiles/ir_test.dir/roundtrip_test.cpp.o.d"
+  "CMakeFiles/ir_test.dir/verifier_test.cpp.o"
+  "CMakeFiles/ir_test.dir/verifier_test.cpp.o.d"
+  "ir_test"
+  "ir_test.pdb"
+  "ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

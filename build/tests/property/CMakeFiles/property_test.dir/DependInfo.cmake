@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/dominator_property_test.cpp" "tests/property/CMakeFiles/property_test.dir/dominator_property_test.cpp.o" "gcc" "tests/property/CMakeFiles/property_test.dir/dominator_property_test.cpp.o.d"
+  "/root/repo/tests/property/program_gen.cpp" "tests/property/CMakeFiles/property_test.dir/program_gen.cpp.o" "gcc" "tests/property/CMakeFiles/property_test.dir/program_gen.cpp.o.d"
+  "/root/repo/tests/property/property_test.cpp" "tests/property/CMakeFiles/property_test.dir/property_test.cpp.o" "gcc" "tests/property/CMakeFiles/property_test.dir/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/conair/CMakeFiles/conair_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/conair_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/conair_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/conair_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/conair_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/conair_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/conair_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_test.dir/interp_basic_test.cpp.o"
+  "CMakeFiles/vm_test.dir/interp_basic_test.cpp.o.d"
+  "CMakeFiles/vm_test.dir/interp_conair_runtime_test.cpp.o"
+  "CMakeFiles/vm_test.dir/interp_conair_runtime_test.cpp.o.d"
+  "CMakeFiles/vm_test.dir/interp_memory_test.cpp.o"
+  "CMakeFiles/vm_test.dir/interp_memory_test.cpp.o.d"
+  "CMakeFiles/vm_test.dir/interp_sched_test.cpp.o"
+  "CMakeFiles/vm_test.dir/interp_sched_test.cpp.o.d"
+  "CMakeFiles/vm_test.dir/interp_threads_test.cpp.o"
+  "CMakeFiles/vm_test.dir/interp_threads_test.cpp.o.d"
+  "CMakeFiles/vm_test.dir/wp_checkpoint_test.cpp.o"
+  "CMakeFiles/vm_test.dir/wp_checkpoint_test.cpp.o.d"
+  "vm_test"
+  "vm_test.pdb"
+  "vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
