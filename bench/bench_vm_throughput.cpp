@@ -1,0 +1,300 @@
+/**
+ * @file
+ * VM execution-engine throughput: pre-decoded engine (with the
+ * scheduler burst fast path and the per-thread memory-handle cache)
+ * versus the reference tree-walking interpreter.
+ *
+ * Unlike the table benches, this one measures *wall-clock* interpreter
+ * speed, not virtual time: both engines execute the identical
+ * instruction stream (the differential tests pin that down), so
+ * steps-per-second is a like-for-like comparison.  Results go to
+ * stdout as a table and to BENCH_vm.json in the working directory.
+ *
+ * Flags:
+ *   --runs N    repetitions per (workload, engine) cell; best-of-N
+ *               wall time is reported (default 3)
+ *   --smoke     shrink workloads for CI: verifies the harness and the
+ *               JSON output without waiting on full-size runs
+ */
+#include "bench/bench_util.h"
+
+#include <chrono>
+#include <fstream>
+
+#include "frontend/compile.h"
+#include "vm/interp.h"
+
+using namespace conair;
+using namespace conair::bench;
+
+namespace {
+
+struct Workload
+{
+    std::string name;
+    std::string source;
+    bool singleThread;
+};
+
+/** Arithmetic + control flow in one thread: the pure dispatch-speed
+ *  case the pre-decoder targets.  (Sources are assembled with string
+ *  concatenation — fmt()'s fixed buffer is too small for them.) */
+std::string
+srcSpin(unsigned outer)
+{
+    return R"(
+int main() {
+    int acc = 0;
+    int i = 0;
+    while (i < )" +
+           std::to_string(outer) + R"() {
+        int j = 0;
+        while (j < 100) {
+            acc = acc + j * 3 - (acc / 7);
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    return acc & 1;
+}
+)";
+}
+
+/** Loads/stores against a local array plus calls: exercises the
+ *  memory-handle cache and the pre-decoded call path. */
+std::string
+srcMemCalls(unsigned outer)
+{
+    return R"(
+int sum8(int seed) {
+    int buf[8];
+    int k = 0;
+    while (k < 8) {
+        buf[k] = seed + k;
+        k = k + 1;
+    }
+    int s = 0;
+    k = 0;
+    while (k < 8) {
+        s = s + buf[k];
+        k = k + 1;
+    }
+    return s;
+}
+int main() {
+    int acc = 0;
+    int i = 0;
+    while (i < )" +
+           std::to_string(outer) + R"() {
+        acc = acc + sum8(i);
+        i = i + 1;
+    }
+    return acc & 1;
+}
+)";
+}
+
+/** Contended increments across four threads: the scheduler burst path
+ *  has to keep its fast-path bookkeeping while switching threads and
+ *  parking on locks. */
+std::string
+srcThreads(unsigned outer)
+{
+    std::string n = std::to_string(outer);
+    return R"(
+mutex m;
+int counter;
+int worker(int n) {
+    int i = 0;
+    while (i < )" +
+           n + R"() {
+        lock(m);
+        counter = counter + 1;
+        unlock(m);
+        i = i + 1;
+    }
+    return 0;
+}
+int main() {
+    int a = spawn(worker, 0);
+    int b = spawn(worker, 0);
+    int c = spawn(worker, 0);
+    int i = 0;
+    while (i < )" +
+           n + R"() {
+        lock(m);
+        counter = counter + 1;
+        unlock(m);
+        i = i + 1;
+    }
+    join(a);
+    join(b);
+    join(c);
+    return 0;
+}
+)";
+}
+
+struct Cell
+{
+    uint64_t steps = 0;
+    double seconds = 0;
+    double stepsPerSec = 0;
+    vm::Outcome outcome = vm::Outcome::Success;
+};
+
+Cell
+measure(const ir::Module &m, vm::VmConfig cfg, unsigned runs)
+{
+    Cell best;
+    for (unsigned r = 0; r < runs; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        vm::RunResult res = vm::runProgram(m, cfg);
+        auto t1 = std::chrono::steady_clock::now();
+        double sec = std::chrono::duration<double>(t1 - t0).count();
+        if (sec <= 0)
+            sec = 1e-9;
+        double sps = double(res.stats.steps) / sec;
+        if (sps > best.stepsPerSec) {
+            best.steps = res.stats.steps;
+            best.seconds = sec;
+            best.stepsPerSec = sps;
+            best.outcome = res.outcome;
+        }
+    }
+    return best;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s)
+        if (c == '"' || c == '\\')
+            out += std::string("\\") + c;
+        else
+            out += c;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned runs = argUnsigned(argc, argv, "--runs", 3);
+    if (runs == 0)
+        runs = 1;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+
+    const unsigned scale = smoke ? 200 : 20000;
+    std::vector<Workload> workloads = {
+        {"spin-loop", srcSpin(scale), true},
+        {"mem+calls", srcMemCalls(scale * 4), true},
+        {"4-thread-locks", srcThreads(scale * 2), false},
+    };
+
+    // The baseline is the reference engine with every hot-path
+    // optimisation off; "decoded" is the production default.
+    vm::VmConfig base;
+    base.seed = 1;
+    base.maxSteps = 1ull << 40;
+
+    vm::VmConfig ref = base;
+    ref.engine = vm::ExecEngine::Reference;
+    ref.schedFastPath = false;
+    ref.memHandleCache = false;
+
+    vm::VmConfig decoded = base;
+    decoded.engine = vm::ExecEngine::Decoded;
+    decoded.schedFastPath = true;
+    decoded.memHandleCache = true;
+
+    std::printf("=== VM engine throughput: pre-decoded vs reference "
+                "(wall clock) ===\n\n");
+
+    Table t({"Workload", "Reference (steps/s)", "Decoded (steps/s)",
+             "Speedup"});
+
+    struct Row
+    {
+        std::string name;
+        bool singleThread;
+        Cell ref, dec;
+    };
+    std::vector<Row> rows;
+
+    for (const Workload &w : workloads) {
+        DiagEngine d;
+        auto m = fe::compileMiniC(w.source, d);
+        if (!m) {
+            std::fprintf(stderr, "compile failed for %s:\n%s\n",
+                         w.name.c_str(), d.str().c_str());
+            return 1;
+        }
+        Row row;
+        row.name = w.name;
+        row.singleThread = w.singleThread;
+        row.ref = measure(*m, ref, runs);
+        row.dec = measure(*m, decoded, runs);
+        if (row.ref.outcome != vm::Outcome::Success ||
+            row.dec.outcome != vm::Outcome::Success ||
+            row.ref.steps != row.dec.steps) {
+            std::fprintf(stderr,
+                         "engine divergence on %s: steps %llu vs %llu\n",
+                         w.name.c_str(),
+                         (unsigned long long)row.ref.steps,
+                         (unsigned long long)row.dec.steps);
+            return 1;
+        }
+        rows.push_back(row);
+        double speedup = row.dec.stepsPerSec / row.ref.stepsPerSec;
+        t.row({row.name, fmt("%.0f", row.ref.stepsPerSec),
+               fmt("%.0f", row.dec.stepsPerSec),
+               fmt("%.2fx", speedup)});
+    }
+    t.print();
+
+    std::ofstream out("BENCH_vm.json");
+    out << "{\n  \"bench\": \"vm_throughput\",\n  \"mode\": \""
+        << (smoke ? "smoke" : "full") << "\",\n  \"runs\": " << runs
+        << ",\n  \"workloads\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        out << "    {\"name\": \"" << jsonEscape(r.name)
+            << "\", \"single_thread\": "
+            << (r.singleThread ? "true" : "false")
+            << ", \"steps\": " << r.ref.steps
+            << ", \"reference_steps_per_sec\": "
+            << fmt("%.0f", r.ref.stepsPerSec)
+            << ", \"decoded_steps_per_sec\": "
+            << fmt("%.0f", r.dec.stepsPerSec) << ", \"speedup\": "
+            << fmt("%.3f", r.dec.stepsPerSec / r.ref.stepsPerSec)
+            << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    out.close();
+    std::printf("\nwrote BENCH_vm.json\n");
+
+    // The decoded engine exists to be faster; hold the single-thread
+    // dispatch workloads to the 2x floor (skipped in smoke mode, where
+    // runs are too short to time meaningfully).
+    if (!smoke) {
+        for (const Row &r : rows) {
+            if (!r.singleThread)
+                continue;
+            double speedup = r.dec.stepsPerSec / r.ref.stepsPerSec;
+            if (speedup < 2.0) {
+                std::fprintf(stderr,
+                             "FAIL: %s speedup %.2fx below the 2x "
+                             "floor\n",
+                             r.name.c_str(), speedup);
+                return 1;
+            }
+        }
+    }
+    return 0;
+}

@@ -42,14 +42,42 @@ class Rng
         return x * 0x2545f4914f6cdd1dull;
     }
 
-    /** Uniform value in [0, bound); bound must be nonzero. */
-    uint64_t range(uint64_t bound) { return next() % bound; }
+    /**
+     * Uniform value in [0, bound); bound must be nonzero.
+     *
+     * Uses Lemire's multiply-shift rejection method (Lemire 2019,
+     * "Fast Random Integer Generation in an Interval"): `next() %
+     * bound` over-represents the low residues whenever 2^64 is not a
+     * multiple of the bound, which skewed scheduler draws toward
+     * low-numbered threads.  The widening multiply maps the raw draw
+     * onto the interval and rejects only the sliver that would bias
+     * it, so every value is exactly equally likely.
+     */
+    uint64_t
+    range(uint64_t bound)
+    {
+        unsigned __int128 m = (unsigned __int128)next() * bound;
+        uint64_t lo = uint64_t(m);
+        if (lo < bound) {
+            uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                m = (unsigned __int128)next() * bound;
+                lo = uint64_t(m);
+            }
+        }
+        return uint64_t(m >> 64);
+    }
 
-    /** Uniform value in [lo, hi] inclusive. */
+    /** Uniform value in [lo, hi] inclusive.  Computes the span in
+     *  unsigned arithmetic so the full-range case (hi - lo spanning
+     *  all of uint64) neither overflows nor passes range() a zero. */
     int64_t
     rangeInclusive(int64_t lo, int64_t hi)
     {
-        return lo + int64_t(range(uint64_t(hi - lo + 1)));
+        uint64_t span = uint64_t(hi) - uint64_t(lo);
+        if (span == UINT64_MAX)
+            return int64_t(next());
+        return int64_t(uint64_t(lo) + range(span + 1));
     }
 
     /** Bernoulli draw with probability num/den. */

@@ -18,6 +18,18 @@ enum class SchedPolicy {
 };
 
 /**
+ * Which execution engine interprets the program.  Both are
+ * deterministic and produce tick-for-tick identical runs (enforced by
+ * tests/vm/decode_diff_test.cpp); Decoded is the production engine,
+ * Reference exists as the differential-testing baseline and for
+ * measuring the decode layer's speedup.
+ */
+enum class ExecEngine : uint8_t {
+    Decoded,   ///< pre-decoded flat arrays (decode.h), default
+    Reference, ///< original IR tree walk (hash per operand resolve)
+};
+
+/**
  * Forces a buggy interleaving: when a thread executes `hint(id)` in
  * MiniC (a SchedHint instruction), it sleeps for @ref delayTicks of
  * virtual time, letting other threads overtake it.  This is the
@@ -44,6 +56,21 @@ struct VmConfig
 {
     SchedPolicy policy = SchedPolicy::Random;
     uint64_t seed = 1;
+
+    /** Execution engine (see ExecEngine). */
+    ExecEngine engine = ExecEngine::Decoded;
+
+    /**
+     * Scheduler fast path: when exactly one thread is runnable and no
+     * sleeper can become due, execute the rest of the quantum in a
+     * burst without re-consulting the scheduler.  Charges the same
+     * clock ticks and RNG draws as stepwise scheduling, so seeded
+     * interleavings are unchanged; off only for engine benchmarking.
+     */
+    bool schedFastPath = true;
+
+    /** Per-thread last-block memory-handle cache (decoded engine). */
+    bool memHandleCache = true;
 
     /** Preemption quantum for RoundRobin / expected run length for
      *  Random (instructions between involuntary switches). */

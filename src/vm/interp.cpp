@@ -11,7 +11,25 @@ using ir::Instruction;
 using ir::Opcode;
 
 namespace {
+
 bool dirtiesWindow(const Instruction &inst);
+
+/** Resolves a pre-decoded operand reference: dense register slot or
+ *  constant-pool entry (decode.h).  kRawRef operands have no runtime
+ *  value; reaching one here is the same misuse the tree-walking
+ *  getValue() diagnoses. */
+inline const RtValue &
+refVal(const std::vector<RtValue> &regs, const std::vector<RtValue> &consts,
+       OpRef r)
+{
+    if (r < kConstRef)
+        return regs[r];
+    if (r == kRawRef)
+        fatal("string/function constants are only valid as direct "
+              "builtin operands");
+    return consts[r & ~kConstRef];
+}
+
 } // namespace
 
 const char *
@@ -33,8 +51,22 @@ Interp::Interp(const ir::Module &m, VmConfig cfg)
     : module_(m), cfg_(cfg), schedRng_(cfg.seed), appRng_(cfg.appSeed),
       chaosRng_(cfg.seed ^ 0x5bd1e995u)
 {
-    for (const DelayRule &r : cfg_.delays)
-        delayByHint_[r.hintId] = r;
+    engineDecoded_ = cfg_.engine == ExecEngine::Decoded;
+
+    // Densify the delay rules: the hot path indexes delayRules_ /
+    // hintFires_ by rule slot, never by hashing the hint id.  A later
+    // rule for the same hint overrides an earlier one (matching the
+    // map-overwrite semantics this replaces).
+    for (const DelayRule &r : cfg_.delays) {
+        auto it = delayIndexByHint_.find(r.hintId);
+        if (it != delayIndexByHint_.end()) {
+            delayRules_[it->second] = r;
+        } else {
+            delayIndexByHint_[r.hintId] = uint32_t(delayRules_.size());
+            delayRules_.push_back(r);
+        }
+    }
+    hintFires_.assign(delayRules_.size(), 0);
 
     // Materialise globals.
     for (const auto &g : m.globals()) {
@@ -59,6 +91,12 @@ Interp::Interp(const ir::Module &m, VmConfig cfg)
         }
         globals_.push_back(std::move(cells));
     }
+
+    // delayRules_ must be complete before decoding: SchedHint records
+    // bake pointers into it.
+    if (engineDecoded_)
+        decoded_ = std::make_unique<DecodedModule>(m, regMaps_, delayRules_,
+                                                   delayIndexByHint_);
 }
 
 Interp::~Interp() = default;
@@ -70,6 +108,9 @@ Interp::~Interp() = default;
 RunResult
 Interp::run()
 {
+    result_.stats.decodedInsts = decoded_ ? decoded_->totalInsts() : 0;
+    result_.stats.hintRulesTracked = hintFires_.size();
+
     const ir::Function *main_fn = module_.findFunction("main");
     if (!main_fn) {
         fail(Outcome::Trap, "no main() function", nullptr);
@@ -78,7 +119,7 @@ Interp::run()
     auto t0 = std::make_unique<Thread>();
     t0->id = 0;
     threads_.push_back(std::move(t0));
-    pushFrame(*threads_[0], main_fn, {}, false, 0);
+    pushFrame(*threads_[0], main_fn, nullptr, 0, false, 0);
     quantumLeft_ = newQuantum();
 
     if (cfg_.wpCheckpointInterval > 0) {
@@ -86,7 +127,8 @@ Interp::run()
         wpNextSnapshotAt_ = cfg_.wpCheckpointInterval;
     }
 
-    uint64_t hang_check_countdown = 1024;
+    const bool canBurst =
+        cfg_.schedFastPath && cfg_.chaosRollbackEveryN == 0;
     while (running_) {
         if (wpPendingRestore_) {
             wpRestore();
@@ -110,18 +152,7 @@ Interp::run()
             }
             continue;
         }
-        Frame &f = t->frames.back();
-        const Instruction &inst = **f.pc;
-        ++f.pc; // terminators re-aim it; calls rely on it pointing past
-        ++clock_;
-        ++result_.stats.steps;
-        execInst(*t, inst);
-
-        if (cfg_.chaosRollbackEveryN > 0 && running_) {
-            if (dirtiesWindow(inst))
-                t->cleanSinceCkpt = false;
-            maybeChaosRollback(*t, inst);
-        }
+        stepThread(*t);
 
         if (result_.stats.steps >= cfg_.maxSteps && running_) {
             // The budget is final: no whole-program rollback can help.
@@ -130,8 +161,8 @@ Interp::run()
             result_.failureMsg = "instruction budget exhausted";
             break;
         }
-        if (--hang_check_countdown == 0) {
-            hang_check_countdown = 1024;
+        if (--hangCheckCountdown_ == 0) {
+            hangCheckCountdown_ = 1024;
             for (const auto &th : threads_) {
                 if (th->state == ThreadState::BlockedLock &&
                     !th->lockHasDeadline &&
@@ -142,9 +173,81 @@ Interp::run()
                 }
             }
         }
+        if (canBurst && running_ && !wpPendingRestore_ && !forceSwitch_ &&
+            !schedEvent_ && quantumLeft_ > 0 &&
+            t->state == ThreadState::Runnable) {
+            runBurst(*t);
+            if (result_.stats.steps >= cfg_.maxSteps && running_) {
+                running_ = false;
+                result_.outcome = Outcome::Timeout;
+                result_.failureMsg = "instruction budget exhausted";
+                break;
+            }
+        }
     }
     result_.clock = clock_;
     return result_;
+}
+
+//
+// Execution core.
+//
+
+void
+Interp::stepThread(Thread &t)
+{
+    Frame &f = t.frames.back();
+    ++clock_;
+    ++result_.stats.steps;
+    if (f.dfn) {
+        const DecodedInst &di = f.dfn->insts[f.dPc];
+        ++f.dPc; // terminators re-aim it; calls rely on it pointing past
+        execDecoded(t, di);
+        if (cfg_.chaosRollbackEveryN > 0 && running_) {
+            if (di.dirties)
+                t.cleanSinceCkpt = false;
+            maybeChaosRollback(t);
+        }
+    } else {
+        const Instruction &inst = **f.pc;
+        ++f.pc;
+        execInst(t, inst);
+        if (cfg_.chaosRollbackEveryN > 0 && running_) {
+            if (dirtiesWindow(inst))
+                t.cleanSinceCkpt = false;
+            maybeChaosRollback(t);
+        }
+    }
+}
+
+void
+Interp::runBurst(Thread &t)
+{
+    // While the current thread keeps its claim on the CPU, the
+    // scheduler's per-step work is all provably no-op:
+    //  - pickThread would take the early-continue (runnable, quantum
+    //    left, no forced switch) and consume no RNG;
+    //  - wakeDue is a no-op while clock_ < the earliest wake deadline,
+    //    and nothing the bursting thread does can create an *earlier*
+    //    deadline without also setting forceSwitch_ (sleep, back-off,
+    //    timed block all park the thread itself);
+    //  - snapshots, the step budget, and the hang-scan cadence are
+    //    step-counted and bounded below.
+    // So a burst retires instructions back-to-back with identical
+    // clock ticks, step counts, and RNG draws as stepwise scheduling.
+    const uint64_t next_wake = nextWakeDeadline();
+    const bool wp = cfg_.wpCheckpointInterval > 0;
+    while (quantumLeft_ > 0 && running_ && !forceSwitch_ &&
+           !schedEvent_ && !wpPendingRestore_ &&
+           t.state == ThreadState::Runnable && clock_ < next_wake &&
+           result_.stats.steps < cfg_.maxSteps &&
+           (!wp || result_.stats.steps < wpNextSnapshotAt_) &&
+           hangCheckCountdown_ > 1) {
+        --quantumLeft_;
+        --hangCheckCountdown_;
+        ++result_.stats.fastPathSteps;
+        stepThread(t);
+    }
 }
 
 //
@@ -152,28 +255,50 @@ Interp::run()
 //
 
 void
-Interp::pushFrame(Thread &t, const ir::Function *fn,
-                  const std::vector<RtValue> &args, bool wants_ret,
-                  uint32_t ret_reg)
+Interp::pushFrame(Thread &t, const ir::Function *fn, const RtValue *args,
+                  unsigned nArgs, bool wants_ret, uint32_t ret_reg,
+                  const DecodedFunction *dfn)
 {
     Frame f;
     f.fn = fn;
-    f.map = &regMaps_.of(fn);
-    f.regs.resize(f.map->count());
-    for (unsigned i = 0; i < args.size(); ++i)
-        f.regs[f.map->indexOf(fn->arg(i))] = args[i];
-    f.block = fn->entry();
-    f.pc = fn->entry()->insts().begin();
     f.wantsRet = wants_ret;
     f.retReg = ret_reg;
+    if (engineDecoded_) {
+        f.dfn = dfn ? dfn : decoded_->of(fn);
+        f.map = nullptr;
+        f.regs.resize(f.dfn->regCount);
+        // RegMap numbers arguments first: argument i is register i.
+        for (unsigned i = 0; i < nArgs; ++i)
+            f.regs[i] = args[i];
+        f.dBlock = 0;
+        // Start at the entry block's phi records (normally none, so
+        // this is its first executable instruction); entering an entry
+        // block that has phis traps exactly like the reference path.
+        f.dPc = f.dfn->blocks.empty() ? 0 : f.dfn->blocks[0].phiBegin;
+        f.dPrevBlock = kNoBlock;
+    } else {
+        f.map = &regMaps_.of(fn);
+        f.regs.resize(f.map->count());
+        for (unsigned i = 0; i < nArgs; ++i)
+            f.regs[f.map->indexOf(fn->arg(i))] = args[i];
+        f.block = fn->entry();
+        f.pc = fn->entry()->insts().begin();
+    }
     t.frames.push_back(std::move(f));
 }
 
 void
 Interp::releaseFrameSlots(Frame &f)
 {
-    for (uint32_t id : f.allocaSlots)
+    for (uint32_t id : f.allocaSlots) {
         stackSlots_.erase(id);
+        // Slot ids are never reused, but a thread may hold a cached
+        // handle to the slot being destroyed; drop it so a later
+        // dangling-pointer access misses the cache and faults.
+        for (auto &th : threads_)
+            if (th->mem.stack && th->mem.stackId == id)
+                th->mem.stack = nullptr;
+    }
 }
 
 void
@@ -188,8 +313,10 @@ Interp::popFrame(Thread &t, RtValue ret)
         // Wake joiners.
         for (auto &other : threads_) {
             if (other->state == ThreadState::Joining &&
-                other->joinTarget == t.id)
+                other->joinTarget == t.id) {
                 other->state = ThreadState::Runnable;
+                schedEvent_ = true;
+            }
         }
         if (t.id == 0)
             finish(t.exitValue);
@@ -201,7 +328,7 @@ Interp::popFrame(Thread &t, RtValue ret)
 }
 
 //
-// Value plumbing.
+// Value plumbing (reference engine).
 //
 
 RtValue
@@ -275,6 +402,53 @@ Interp::jumpTo(Thread &t, const ir::BasicBlock *target)
     }
     for (auto &[inst, v] : updates)
         setReg(f, inst, v);
+}
+
+void
+Interp::jumpToDecoded(Thread &t, uint32_t target)
+{
+    Frame &f = t.frames.back();
+    const DecodedFunction &dfn = *f.dfn;
+    const DecodedBlock &db = dfn.blocks[target];
+    const uint32_t pred = f.dBlock;
+    f.dPrevBlock = pred;
+    f.dBlock = target;
+    f.dPc = db.first;
+    if (db.phiCount == 0)
+        return;
+
+    const PhiEdge *edge = nullptr;
+    for (uint32_t i = 0; i < db.edgeCount; ++i) {
+        const PhiEdge &e = dfn.phiEdges[db.edgeBegin + i];
+        if (e.pred == pred) {
+            edge = &e;
+            break;
+        }
+    }
+    // Walk the phis in order, mirroring the reference path exactly:
+    // every matched phi charges one tick; the first phi without an
+    // edge from this predecessor traps before any copy is applied.
+    // (Edge copy lists are emitted in phi order, so the k-th phi
+    // matches the next unconsumed copy iff the dst slots agree.)
+    phiScratch_.clear();
+    uint32_t j = 0;
+    for (uint32_t k = 0; k < db.phiCount; ++k) {
+        const DecodedInst &ph = dfn.insts[db.phiBegin + k];
+        const PhiCopy *copy = edge && j < edge->count
+                                  ? &dfn.phiCopies[edge->begin + j]
+                                  : nullptr;
+        if (!copy || copy->dst != ph.dst) {
+            fail(Outcome::Trap,
+                 "phi has no incoming edge for predecessor", ph.src);
+            return;
+        }
+        phiScratch_.push_back(refVal(f.regs, dfn.consts, copy->value));
+        ++j;
+        ++clock_;
+        ++result_.stats.steps;
+    }
+    for (uint32_t k = 0; k < db.phiCount; ++k)
+        f.regs[dfn.phiCopies[edge->begin + k].dst] = phiScratch_[k];
 }
 
 //
@@ -360,6 +534,111 @@ Interp::cellAt(Ptr p, const char *what)
     return nullptr;
 }
 
+RtValue *
+Interp::cellAtCached(Thread &t, Ptr p, const char *what)
+{
+    if (!cfg_.memHandleCache)
+        return cellAt(p, what);
+    switch (p.seg) {
+      case Ptr::Seg::Heap: {
+        HeapBlock *hb;
+        if (t.mem.heap && t.mem.heapId == p.block) {
+            ++result_.stats.memCacheHits;
+            hb = t.mem.heap;
+        } else {
+            auto it = heap_.find(p.block);
+            if (it == heap_.end()) {
+                fail(Outcome::Segfault,
+                     strfmt("%s of unknown heap block", what), nullptr);
+                return nullptr;
+            }
+            ++result_.stats.memCacheMisses;
+            // Safe to cache: heap ids are never reused and node
+            // addresses are stable; freed blocks keep their node (the
+            // freed flag is re-checked on every hit).
+            t.mem.heapId = p.block;
+            t.mem.heap = &it->second;
+            hb = &it->second;
+        }
+        if (hb->freed) {
+            fail(Outcome::Segfault, strfmt("%s after free", what),
+                 nullptr);
+            return nullptr;
+        }
+        if (p.offset < 0 || p.offset >= int64_t(hb->cells.size())) {
+            fail(Outcome::Segfault,
+                 strfmt("%s out of heap block bounds", what), nullptr);
+            return nullptr;
+        }
+        return &hb->cells[p.offset];
+      }
+      case Ptr::Seg::Stack: {
+        std::vector<RtValue> *slot;
+        if (t.mem.stack && t.mem.stackId == p.block) {
+            ++result_.stats.memCacheHits;
+            slot = t.mem.stack;
+        } else {
+            auto it = stackSlots_.find(p.block);
+            if (it == stackSlots_.end()) {
+                fail(Outcome::Segfault,
+                     strfmt("%s through dangling stack pointer", what),
+                     nullptr);
+                return nullptr;
+            }
+            ++result_.stats.memCacheMisses;
+            // Destroyed slots invalidate caches eagerly
+            // (releaseFrameSlots), so a cached handle is always live.
+            t.mem.stackId = p.block;
+            t.mem.stack = &it->second;
+            slot = &it->second;
+        }
+        if (p.offset < 0 || p.offset >= int64_t(slot->size())) {
+            fail(Outcome::Segfault,
+                 strfmt("%s out of stack slot bounds", what), nullptr);
+            return nullptr;
+        }
+        return &(*slot)[p.offset];
+      }
+      default:
+        // Null faults; globals are already a direct array index.
+        return cellAt(p, what);
+    }
+}
+
+void
+Interp::finishLoad(Frame &f, uint32_t dstReg, ir::Type type,
+                   const RtValue &cell, const Instruction *site)
+{
+    if (cell.isUninit()) {
+        // Reading a never-written cell yields the zero of the load type.
+        switch (type) {
+          case ir::Type::F64:
+            f.regs[dstReg] = RtValue::ofFloat(0.0);
+            break;
+          case ir::Type::Ptr:
+            f.regs[dstReg] = RtValue::ofPtr(Ptr{});
+            break;
+          default:
+            f.regs[dstReg] = RtValue::ofInt(0, type);
+            break;
+        }
+        return;
+    }
+    bool int_kinds = (cell.kind == ir::Type::I64 ||
+                      cell.kind == ir::Type::I1) &&
+                     (type == ir::Type::I64 || type == ir::Type::I1);
+    if (cell.kind != type && !int_kinds) {
+        fail(Outcome::Trap,
+             strfmt("type-confused load: cell holds %s, load wants %s",
+                    ir::typeName(cell.kind), ir::typeName(type)),
+             site);
+        return;
+    }
+    RtValue v = cell;
+    v.kind = type;
+    f.regs[dstReg] = v;
+}
+
 void
 Interp::doLoad(Thread &t, const Instruction &inst)
 {
@@ -370,35 +649,7 @@ Interp::doLoad(Thread &t, const Instruction &inst)
         result_.failureTag = inst.tag();
         return;
     }
-    if (cell->isUninit()) {
-        // Reading a never-written cell yields the zero of the load type.
-        switch (inst.type()) {
-          case ir::Type::F64:
-            setReg(f, &inst, RtValue::ofFloat(0.0));
-            break;
-          case ir::Type::Ptr:
-            setReg(f, &inst, RtValue::ofPtr(Ptr{}));
-            break;
-          default:
-            setReg(f, &inst, RtValue::ofInt(0, inst.type()));
-            break;
-        }
-        return;
-    }
-    bool int_kinds = (cell->kind == ir::Type::I64 ||
-                      cell->kind == ir::Type::I1) &&
-                     (inst.type() == ir::Type::I64 ||
-                      inst.type() == ir::Type::I1);
-    if (cell->kind != inst.type() && !int_kinds) {
-        fail(Outcome::Trap,
-             strfmt("type-confused load: cell holds %s, load wants %s",
-                    ir::typeName(cell->kind), ir::typeName(inst.type())),
-             &inst);
-        return;
-    }
-    RtValue v = *cell;
-    v.kind = inst.type();
-    setReg(f, &inst, v);
+    finishLoad(f, f.map->indexOf(&inst), inst.type(), *cell, &inst);
 }
 
 void
@@ -410,6 +661,33 @@ Interp::doStore(Thread &t, const Instruction &inst)
     RtValue *cell = cellAt(addr.p, "store");
     if (!cell) {
         result_.failureTag = inst.tag();
+        return;
+    }
+    *cell = v;
+}
+
+void
+Interp::doLoadDecoded(Thread &t, const DecodedInst &di)
+{
+    Frame &f = t.frames.back();
+    const RtValue &addr = refVal(f.regs, f.dfn->consts, di.a);
+    RtValue *cell = cellAtCached(t, addr.p, "load");
+    if (!cell) {
+        result_.failureTag = di.src->tag();
+        return;
+    }
+    finishLoad(f, di.dst, di.type, *cell, di.src);
+}
+
+void
+Interp::doStoreDecoded(Thread &t, const DecodedInst &di)
+{
+    Frame &f = t.frames.back();
+    RtValue v = refVal(f.regs, f.dfn->consts, di.a);
+    const RtValue &addr = refVal(f.regs, f.dfn->consts, di.b);
+    RtValue *cell = cellAtCached(t, addr.p, "store");
+    if (!cell) {
+        result_.failureTag = di.src->tag();
         return;
     }
     *cell = v;
@@ -427,10 +705,10 @@ Interp::mutexAt(CellKey key)
 
 void
 Interp::lockMutex(Thread &t, Ptr p, bool timed, uint64_t timeout,
-                  const Instruction *inst)
+                  uint32_t dstReg, const Instruction *site)
 {
     if (p.isNull()) {
-        fail(Outcome::Segfault, "lock of null mutex", inst);
+        fail(Outcome::Segfault, "lock of null mutex", site);
         return;
     }
     CellKey key{p.seg, p.block, p.offset};
@@ -438,10 +716,15 @@ Interp::lockMutex(Thread &t, Ptr p, bool timed, uint64_t timeout,
     if (m.owner == -1) {
         m.owner = int32_t(t.id);
         t.pendingNote = true;
-        if (timed) {
-            Frame &f = t.frames.back();
-            setReg(f, inst, RtValue::ofInt(0));
-        }
+        if (timed)
+            t.frames.back().regs[dstReg] = RtValue::ofInt(0);
+        return;
+    }
+    if (timed && timeout == 0) {
+        // Zero timeout is a try-lock: a contended acquisition reports
+        // the timeout immediately instead of parking the thread on an
+        // already-expired deadline for a scheduling round.
+        t.frames.back().regs[dstReg] = RtValue::ofInt(1);
         return;
     }
     // Contended (or recursive, which deadlocks like a default pthread
@@ -449,15 +732,20 @@ Interp::lockMutex(Thread &t, Ptr p, bool timed, uint64_t timeout,
     m.waiters.push_back(t.id);
     t.state = ThreadState::BlockedLock;
     t.lockKey = key;
-    t.blockedAt = inst;
+    t.blockedAt = site;
     t.blockStart = clock_;
     t.lockHasDeadline = timed;
-    t.wakeAt = timed ? clock_ + timeout : 0;
     if (timed) {
-        Frame &f = t.frames.back();
-        t.lockResultReg = f.map->indexOf(inst);
+        // Saturate instead of wrapping: an enormous timeout must mean
+        // "wait forever", not a deadline in the past.
+        // Saturate instead of wrapping: an enormous timeout must mean
+        // "wait forever", not a deadline in the past.
+        uint64_t deadline = clock_ + timeout;
+        t.wakeAt = deadline < clock_ ? UINT64_MAX : deadline;
+        t.lockResultReg = dstReg;
         t.lockWantsResult = true;
     } else {
+        t.wakeAt = 0;
         t.lockWantsResult = false;
     }
     forceSwitch_ = true;
@@ -475,6 +763,7 @@ Interp::grantLock(MutexState &m)
         m.owner = int32_t(wid);
         w.state = ThreadState::Runnable;
         w.pendingNote = true;
+        schedEvent_ = true;
         if (w.lockWantsResult) {
             w.frames.back().regs[w.lockResultReg] = RtValue::ofInt(0);
             w.lockWantsResult = false;
@@ -503,7 +792,7 @@ Interp::unlockMutex(Thread &t, Ptr p, bool compensation)
 }
 
 //
-// Instruction dispatch.
+// Instruction dispatch (reference engine).
 //
 
 void
@@ -681,15 +970,17 @@ Interp::execInst(Thread &t, const Instruction &inst)
         fail(Outcome::Trap, "unreachable executed", &inst);
         break;
       case Opcode::SchedHint: {
-        auto it = delayByHint_.find(inst.hintId());
-        if (it != delayByHint_.end() && it->second.delayTicks > 0) {
-            uint64_t &fired = hintFires_[inst.hintId()];
-            if (it->second.maxFires == 0 ||
-                fired < it->second.maxFires) {
-                ++fired;
-                t.state = ThreadState::Sleeping;
-                t.wakeAt = clock_ + it->second.delayTicks;
-                forceSwitch_ = true;
+        auto it = delayIndexByHint_.find(inst.hintId());
+        if (it != delayIndexByHint_.end()) {
+            const DelayRule &r = delayRules_[it->second];
+            if (r.delayTicks > 0) {
+                uint64_t &fired = hintFires_[it->second];
+                if (r.maxFires == 0 || fired < r.maxFires) {
+                    ++fired;
+                    t.state = ThreadState::Sleeping;
+                    t.wakeAt = clock_ + r.delayTicks;
+                    forceSwitch_ = true;
+                }
             }
         }
         break;
@@ -706,28 +997,277 @@ Interp::execInst(Thread &t, const Instruction &inst)
 void
 Interp::execCall(Thread &t, const Instruction &inst)
 {
+    Frame &f = t.frames.back();
     if (inst.callee()) {
-        Frame &f = t.frames.back();
-        std::vector<RtValue> args;
-        for (unsigned i = 0; i < inst.numOperands(); ++i)
-            args.push_back(getValue(f, inst.operand(i)));
+        RtValue argbuf[8];
+        std::vector<RtValue> heap_args;
+        RtValue *args = argbuf;
+        unsigned n = inst.numOperands();
+        if (n > 8) {
+            heap_args.resize(n);
+            args = heap_args.data();
+        }
+        for (unsigned i = 0; i < n; ++i)
+            args[i] = getValue(f, inst.operand(i));
         bool wants = inst.producesValue();
         uint32_t ret_reg = wants ? f.map->indexOf(&inst) : 0;
-        pushFrame(t, inst.callee(), args, wants, ret_reg);
+        pushFrame(t, inst.callee(), args, n, wants, ret_reg);
         return;
     }
-    if (ir::builtinIsConAir(inst.builtin())) {
-        execConAir(t, inst);
-        return;
+    // Builtin: pre-fetch the runtime-valued operands (string/function
+    // constants have none; the handlers read those through the
+    // instruction, exactly like the decoded engine).
+    RtValue vals[4] = {};
+    unsigned n = std::min(inst.numOperands(), 4u);
+    for (unsigned i = 0; i < n; ++i) {
+        ir::ValueKind k = inst.operand(i)->kind();
+        if (k != ir::ValueKind::ConstStr && k != ir::ValueKind::FuncAddr)
+            vals[i] = getValue(f, inst.operand(i));
     }
-    execBuiltin(t, inst);
+    uint32_t dst_reg = inst.producesValue() ? f.map->indexOf(&inst) : 0;
+    if (ir::builtinIsConAir(inst.builtin()))
+        execConAir(t, inst, vals, dst_reg);
+    else
+        execBuiltin(t, inst, vals, dst_reg);
+}
+
+//
+// Instruction dispatch (decoded engine).
+//
+
+void
+Interp::execDecoded(Thread &t, const DecodedInst &di)
+{
+    Frame &f = t.frames.back();
+    const DecodedFunction &dfn = *f.dfn;
+    auto val = [&](OpRef r) -> const RtValue & {
+        return refVal(f.regs, dfn.consts, r);
+    };
+
+    switch (di.op) {
+      case Opcode::Alloca: {
+        uint32_t id = nextSlotId_++;
+        stackSlots_[id] = std::vector<RtValue>(size_t(di.imm));
+        f.allocaSlots.push_back(id);
+        f.regs[di.dst] = RtValue::ofPtr(Ptr{Ptr::Seg::Stack, id, 0});
+        break;
+      }
+      case Opcode::Load:
+        doLoadDecoded(t, di);
+        break;
+      case Opcode::Store:
+        doStoreDecoded(t, di);
+        break;
+      case Opcode::PtrAdd: {
+        RtValue p = val(di.a);
+        p.p.offset += val(di.b).i;
+        f.regs[di.dst] = p;
+        break;
+      }
+      case Opcode::Add:
+        f.regs[di.dst] = RtValue::ofInt(
+            int64_t(uint64_t(val(di.a).i) + uint64_t(val(di.b).i)));
+        break;
+      case Opcode::Sub:
+        f.regs[di.dst] = RtValue::ofInt(
+            int64_t(uint64_t(val(di.a).i) - uint64_t(val(di.b).i)));
+        break;
+      case Opcode::Mul:
+        f.regs[di.dst] = RtValue::ofInt(
+            int64_t(uint64_t(val(di.a).i) * uint64_t(val(di.b).i)));
+        break;
+      case Opcode::SDiv: {
+        int64_t d = val(di.b).i;
+        if (d == 0) {
+            fail(Outcome::Trap, "division by zero", di.src);
+            break;
+        }
+        int64_t a = val(di.a).i;
+        if (d == -1 && a == INT64_MIN) {
+            f.regs[di.dst] = RtValue::ofInt(INT64_MIN); // wraps
+            break;
+        }
+        f.regs[di.dst] = RtValue::ofInt(a / d);
+        break;
+      }
+      case Opcode::SRem: {
+        int64_t d = val(di.b).i;
+        if (d == 0) {
+            fail(Outcome::Trap, "remainder by zero", di.src);
+            break;
+        }
+        f.regs[di.dst] =
+            RtValue::ofInt(d == -1 ? 0 : val(di.a).i % d);
+        break;
+      }
+      case Opcode::And:
+        f.regs[di.dst] = RtValue::ofInt(val(di.a).i & val(di.b).i);
+        break;
+      case Opcode::Or:
+        f.regs[di.dst] = RtValue::ofInt(val(di.a).i | val(di.b).i);
+        break;
+      case Opcode::Xor:
+        f.regs[di.dst] = RtValue::ofInt(val(di.a).i ^ val(di.b).i);
+        break;
+      case Opcode::Shl:
+        f.regs[di.dst] = RtValue::ofInt(int64_t(
+            uint64_t(val(di.a).i) << (uint64_t(val(di.b).i) & 63)));
+        break;
+      case Opcode::Shr:
+        f.regs[di.dst] =
+            RtValue::ofInt(val(di.a).i >> (uint64_t(val(di.b).i) & 63));
+        break;
+      case Opcode::FAdd:
+        f.regs[di.dst] = RtValue::ofFloat(val(di.a).f + val(di.b).f);
+        break;
+      case Opcode::FSub:
+        f.regs[di.dst] = RtValue::ofFloat(val(di.a).f - val(di.b).f);
+        break;
+      case Opcode::FMul:
+        f.regs[di.dst] = RtValue::ofFloat(val(di.a).f * val(di.b).f);
+        break;
+      case Opcode::FDiv:
+        f.regs[di.dst] = RtValue::ofFloat(val(di.a).f / val(di.b).f);
+        break;
+      case Opcode::ICmpEq:
+      case Opcode::ICmpNe: {
+        const RtValue &a = val(di.a);
+        const RtValue &b = val(di.b);
+        bool eq = (a.kind == ir::Type::Ptr || b.kind == ir::Type::Ptr)
+                      ? a.p == b.p
+                      : a.i == b.i;
+        f.regs[di.dst] =
+            RtValue::ofBool(di.op == Opcode::ICmpEq ? eq : !eq);
+        break;
+      }
+      case Opcode::ICmpSlt:
+        f.regs[di.dst] = RtValue::ofBool(val(di.a).i < val(di.b).i);
+        break;
+      case Opcode::ICmpSle:
+        f.regs[di.dst] = RtValue::ofBool(val(di.a).i <= val(di.b).i);
+        break;
+      case Opcode::ICmpSgt:
+        f.regs[di.dst] = RtValue::ofBool(val(di.a).i > val(di.b).i);
+        break;
+      case Opcode::ICmpSge:
+        f.regs[di.dst] = RtValue::ofBool(val(di.a).i >= val(di.b).i);
+        break;
+      case Opcode::FCmpEq:
+        f.regs[di.dst] = RtValue::ofBool(val(di.a).f == val(di.b).f);
+        break;
+      case Opcode::FCmpNe:
+        f.regs[di.dst] = RtValue::ofBool(val(di.a).f != val(di.b).f);
+        break;
+      case Opcode::FCmpLt:
+        f.regs[di.dst] = RtValue::ofBool(val(di.a).f < val(di.b).f);
+        break;
+      case Opcode::FCmpLe:
+        f.regs[di.dst] = RtValue::ofBool(val(di.a).f <= val(di.b).f);
+        break;
+      case Opcode::FCmpGt:
+        f.regs[di.dst] = RtValue::ofBool(val(di.a).f > val(di.b).f);
+        break;
+      case Opcode::FCmpGe:
+        f.regs[di.dst] = RtValue::ofBool(val(di.a).f >= val(di.b).f);
+        break;
+      case Opcode::SiToFp:
+        f.regs[di.dst] = RtValue::ofFloat(double(val(di.a).i));
+        break;
+      case Opcode::FpToSi:
+        f.regs[di.dst] = RtValue::ofInt(int64_t(val(di.a).f));
+        break;
+      case Opcode::Zext:
+        f.regs[di.dst] = RtValue::ofInt(val(di.a).i != 0 ? 1 : 0);
+        break;
+      case Opcode::Phi:
+        // Phi records are consumed by jumpToDecoded(); reaching one
+        // here means entry into a block without a jump.
+        fail(Outcome::Trap, "phi executed outside a block transfer",
+             di.src);
+        break;
+      case Opcode::Br:
+        jumpToDecoded(t, di.t0);
+        break;
+      case Opcode::CondBr:
+        jumpToDecoded(t, val(di.a).i != 0 ? di.t0 : di.t1);
+        break;
+      case Opcode::Ret: {
+        RtValue ret;
+        if (di.nOps)
+            ret = val(di.a);
+        popFrame(t, ret);
+        break;
+      }
+      case Opcode::Unreachable:
+        fail(Outcome::Trap, "unreachable executed", di.src);
+        break;
+      case Opcode::SchedHint:
+        if (di.delay && di.delay->delayTicks > 0) {
+            uint64_t &fired = hintFires_[di.delayIndex];
+            if (di.delay->maxFires == 0 || fired < di.delay->maxFires) {
+                ++fired;
+                t.state = ThreadState::Sleeping;
+                t.wakeAt = clock_ + di.delay->delayTicks;
+                forceSwitch_ = true;
+            }
+        }
+        break;
+      case Opcode::Call:
+        execCallDecoded(t, di);
+        break;
+      default:
+        fail(Outcome::Trap, "unimplemented opcode", di.src);
+        break;
+    }
 }
 
 void
-Interp::execBuiltin(Thread &t, const Instruction &inst)
+Interp::execCallDecoded(Thread &t, const DecodedInst &di)
 {
     Frame &f = t.frames.back();
-    auto val = [&](unsigned i) { return getValue(f, inst.operand(i)); };
+    const DecodedFunction &dfn = *f.dfn;
+    auto ref = [&](unsigned i) -> OpRef {
+        return i == 0   ? di.a
+               : i == 1 ? di.b
+                        : dfn.extraOps[di.extra + (i - 2)];
+    };
+
+    if (di.callee) {
+        RtValue argbuf[8];
+        std::vector<RtValue> heap_args;
+        RtValue *args = argbuf;
+        if (di.nOps > 8) {
+            heap_args.resize(di.nOps);
+            args = heap_args.data();
+        }
+        for (unsigned i = 0; i < di.nOps; ++i)
+            args[i] = refVal(f.regs, dfn.consts, ref(i));
+        pushFrame(t, di.callee, args, di.nOps, di.hasDst, di.dst,
+                  di.calleeDfn);
+        return;
+    }
+    RtValue vals[4] = {};
+    unsigned n = std::min<unsigned>(di.nOps, 4);
+    for (unsigned i = 0; i < n; ++i) {
+        OpRef r = ref(i);
+        if (r != kRawRef)
+            vals[i] = refVal(f.regs, dfn.consts, r);
+    }
+    if (ir::builtinIsConAir(di.builtin))
+        execConAir(t, *di.src, vals, di.dst);
+    else
+        execBuiltin(t, *di.src, vals, di.dst);
+}
+
+//
+// Builtins (shared between the engines: operands arrive pre-fetched,
+// the result slot is a dense register index).
+//
+
+void
+Interp::execBuiltin(Thread &t, const Instruction &inst,
+                    const RtValue *vals, uint32_t dstReg)
+{
     auto str_arg = [&](unsigned i) -> const std::string & {
         auto *s = static_cast<const ir::ConstStr *>(inst.operand(i));
         return module_.strAt(s->id());
@@ -736,18 +1276,19 @@ Interp::execBuiltin(Thread &t, const Instruction &inst)
     switch (inst.builtin()) {
       case Builtin::ThreadCreate: {
         auto *fa = static_cast<const ir::FuncAddr *>(inst.operand(0));
-        RtValue arg = val(1);
+        RtValue arg = vals[1];
         auto nt = std::make_unique<Thread>();
-        nt->id = threads_.size();
+        nt->id = uint32_t(threads_.size());
         uint32_t tid = nt->id;
         threads_.push_back(std::move(nt));
-        pushFrame(*threads_[tid], fa->function(), {arg}, false, 0);
+        pushFrame(*threads_[tid], fa->function(), &arg, 1, false, 0);
         ++result_.stats.threadsSpawned;
-        setReg(f, &inst, RtValue::ofInt(tid));
+        schedEvent_ = true;
+        t.frames.back().regs[dstReg] = RtValue::ofInt(tid);
         break;
       }
       case Builtin::ThreadJoin: {
-        int64_t tid = val(0).i;
+        int64_t tid = vals[0].i;
         if (tid < 0 || tid >= int64_t(threads_.size())) {
             fail(Outcome::Trap, "join of unknown thread", &inst);
             break;
@@ -761,24 +1302,26 @@ Interp::execBuiltin(Thread &t, const Instruction &inst)
         break;
       }
       case Builtin::MutexLock:
-        lockMutex(t, val(0).p, false, 0, &inst);
+        lockMutex(t, vals[0].p, false, 0, dstReg, &inst);
         break;
       case Builtin::MutexTimedLock:
-        lockMutex(t, val(0).p, true, uint64_t(val(1).i), &inst);
+        lockMutex(t, vals[0].p, true, uint64_t(vals[1].i), dstReg,
+                  &inst);
         break;
       case Builtin::MutexUnlock:
-        unlockMutex(t, val(0).p, false);
+        unlockMutex(t, vals[0].p, false);
         break;
       case Builtin::Malloc: {
-        int64_t n = std::max<int64_t>(val(0).i, 0);
+        int64_t n = std::max<int64_t>(vals[0].i, 0);
         uint32_t id = nextHeapId_++;
         heap_[id] = HeapBlock{std::vector<RtValue>(n), false};
         t.pendingNote = true;
-        setReg(f, &inst, RtValue::ofPtr(Ptr{Ptr::Seg::Heap, id, 0}));
+        t.frames.back().regs[dstReg] =
+            RtValue::ofPtr(Ptr{Ptr::Seg::Heap, id, 0});
         break;
       }
       case Builtin::Free: {
-        Ptr p = val(0).p;
+        Ptr p = vals[0].p;
         if (p.isNull())
             break; // free(NULL) is a no-op
         if (p.seg != Ptr::Seg::Heap || p.offset != 0) {
@@ -795,10 +1338,10 @@ Interp::execBuiltin(Thread &t, const Instruction &inst)
         break;
       }
       case Builtin::PrintI64:
-        result_.output += strfmt("%lld", (long long)val(0).i);
+        result_.output += strfmt("%lld", (long long)vals[0].i);
         break;
       case Builtin::PrintF64:
-        result_.output += strfmt("%g", val(0).f);
+        result_.output += strfmt("%g", vals[0].f);
         break;
       case Builtin::PrintStr:
         result_.output += str_arg(0);
@@ -810,13 +1353,14 @@ Interp::execBuiltin(Thread &t, const Instruction &inst)
         fail(Outcome::OracleFail, str_arg(0), &inst);
         break;
       case Builtin::Time:
-        setReg(f, &inst, RtValue::ofInt(int64_t(clock_) + 1));
+        t.frames.back().regs[dstReg] =
+            RtValue::ofInt(int64_t(clock_) + 1);
         break;
       case Builtin::Yield:
         forceSwitch_ = true;
         break;
       case Builtin::Sleep: {
-        int64_t n = val(0).i;
+        int64_t n = vals[0].i;
         if (n > 0) {
             t.state = ThreadState::Sleeping;
             t.wakeAt = clock_ + uint64_t(n);
@@ -825,11 +1369,9 @@ Interp::execBuiltin(Thread &t, const Instruction &inst)
         break;
       }
       case Builtin::RandInt: {
-        int64_t bound = val(0).i;
-        setReg(f, &inst,
-               RtValue::ofInt(bound > 0
-                                  ? int64_t(appRng_.range(bound))
-                                  : 0));
+        int64_t bound = vals[0].i;
+        t.frames.back().regs[dstReg] = RtValue::ofInt(
+            bound > 0 ? int64_t(appRng_.range(bound)) : 0);
         break;
       }
       default:
@@ -852,6 +1394,9 @@ Interp::doCheckpoint(Thread &t, const Instruction &inst)
     t.ckpt.block = f.block;
     t.ckpt.pc = f.pc; // already advanced: resumes right after setjmp
     t.ckpt.prevBlock = f.prevBlock;
+    t.ckpt.dBlock = f.dBlock;
+    t.ckpt.dPc = f.dPc;
+    t.ckpt.dPrevBlock = f.dPrevBlock;
     t.ckpt.locals.clear();
     if (inst.builtin() == Builtin::CaCheckpointLocals) {
         // The Fig 4 "regions with local-variable writes" point: the
@@ -878,7 +1423,8 @@ Interp::doCheckpoint(Thread &t, const Instruction &inst)
 namespace {
 
 /** Would executing @p inst end the current idempotent window?  The
- *  mirror of ca::destroysIdempotency, used by chaos injection. */
+ *  mirror of ca::destroysIdempotency, used by chaos injection (the
+ *  decoded engine bakes this into DecodedInst::dirties). */
 bool
 dirtiesWindow(const Instruction &inst)
 {
@@ -937,6 +1483,9 @@ Interp::restoreCheckpoint(Thread &t)
     target.block = t.ckpt.block;
     target.pc = t.ckpt.pc;
     target.prevBlock = t.ckpt.prevBlock;
+    target.dBlock = t.ckpt.dBlock;
+    target.dPc = t.ckpt.dPc;
+    target.dPrevBlock = t.ckpt.dPrevBlock;
     for (const auto &[id, cells] : t.ckpt.locals) {
         auto it = stackSlots_.find(id);
         if (it != stackSlots_.end())
@@ -947,10 +1496,8 @@ Interp::restoreCheckpoint(Thread &t)
 }
 
 void
-Interp::doTryRollback(Thread &t, const Instruction &inst)
+Interp::doTryRollback(Thread &t, const Instruction &inst, int64_t site_id)
 {
-    Frame &f = t.frames.back();
-    int64_t site_id = getValue(f, inst.operand(0)).i;
     if (!t.ckpt.valid || t.retryCount >= cfg_.maxRetries)
         return; // give up: fall through to the original failure
 
@@ -971,9 +1518,8 @@ Interp::doTryRollback(Thread &t, const Instruction &inst)
 }
 
 void
-Interp::maybeChaosRollback(Thread &t, const Instruction &inst)
+Interp::maybeChaosRollback(Thread &t)
 {
-    (void)inst;
     if (t.state != ThreadState::Runnable)
         return; // never yank a thread parked in a waiter queue
     if (!t.ckpt.valid || !t.cleanSinceCkpt || t.pendingNote)
@@ -990,18 +1536,16 @@ Interp::maybeChaosRollback(Thread &t, const Instruction &inst)
 }
 
 void
-Interp::execConAir(Thread &t, const Instruction &inst)
+Interp::execConAir(Thread &t, const Instruction &inst,
+                   const RtValue *vals, uint32_t dstReg)
 {
-    Frame &f = t.frames.back();
-    auto val = [&](unsigned i) { return getValue(f, inst.operand(i)); };
-
     switch (inst.builtin()) {
       case Builtin::CaCheckpoint:
       case Builtin::CaCheckpointLocals:
         doCheckpoint(t, inst);
         break;
       case Builtin::CaTryRollback:
-        doTryRollback(t, inst);
+        doTryRollback(t, inst, vals[0].i);
         break;
       case Builtin::CaBackoff: {
         uint64_t ticks = 1 + schedRng_.range(cfg_.backoffMax);
@@ -1013,7 +1557,7 @@ Interp::execConAir(Thread &t, const Instruction &inst)
       }
       case Builtin::CaNoteAlloc: {
         t.pendingNote = false;
-        Ptr p = val(0).p;
+        Ptr p = vals[0].p;
         if (p.seg != Ptr::Seg::Heap)
             break;
         // Lazy clean (paper §4.1): entries from older epochs are stale.
@@ -1025,7 +1569,7 @@ Interp::execConAir(Thread &t, const Instruction &inst)
       }
       case Builtin::CaNoteLock: {
         t.pendingNote = false;
-        Ptr p = val(0).p;
+        Ptr p = vals[0].p;
         std::erase_if(t.lockLog, [&](const CompensationEntry &e) {
             return e.epoch != t.epoch;
         });
@@ -1034,13 +1578,14 @@ Interp::execConAir(Thread &t, const Instruction &inst)
         break;
       }
       case Builtin::CaPtrCheck:
-        setReg(f, &inst, RtValue::ofBool(pointerValid(val(0).p)));
+        t.frames.back().regs[dstReg] =
+            RtValue::ofBool(pointerValid(vals[0].p));
         break;
       case Builtin::CaRecovered: {
         // Zero-cost measurement hook: refund the step accounting.
         --clock_;
         --result_.stats.steps;
-        int64_t site_id = val(0).i;
+        int64_t site_id = vals[0].i;
         if (t.episode.active && t.episode.siteId == site_id) {
             RecoveryEvent ev;
             ev.siteTag = t.episode.siteTag;
@@ -1073,13 +1618,8 @@ Interp::newQuantum()
 Interp::Thread *
 Interp::pickThread()
 {
-    std::vector<uint32_t> runnable;
-    for (const auto &t : threads_)
-        if (t->state == ThreadState::Runnable)
-            runnable.push_back(t->id);
-    if (runnable.empty())
-        return nullptr;
-
+    schedEvent_ = false;
+    // Fast path: the current thread keeps the CPU (no RNG, no scan).
     Thread *cur = currentTid_ < threads_.size()
                       ? threads_[currentTid_].get()
                       : nullptr;
@@ -1088,19 +1628,26 @@ Interp::pickThread()
         --quantumLeft_;
         return cur;
     }
+
+    runnableScratch_.clear();
+    for (const auto &t : threads_)
+        if (t->state == ThreadState::Runnable)
+            runnableScratch_.push_back(t->id);
+    if (runnableScratch_.empty())
+        return nullptr;
     forceSwitch_ = false;
 
     uint32_t chosen;
     if (cfg_.policy == SchedPolicy::RoundRobin) {
-        chosen = runnable[0];
-        for (uint32_t tid : runnable) {
+        chosen = runnableScratch_[0];
+        for (uint32_t tid : runnableScratch_) {
             if (tid > currentTid_) {
                 chosen = tid;
                 break;
             }
         }
     } else {
-        chosen = runnable[schedRng_.range(runnable.size())];
+        chosen = runnableScratch_[schedRng_.range(runnableScratch_.size())];
     }
     currentTid_ = chosen;
     quantumLeft_ = newQuantum() - 1;
@@ -1129,27 +1676,28 @@ Interp::wakeDue()
     }
 }
 
-bool
-Interp::advanceSleepers()
+uint64_t
+Interp::nextWakeDeadline() const
 {
     uint64_t min_wake = UINT64_MAX;
     for (const auto &t : threads_) {
-        if (t->state == ThreadState::Sleeping)
-            min_wake = std::min(min_wake, t->wakeAt);
-        else if (t->state == ThreadState::BlockedLock &&
-                 t->lockHasDeadline)
+        if (t->state == ThreadState::Sleeping ||
+            (t->state == ThreadState::BlockedLock && t->lockHasDeadline))
             min_wake = std::min(min_wake, t->wakeAt);
     }
+    return min_wake;
+}
+
+bool
+Interp::advanceSleepers()
+{
+    uint64_t min_wake = nextWakeDeadline();
     if (min_wake == UINT64_MAX)
         return false;
     clock_ = std::max(clock_, min_wake);
     wakeDue();
     return true;
 }
-
-//
-// Termination.
-//
 
 //
 // Whole-program checkpoint baseline.
@@ -1216,6 +1764,12 @@ Interp::wpRestore()
     threads_.clear();
     for (const Thread &t : snap.threads)
         threads_.push_back(std::make_unique<Thread>(t));
+    // The restore rewound nextSlotId_/nextHeapId_, so block ids CAN be
+    // reused from here on and replaced the maps wholesale: every cached
+    // memory handle is invalid.  This is the only place that needs a
+    // wholesale cache flush.
+    for (auto &t : threads_)
+        t->mem = MemCache{};
     nextHeapId_ = snap.nextHeapId;
     nextSlotId_ = snap.nextSlotId;
     currentTid_ = snap.currentTid;
@@ -1229,6 +1783,10 @@ Interp::wpRestore()
     ++result_.stats.wpRecoveries;
     wpPendingRestore_ = false;
 }
+
+//
+// Termination.
+//
 
 void
 Interp::fail(Outcome o, const std::string &msg, const Instruction *site)

@@ -11,6 +11,17 @@
  *  - the ConAir runtime intrinsics (checkpoint / rollback /
  *    compensation / back-off) are implemented natively — the moral
  *    equivalent of the paper's setjmp/longjmp register-image library.
+ *
+ * Two execution engines share all of the VM's semantics (memory, locks,
+ * scheduling, the ConAir runtime) and differ only in how a single
+ * instruction is fetched and its operands resolved:
+ *  - ExecEngine::Decoded (default) runs the pre-decoded flat arrays
+ *    built at construction (see decode.h), with a per-thread last-block
+ *    memory-handle cache and a single-runnable scheduler fast path;
+ *  - ExecEngine::Reference walks the IR tree exactly like the original
+ *    interpreter (hash per operand, pointer chasing per branch).
+ * Both engines are deterministic and tick-for-tick identical; the
+ * differential tests in tests/vm/decode_diff_test.cpp enforce it.
  */
 #pragma once
 
@@ -24,6 +35,7 @@
 #include "ir/module.h"
 #include "support/rng.h"
 #include "vm/config.h"
+#include "vm/decode.h"
 #include "vm/regmap.h"
 #include "vm/stats.h"
 #include "vm/value.h"
@@ -44,11 +56,17 @@ class Interp
     struct Frame
     {
         const ir::Function *fn;
-        const RegMap *map;
+        const RegMap *map; ///< reference engine only
         std::vector<RtValue> regs;
-        const ir::BasicBlock *block;
+        // Reference engine position (IR tree walk).
+        const ir::BasicBlock *block = nullptr;
         ir::BasicBlock::InstList::const_iterator pc;
         const ir::BasicBlock *prevBlock = nullptr;
+        // Decoded engine position (flat indices).
+        const DecodedFunction *dfn = nullptr;
+        uint32_t dBlock = 0;
+        uint32_t dPc = 0;
+        uint32_t dPrevBlock = kNoBlock;
         std::vector<uint32_t> allocaSlots;
         uint32_t retReg = 0; ///< caller register receiving the result
         bool wantsRet = false;
@@ -64,6 +82,9 @@ class Interp
         const ir::BasicBlock *block = nullptr;
         ir::BasicBlock::InstList::const_iterator pc;
         const ir::BasicBlock *prevBlock = nullptr;
+        uint32_t dBlock = 0;
+        uint32_t dPc = 0;
+        uint32_t dPrevBlock = kNoBlock;
 
         /** Fig 4 "local writes" design point: saved copies of the
          *  frame's alloca storage (empty for plain checkpoints). */
@@ -93,6 +114,27 @@ class Interp
         Done,
     };
 
+    struct HeapBlock
+    {
+        std::vector<RtValue> cells;
+        bool freed = false;
+    };
+
+    /**
+     * Per-thread last-block memory-handle cache: repeated loads/stores
+     * to the same heap/stack block skip the unordered_map find().
+     * Valid because heap/stack ids are never reused and map nodes are
+     * address-stable; the only wholesale map replacement (wpRestore)
+     * clears every cache.  See docs/VM_ENGINE.md.
+     */
+    struct MemCache
+    {
+        uint32_t heapId = 0;
+        HeapBlock *heap = nullptr;
+        uint32_t stackId = 0;
+        std::vector<RtValue> *stack = nullptr;
+    };
+
     struct Thread
     {
         uint32_t id;
@@ -107,6 +149,8 @@ class Interp
         uint32_t joinTarget = 0;
         int64_t exitValue = 0;
         const ir::Instruction *blockedAt = nullptr; ///< lock site
+
+        MemCache mem;
 
         // ConAir per-thread runtime state (paper §3.3, §4.1).
         Checkpoint ckpt;
@@ -135,34 +179,53 @@ class Interp
         std::deque<uint32_t> waiters;
     };
 
-    struct HeapBlock
-    {
-        std::vector<RtValue> cells;
-        bool freed = false;
-    };
-
     //
     // Execution.
     //
 
+    /** Fetches and executes one instruction of @p t, charging the
+     *  clock/step accounting (shared by both engines and by the
+     *  scheduler fast path). */
+    void stepThread(Thread &t);
+
+    // Reference engine (IR tree walk).
     void execInst(Thread &t, const ir::Instruction &inst);
-    void execCall(Thread &t, const ir::Instruction &inst);
-    void execBuiltin(Thread &t, const ir::Instruction &inst);
-    void execConAir(Thread &t, const ir::Instruction &inst);
     RtValue getValue(Frame &f, const ir::Value *v);
     void setReg(Frame &f, const ir::Instruction *inst, RtValue v);
     void jumpTo(Thread &t, const ir::BasicBlock *target);
+
+    // Decoded engine (flat arrays).
+    void execDecoded(Thread &t, const DecodedInst &di);
+    void execCallDecoded(Thread &t, const DecodedInst &di);
+    void jumpToDecoded(Thread &t, uint32_t target);
+    void doLoadDecoded(Thread &t, const DecodedInst &di);
+    void doStoreDecoded(Thread &t, const DecodedInst &di);
+
+    // Shared call/builtin plumbing: operands are pre-fetched RtValues,
+    // @p dstReg is the dense result slot (valid when the instruction
+    // produces a value); @p inst supplies string/function constants,
+    // tags, and diagnostics.
+    void execCall(Thread &t, const ir::Instruction &inst);
+    void execBuiltin(Thread &t, const ir::Instruction &inst,
+                     const RtValue *vals, uint32_t dstReg);
+    void execConAir(Thread &t, const ir::Instruction &inst,
+                    const RtValue *vals, uint32_t dstReg);
     void pushFrame(Thread &t, const ir::Function *fn,
-                   const std::vector<RtValue> &args, bool wants_ret,
-                   uint32_t ret_reg);
+                   const RtValue *args, unsigned nArgs, bool wants_ret,
+                   uint32_t ret_reg,
+                   const DecodedFunction *dfn = nullptr);
     void popFrame(Thread &t, RtValue ret);
     void releaseFrameSlots(Frame &f);
+    void finishLoad(Frame &f, uint32_t dstReg, ir::Type type,
+                    const RtValue &cell, const ir::Instruction *site);
 
     //
     // Memory.
     //
 
     RtValue *cellAt(Ptr p, const char *what);
+    /** cellAt with the per-thread block-handle cache (decoded engine). */
+    RtValue *cellAtCached(Thread &t, Ptr p, const char *what);
     bool pointerValid(Ptr p) const;
     void doStore(Thread &t, const ir::Instruction &inst);
     void doLoad(Thread &t, const ir::Instruction &inst);
@@ -173,7 +236,7 @@ class Interp
 
     MutexState &mutexAt(CellKey key);
     void lockMutex(Thread &t, Ptr p, bool timed, uint64_t timeout,
-                   const ir::Instruction *inst);
+                   uint32_t dstReg, const ir::Instruction *site);
     void unlockMutex(Thread &t, Ptr p, bool compensation);
     void grantLock(MutexState &m);
 
@@ -182,10 +245,11 @@ class Interp
     //
 
     void doCheckpoint(Thread &t, const ir::Instruction &inst);
-    void doTryRollback(Thread &t, const ir::Instruction &inst);
+    void doTryRollback(Thread &t, const ir::Instruction &inst,
+                       int64_t site_id);
     void runCompensation(Thread &t);
     void restoreCheckpoint(Thread &t);
-    void maybeChaosRollback(Thread &t, const ir::Instruction &inst);
+    void maybeChaosRollback(Thread &t);
 
     //
     // Failure / termination.
@@ -204,6 +268,12 @@ class Interp
     void wakeDue();
     bool advanceSleepers();
     uint64_t newQuantum();
+    /** Earliest wake deadline of any sleeper / timed lock. */
+    uint64_t nextWakeDeadline() const;
+    /** Drains the rest of the current quantum without consulting the
+     *  scheduler while @p t is the only runnable thread.  Preserves
+     *  clock ticks, step counts, and RNG draws exactly. */
+    void runBurst(Thread &t);
 
     //
     // Whole-program checkpoint baseline (Rx/ASSURE stand-in).
@@ -246,9 +316,19 @@ class Interp
     Rng schedRng_;
     Rng appRng_;
     Rng chaosRng_;
-    std::unordered_map<uint64_t, DelayRule> delayByHint_;
-    /** Per-hint fire counts; deliberately NOT part of WpSnapshot. */
-    std::unordered_map<uint64_t, uint64_t> hintFires_;
+
+    /** Configured delay rules, densely indexed; the hot path and the
+     *  fire counters use the index, never a map (a SchedHint without a
+     *  rule allocates nothing). */
+    std::vector<DelayRule> delayRules_;
+    std::unordered_map<uint64_t, uint32_t> delayIndexByHint_;
+    /** Per-rule fire counts; deliberately NOT part of WpSnapshot. */
+    std::vector<uint64_t> hintFires_;
+
+    /** The pre-decoded module (built for both engines; the reference
+     *  engine simply ignores it). */
+    std::unique_ptr<DecodedModule> decoded_;
+    bool engineDecoded_ = true;
 
     // Memory.
     std::vector<std::vector<RtValue>> globals_;
@@ -263,6 +343,13 @@ class Interp
     uint32_t currentTid_ = 0;
     uint64_t quantumLeft_ = 0;
     bool forceSwitch_ = false;
+    /** Set whenever a thread becomes runnable outside the scheduler
+     *  (lock grant, join wake, spawn); ends a fast-path burst. */
+    bool schedEvent_ = false;
+    uint32_t lastRunnableCount_ = 0;
+    uint64_t hangCheckCountdown_ = 1024;
+    std::vector<uint32_t> runnableScratch_; ///< pickThread, reused
+    std::vector<RtValue> phiScratch_;       ///< phi parallel copies
 
     // Clock and result.
     uint64_t clock_ = 0;

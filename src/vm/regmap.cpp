@@ -6,6 +6,13 @@ namespace conair::vm {
 
 RegMap::RegMap(const ir::Function &f)
 {
+    size_t values = f.numArgs();
+    for (const auto &bb : f.blocks())
+        values += bb->insts().size();
+    index_.reserve(values);
+    // Arguments first — argument i IS register i, an invariant the
+    // pre-decoded call path relies on to seed callee frames without
+    // looking anything up (see Interp::pushFrame).
     for (unsigned i = 0; i < f.numArgs(); ++i)
         index_[f.arg(i)] = count_++;
     for (const auto &bb : f.blocks())

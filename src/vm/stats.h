@@ -66,6 +66,16 @@ struct RunStats
 
     /** Rollbacks injected by the chaos mode (idempotency testing). */
     uint64_t chaosRollbacks = 0;
+
+    /// @{ Execution-engine counters (decode layer + hot-path caches).
+    /// Engine-internal: excluded from the cross-engine differential
+    /// comparison, which checks semantic state only.
+    uint64_t decodedInsts = 0;   ///< instruction records decoded up front
+    uint64_t fastPathSteps = 0;  ///< steps retired in single-runnable bursts
+    uint64_t memCacheHits = 0;   ///< loads/stores served by the handle cache
+    uint64_t memCacheMisses = 0;
+    uint64_t hintRulesTracked = 0; ///< fire-count slots (== configured rules)
+    /// @}
 };
 
 /** Everything a run returns. */

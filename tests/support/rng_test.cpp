@@ -49,5 +49,76 @@ TEST(Rng, ZeroSeedIsUsable)
     EXPECT_NE(r.next(), 0u);
 }
 
+TEST(Rng, RangeIsUnbiasedForHugeBounds)
+{
+    // Regression: `next() % bound` over-represents low residues.  For
+    // bound = 3 * 2^62, the low quarter of the range used to come up
+    // with probability 1/2 instead of 1/3 — a 50 % skew, not a
+    // rounding error.  Lemire rejection sampling must put the
+    // empirical rate back at 1/3.
+    const uint64_t bound = 3ull << 62;
+    const uint64_t quarter = 1ull << 62;
+    Rng r(1234);
+    int low = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        low += r.range(bound) < quarter;
+    double frac = double(low) / n;
+    EXPECT_NEAR(frac, 1.0 / 3.0, 0.02)
+        << "modulo bias: low residues over-represented";
+}
+
+TEST(Rng, RangeNearMaxBoundStaysUniform)
+{
+    // bound = 2^63 + 1 is the worst case for modulo reduction (almost
+    // half the raw draws used to land on doubled residues).  Check the
+    // top/bottom halves balance.
+    const uint64_t bound = (1ull << 63) + 1;
+    Rng r(77);
+    int high = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        high += r.range(bound) >= (1ull << 62);
+    double frac = double(high) / n;
+    EXPECT_NEAR(frac, 0.5, 0.02);
+}
+
+TEST(Rng, RangeInclusiveFullSpanDoesNotDivideByZero)
+{
+    // Regression: rangeInclusive(INT64_MIN, INT64_MAX) computed
+    // hi - lo + 1 == 0 and handed range() a zero bound (modulo by
+    // zero).  The full span must instead return the raw draw.
+    Rng r(5);
+    bool neg = false, pos = false;
+    for (int i = 0; i < 256; ++i) {
+        int64_t v = r.rangeInclusive(INT64_MIN, INT64_MAX);
+        neg |= v < 0;
+        pos |= v >= 0;
+    }
+    EXPECT_TRUE(neg);
+    EXPECT_TRUE(pos);
+}
+
+TEST(Rng, RangeInclusiveWideSpansStayInBounds)
+{
+    Rng r(6);
+    for (int i = 0; i < 512; ++i) {
+        int64_t v = r.rangeInclusive(INT64_MIN + 1, INT64_MAX - 1);
+        EXPECT_GT(v, INT64_MIN);
+        EXPECT_LT(v, INT64_MAX);
+    }
+    for (int i = 0; i < 512; ++i) {
+        int64_t v = r.rangeInclusive(0, INT64_MAX);
+        EXPECT_GE(v, 0);
+    }
+}
+
+TEST(Rng, RangeBoundOneIsAlwaysZero)
+{
+    Rng r(8);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(r.range(1), 0u);
+}
+
 } // namespace
 } // namespace conair

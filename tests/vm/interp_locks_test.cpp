@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Regression tests for timed-lock edge cases and scheduler-hint
+ * accounting.
+ *
+ * Two historic bugs are pinned here:
+ *  - timedlock(m, 0) used to park the thread on an already-expired
+ *    deadline, surrendering the CPU for a whole scheduling round
+ *    before the timeout was delivered;
+ *  - a timeout large enough to wrap the virtual-clock deadline used to
+ *    produce a deadline in the past, i.e. an instant spurious timeout
+ *    where "wait practically forever" was requested.
+ */
+#include <gtest/gtest.h>
+
+#include "tests/vm/vm_test_util.h"
+
+namespace conair::vm {
+namespace {
+
+using testutil::runC;
+
+TEST(InterpLocks, ZeroTimeoutTimedLockIsAnImmediateTryLock)
+{
+    // The holder spins (stays runnable) while owning the mutex.  A
+    // zero-timeout acquisition must report the timeout to the caller
+    // immediately: if it parks the thread even briefly, the scheduler
+    // hands the spinner a full quantum first and the measured wait
+    // explodes past the bound.
+    RunResult r = runC(R"(
+mutex m;
+int stop;
+int holder(int x) {
+    lock(m);
+    int spins = 0;
+    while (stop == 0) {
+        spins = spins + 1;
+    }
+    unlock(m);
+    return spins;
+}
+int main() {
+    int t = spawn(holder, 0);
+    hint(2);
+    int before = time();
+    int rc = timedlock(m, 0);
+    int waited = time() - before;
+    stop = 1;
+    join(t);
+    if (rc != 1) { return 100; }
+    if (waited > 50) { return 101; }
+    return 0;
+}
+)",
+                       [] {
+                           VmConfig cfg;
+                           cfg.policy = SchedPolicy::RoundRobin;
+                           cfg.quantum = 10000;
+                           cfg.delays = {{2, 200}};
+                           return cfg;
+                       }());
+    EXPECT_EQ(r.outcome, Outcome::Success);
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(InterpLocks, ZeroTimeoutOnAFreeMutexStillAcquires)
+{
+    RunResult r = runC(R"(
+mutex m;
+int main() {
+    int rc = timedlock(m, 0);
+    if (rc != 0) { return 1; }
+    unlock(m);
+    return 0;
+}
+)");
+    EXPECT_EQ(r.outcome, Outcome::Success);
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(InterpLocks, HugeTimeoutWaitsInsteadOfWrappingIntoThePast)
+{
+    // timeout = -1 reaches the VM as 2^64-1 ticks; the deadline must
+    // saturate ("wait forever"), not wrap around the virtual clock
+    // into an instant timeout.  The holder releases after its delay,
+    // so the waiter must eventually acquire (rc == 0).
+    RunResult r = runC(R"(
+mutex m;
+int holder(int x) {
+    lock(m);
+    hint(1);
+    unlock(m);
+    return 0;
+}
+int main() {
+    int t = spawn(holder, 0);
+    hint(2);
+    int forever = -1;
+    int rc = timedlock(m, forever);
+    if (rc == 0) { unlock(m); }
+    join(t);
+    return rc;
+}
+)",
+                       [] {
+                           VmConfig cfg;
+                           cfg.delays = {{1, 3000}, {2, 500}};
+                           return cfg;
+                       }());
+    EXPECT_EQ(r.outcome, Outcome::Success);
+    EXPECT_EQ(r.exitCode, 0) << "spurious timeout from a wrapped deadline";
+}
+
+TEST(InterpLocks, SaturatedDeadlineStillHangChecksAsADeadlock)
+{
+    // A saturated deadline must not exempt the thread from deadlock
+    // detection semantics: if nobody ever unlocks, the run terminates
+    // via the sleeper fast-forward delivering the (astronomically
+    // late) timeout rather than spinning the VM forever.  What matters
+    // is termination with the timeout result, not a hang.
+    RunResult r = runC(R"(
+mutex m;
+int holder(int x) {
+    lock(m);
+    int spins = 0;
+    while (spins >= 0) {
+        spins = spins + 1;
+    }
+    unlock(m);
+    return 0;
+}
+int main() {
+    int t = spawn(holder, 0);
+    hint(2);
+    int forever = -1;
+    int rc = timedlock(m, forever);
+    return rc;
+}
+)",
+                       [] {
+                           VmConfig cfg;
+                           cfg.delays = {{2, 200}};
+                           cfg.maxSteps = 200'000;
+                           return cfg;
+                       }());
+    // The spinner burns the step budget: the run times out, it does
+    // not crash or wrap into a bogus early wake.
+    EXPECT_EQ(r.outcome, Outcome::Timeout);
+}
+
+TEST(InterpHints, UnconfiguredHintsAllocateNoTracking)
+{
+    // Hint fire-counting is per configured delay rule, not per hint id
+    // seen at run time: a program spraying unique hint ids must not
+    // grow any accounting structure.
+    RunResult r = runC(R"(
+int main() {
+    int i = 0;
+    while (i < 500) {
+        hint(3);
+        hint(4);
+        hint(5);
+        hint(6);
+        i = i + 1;
+    }
+    return 0;
+}
+)",
+                       [] {
+                           VmConfig cfg;
+                           cfg.delays = {{7, 50}}; // never executed
+                           return cfg;
+                       }());
+    EXPECT_EQ(r.outcome, Outcome::Success);
+    EXPECT_EQ(r.stats.hintRulesTracked, 1u);
+}
+
+TEST(InterpHints, NoRulesMeansNoTracking)
+{
+    RunResult r = runC(R"(
+int main() {
+    hint(1);
+    hint(2);
+    return 0;
+}
+)");
+    EXPECT_EQ(r.outcome, Outcome::Success);
+    EXPECT_EQ(r.stats.hintRulesTracked, 0u);
+}
+
+TEST(InterpHints, DuplicateRulesForOneHintCollapseToTheLast)
+{
+    // Two rules for the same hint id: the later one wins (map-override
+    // semantics), and only one tracking slot exists for the pair.
+    RunResult r = runC(R"(
+int main() {
+    hint(1);
+    return 0;
+}
+)",
+                       [] {
+                           VmConfig cfg;
+                           cfg.policy = SchedPolicy::RoundRobin;
+                           cfg.delays = {{1, 9000}, {1, 40}};
+                           return cfg;
+                       }());
+    EXPECT_EQ(r.outcome, Outcome::Success);
+    EXPECT_EQ(r.stats.hintRulesTracked, 1u);
+    // The 40-tick rule fired, not the 9000-tick one.
+    EXPECT_LT(r.clock, 1000u);
+    EXPECT_GE(r.clock, 40u);
+}
+
+} // namespace
+} // namespace conair::vm
