@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Schedule-exploration campaign over the ten bug kernels: PCT and
+ * preemption-bounded search rediscover each kernel's buggy
+ * interleaving without the hand-scripted trigger delays, while the
+ * differential recovery oracle checks every explored schedule three
+ * ways (unhardened fails-or-passes, hardened always recovers,
+ * Decoded == Reference tick for tick).  See docs/EXPLORATION.md.
+ *
+ * Results go to stdout and to BENCH_explore.json in the working
+ * directory.  The exit code is the oracle verdict: nonzero on any
+ * engine divergence or unrecovered hardened failure (and, outside
+ * smoke mode, on a kernel whose failure was never rediscovered).
+ *
+ * Flags:
+ *   --seeds N     seeds per (policy, depth) entry (default 250; the
+ *                 default matrix has 4 entries -> 1000 schedules per
+ *                 kernel, 10k per campaign)
+ *   --workers N   worker threads (default 4)
+ *   --apps a,b    comma-separated kernel subset (default: all ten)
+ *   --smoke       CI mode: small seed counts, stop after the first
+ *                 failing schedule per kernel, skip the rediscovery
+ *                 exit-code gate
+ *   --no-speedup  skip the 1-worker vs N-worker speedup measurement
+ *   --policies L  comma-separated policy axis, e.g. "pct:d3,pb:d2,random"
+ *                 (default: pct:d2,pct:d3,pb:d2,random)
+ *   --repro APP TOKEN
+ *                 re-run one schedule (token from a campaign report,
+ *                 e.g. "pct:d3:s17") and print the full differential
+ *                 detail for it
+ */
+#include "bench/bench_util.h"
+
+#include <fstream>
+#include <thread>
+
+#include "explore/campaign.h"
+
+using namespace conair;
+using namespace conair::apps;
+using namespace conair::bench;
+using namespace conair::explore;
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s)
+        if (c == '"' || c == '\\')
+            out += std::string("\\") + c;
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    return out;
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s + ",") {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    return out;
+}
+
+const char *
+argString(int argc, char **argv, const char *flag, const char *def)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    return def;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
+int
+runRepro(const std::string &appName, const std::string &token)
+{
+    const AppSpec *spec = findApp(appName);
+    if (!spec) {
+        std::fprintf(stderr, "unknown app '%s'\n", appName.c_str());
+        return 2;
+    }
+    ScheduleSpec s;
+    if (!parseScheduleToken(token, s)) {
+        std::fprintf(stderr, "bad schedule token '%s'\n",
+                     token.c_str());
+        return 2;
+    }
+    CampaignApp app = prepareCampaignApp(*spec);
+    Target target = campaignTarget(app);
+    CampaignOptions opts;
+    ScheduleOutcome o = runOneSchedule(target, s, opts);
+
+    std::printf("=== repro %s %s ===\n", appName.c_str(),
+                token.c_str());
+    std::printf("unhardened: %s%s%s  (%llu steps)\n",
+                vm::outcomeName(o.unhardened),
+                o.unhardenedTag.empty() ? "" : " @ ",
+                o.unhardenedTag.c_str(), (unsigned long long)o.steps);
+    std::printf("  correct: %s  inconclusive: %s\n",
+                o.unhardenedCorrect ? "yes" : "no",
+                o.unhardenedInconclusive ? "yes" : "no");
+    if (o.hardenedRan)
+        std::printf("hardened:   %s  correct: %s  chaos: %s "
+                    "(%llu chaos rollbacks)\n",
+                    vm::outcomeName(o.hardened),
+                    o.hardenedCorrect ? "yes" : "no",
+                    o.chaos ? "on" : "off",
+                    (unsigned long long)o.chaosRollbacks);
+    if (o.diverged)
+        std::printf("ENGINE DIVERGENCE: %s\n", o.divergenceMsg.c_str());
+    else
+        std::printf("engines: Decoded == Reference (tick-identical)\n");
+    return o.diverged ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (hasFlag(argc, argv, "--repro")) {
+        // --repro APP TOKEN: the two operands follow the flag.
+        const char *app = nullptr, *tok = nullptr;
+        for (int i = 1; i < argc; ++i)
+            if (std::strcmp(argv[i], "--repro") == 0 && i + 2 < argc) {
+                app = argv[i + 1];
+                tok = argv[i + 2];
+            }
+        if (!app || !tok) {
+            std::fprintf(stderr,
+                         "usage: bench_explore --repro APP TOKEN\n");
+            return 2;
+        }
+        return runRepro(app, tok);
+    }
+
+    const bool smoke = hasFlag(argc, argv, "--smoke");
+    const bool doSpeedup = !hasFlag(argc, argv, "--no-speedup");
+    unsigned seeds =
+        argUnsigned(argc, argv, "--seeds", smoke ? 40 : 250);
+    unsigned workers = argUnsigned(argc, argv, "--workers", 4);
+
+    std::vector<std::string> names =
+        splitList(argString(argc, argv, "--apps", ""));
+    if (names.empty())
+        for (const AppSpec &a : allApps())
+            names.push_back(a.name);
+
+    std::printf("=== schedule-exploration campaign (%s) ===\n\n",
+                smoke ? "smoke" : "full");
+    std::printf("preparing %zu kernels...\n", names.size());
+
+    std::vector<CampaignApp> prepared;
+    std::vector<Target> targets;
+    prepared.reserve(names.size());
+    for (const std::string &n : names) {
+        const AppSpec *spec = findApp(n);
+        if (!spec) {
+            std::fprintf(stderr, "unknown app '%s'\n", n.c_str());
+            return 2;
+        }
+        prepared.push_back(prepareCampaignApp(*spec));
+    }
+    for (const CampaignApp &app : prepared)
+        targets.push_back(campaignTarget(app));
+
+    CampaignOptions opts;
+    opts.seedsPerPolicy = seeds;
+    opts.workers = workers;
+    std::string policyList = argString(argc, argv, "--policies", "");
+    if (!policyList.empty()) {
+        opts.policies.clear();
+        for (const std::string &p : splitList(policyList)) {
+            ScheduleSpec s;
+            if (!parseScheduleToken(p + ":s1", s)) {
+                std::fprintf(stderr, "bad policy '%s'\n", p.c_str());
+                return 2;
+            }
+            opts.policies.push_back({s.policy, s.depth});
+        }
+    }
+    if (smoke) {
+        // CI cares about the oracle plumbing, not exhaustiveness.
+        opts.stopAfterFailures = 1;
+        opts.maxSteps = 2'000'000;
+    }
+
+    std::printf("campaign: %zu kernels x %zu policies x %u seeds, "
+                "%u workers\n\n",
+                targets.size(), opts.policies.size(),
+                opts.seedsPerPolicy, opts.workers);
+
+    CampaignReport rep = runCampaign(targets, opts);
+    std::printf("%s\n", rep.summary().c_str());
+
+    // Parallel speedup: a fixed sub-campaign, 1 worker vs N.  The
+    // measurement is honest about the host: with fewer hardware
+    // threads than workers (CI containers are often single-core) the
+    // workers time-slice one core and the ratio hovers near 1.0, so
+    // hw_threads is recorded alongside for interpretation.
+    unsigned hw = std::thread::hardware_concurrency();
+    double speedup = 0, base_sps = 0, par_sps = 0;
+    if (doSpeedup) {
+        CampaignOptions sopts = opts;
+        sopts.seedsPerPolicy = smoke ? 6 : 25;
+        sopts.policies = {{vm::SchedPolicy::Pct, 3}};
+        sopts.stopAfterFailures = 0;
+        std::vector<Target> sub(targets.begin(),
+                                targets.begin() +
+                                    std::min<size_t>(targets.size(), 2));
+        sopts.workers = 1;
+        CampaignReport r1 = runCampaign(sub, sopts);
+        sopts.workers = workers;
+        CampaignReport rn = runCampaign(sub, sopts);
+        base_sps = r1.schedulesPerSec;
+        par_sps = rn.schedulesPerSec;
+        if (base_sps > 0)
+            speedup = par_sps / base_sps;
+        std::printf("parallel speedup (%u workers vs 1): %.2fx "
+                    "(%.1f -> %.1f sched/s, %u hardware threads)\n\n",
+                    workers, speedup, base_sps, par_sps, hw);
+    }
+
+    // BENCH_explore.json.
+    std::ofstream out("BENCH_explore.json");
+    out << "{\n  \"bench\": \"explore\",\n  \"mode\": \""
+        << (smoke ? "smoke" : "full") << "\",\n  \"workers\": "
+        << workers << ",\n  \"hw_threads\": " << hw
+        << ",\n  \"seeds_per_policy\": " << seeds
+        << ",\n  \"schedules\": " << rep.schedules
+        << ",\n  \"vm_runs\": " << rep.vmRuns
+        << ",\n  \"total_steps\": " << rep.totalSteps
+        << ",\n  \"seconds\": " << fmt("%.3f", rep.seconds)
+        << ",\n  \"schedules_per_sec\": "
+        << fmt("%.1f", rep.schedulesPerSec)
+        << ",\n  \"divergences\": " << rep.divergences
+        << ",\n  \"unrecovered\": " << rep.unrecovered
+        << ",\n  \"speedup\": {\"workers\": " << workers
+        << ", \"baseline_sched_per_sec\": " << fmt("%.1f", base_sps)
+        << ", \"parallel_sched_per_sec\": " << fmt("%.1f", par_sps)
+        << ", \"speedup\": " << fmt("%.2f", speedup)
+        << "},\n  \"kernels\": [\n";
+    for (size_t i = 0; i < rep.targets.size(); ++i) {
+        const TargetReport &tr = rep.targets[i];
+        out << "    {\"name\": \"" << jsonEscape(tr.name)
+            << "\", \"schedules\": " << tr.schedules
+            << ", \"skipped\": " << tr.skipped
+            << ", \"failing_schedules\": " << tr.failingSchedules
+            << ", \"inconclusive\": " << tr.inconclusive
+            << ", \"distinct_failure_tags\": " << tr.failureTags.size()
+            << ", \"first_failure\": \""
+            << (tr.foundFailure
+                    ? jsonEscape(tr.firstFailure.token())
+                    : std::string())
+            << "\", \"first_failure_seed_budget\": "
+            << tr.firstFailureSeedBudget
+            << ", \"divergences\": " << tr.divergences
+            << ", \"unrecovered\": " << tr.unrecovered
+            << ", \"hardened_inconclusive\": " << tr.hardenedInconclusive
+            << ", \"chaos_runs\": " << tr.chaosRuns
+            << ", \"chaos_rollbacks\": " << tr.chaosRollbacks << "}"
+            << (i + 1 < rep.targets.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    out.close();
+    std::printf("wrote BENCH_explore.json\n");
+
+    // The oracle verdict gates the exit code.
+    int rc = 0;
+    if (rep.divergences > 0) {
+        std::fprintf(stderr, "FAIL: %llu engine divergences\n",
+                     (unsigned long long)rep.divergences);
+        rc = 1;
+    }
+    if (rep.unrecovered > 0) {
+        std::fprintf(stderr, "FAIL: %llu unrecovered hardened "
+                             "failures\n",
+                     (unsigned long long)rep.unrecovered);
+        rc = 1;
+    }
+    if (!smoke) {
+        for (const TargetReport &tr : rep.targets)
+            if (!tr.foundFailure) {
+                std::fprintf(stderr,
+                             "FAIL: %s: no failing schedule found\n",
+                             tr.name.c_str());
+                rc = 1;
+            }
+    }
+    return rc;
+}

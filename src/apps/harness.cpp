@@ -107,6 +107,44 @@ runRecoveryTrial(const PreparedApp &p, unsigned n)
     return trial;
 }
 
+CampaignApp
+prepareCampaignApp(const AppSpec &app)
+{
+    CampaignApp c;
+    c.spec = &app;
+    HardenOptions plain;
+    plain.applyConAir = false;
+    c.plain = prepareApp(app, plain);
+    c.hardened = prepareApp(app, HardenOptions{});
+    return c;
+}
+
+explore::Target
+campaignTarget(const CampaignApp &app)
+{
+    explore::Target t;
+    t.name = app.spec->name;
+    t.plain = app.plain.module.get();
+    t.hardened = app.hardened.module.get();
+    t.expectedOutput = app.spec->expectedOutput;
+    t.expectedExit = app.spec->expectedExit;
+    t.checkOutput = true;
+    t.mustRecover = true;
+    // Sample change points across the program's natural length, and
+    // keep the Random policy's jitter close to the forcing quantum the
+    // kernel was tuned with.
+    t.horizon = explore::calibrateHorizon(*app.plain.module, 50'000'000);
+    t.quantum = std::max<uint64_t>(app.spec->buggyConfig.quantum, 1);
+    return t;
+}
+
+vm::RunResult
+runUnderSchedule(const PreparedApp &p, vm::VmConfig cfg)
+{
+    cfg.delays.clear();
+    return vm::runProgram(*p.module, cfg);
+}
+
 std::vector<std::string>
 observedFailureTags(const AppSpec &app)
 {

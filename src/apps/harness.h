@@ -11,6 +11,7 @@
 
 #include "apps/app_spec.h"
 #include "conair/driver.h"
+#include "explore/campaign.h"
 #include "ir/module.h"
 #include "vm/interp.h"
 
@@ -75,6 +76,45 @@ RecoveryTrial runRecoveryTrial(const PreparedApp &p, unsigned n);
  */
 double measureOverhead(const AppSpec &app, const HardenOptions &opts,
                        unsigned runs);
+
+/**
+ * @name Campaign entry points (schedule exploration, src/explore/)
+ *
+ * A campaign needs the unhardened and the hardened build of one kernel
+ * side by side, plus the correctness expectations and a calibrated
+ * PCT horizon.  These helpers bridge the registry to the exploration
+ * engine; bench_explore and the campaign tests are built on them.
+ * @{
+ */
+
+/** The two builds of one kernel a campaign compares. */
+struct CampaignApp
+{
+    const AppSpec *spec = nullptr;
+    PreparedApp plain;    ///< unhardened build
+    PreparedApp hardened; ///< survival-mode ConAir build
+};
+
+/** Compiles both campaign builds of @p app. */
+CampaignApp prepareCampaignApp(const AppSpec &app);
+
+/**
+ * Converts a prepared kernel into an exploration target: wires both
+ * modules, the expected output/exit, the mustRecover oracle (all ten
+ * kernels recover under full survival hardening), and a PCT horizon
+ * calibrated from a clean run.  The CampaignApp must outlive the
+ * returned target (modules are borrowed).
+ */
+explore::Target campaignTarget(const CampaignApp &app);
+
+/**
+ * Runs @p p under an explicit scheduler configuration with the app's
+ * hand-scripted trigger delays stripped — campaign schedules must
+ * find the buggy interleavings themselves.
+ */
+vm::RunResult runUnderSchedule(const PreparedApp &p, vm::VmConfig cfg);
+
+/** @} */
 
 /**
  * The failure-site tags a developer would observe from one failing run

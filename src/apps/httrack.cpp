@@ -65,7 +65,9 @@ int fetch_page(int url) {
     int robots = opt[1];
     assert(depth_limit > 0);
     if (robots && url % 7 == 0) {
+        lock(qlock);
         robots_blocked = robots_blocked + 1;
+        unlock(qlock);
         return 0;
     }
     int links = parse_page(url, size);

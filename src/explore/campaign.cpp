@@ -1,0 +1,410 @@
+#include "explore/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <thread>
+
+#include "ir/module.h"
+#include "support/str.h"
+#include "vm/interp.h"
+
+namespace conair::explore {
+
+//
+// ScheduleSpec.
+//
+
+void
+ScheduleSpec::applyTo(vm::VmConfig &cfg) const
+{
+    cfg.policy = policy;
+    cfg.seed = seed;
+    if (policy == vm::SchedPolicy::Pct)
+        cfg.pctDepth = std::max<uint32_t>(depth, 1);
+    else if (policy == vm::SchedPolicy::PreemptBound)
+        cfg.preemptBound = depth;
+}
+
+std::string
+ScheduleSpec::token() const
+{
+    const char *name = vm::schedPolicyName(policy);
+    if (policy == vm::SchedPolicy::Pct ||
+        policy == vm::SchedPolicy::PreemptBound)
+        return strfmt("%s:d%u:s%llu", name, depth,
+                      (unsigned long long)seed);
+    return strfmt("%s:s%llu", name, (unsigned long long)seed);
+}
+
+bool
+parseScheduleToken(const std::string &tok, ScheduleSpec &out)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : tok + ":") {
+        if (c == ':') {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (parts.empty())
+        return false;
+
+    ScheduleSpec s;
+    size_t next = 1;
+    if (parts[0] == "pct")
+        s.policy = vm::SchedPolicy::Pct;
+    else if (parts[0] == "pb")
+        s.policy = vm::SchedPolicy::PreemptBound;
+    else if (parts[0] == "random")
+        s.policy = vm::SchedPolicy::Random;
+    else if (parts[0] == "rr")
+        s.policy = vm::SchedPolicy::RoundRobin;
+    else
+        return false;
+
+    s.depth = 0;
+    bool sawSeed = false;
+    for (; next < parts.size(); ++next) {
+        const std::string &p = parts[next];
+        if (p.size() < 2)
+            return false;
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(p.c_str() + 1, &end, 10);
+        if (!end || *end != '\0')
+            return false;
+        if (p[0] == 'd')
+            s.depth = uint32_t(v);
+        else if (p[0] == 's') {
+            s.seed = v;
+            sawSeed = true;
+        } else
+            return false;
+    }
+    if (!sawSeed)
+        return false;
+    if ((s.policy == vm::SchedPolicy::Pct ||
+         s.policy == vm::SchedPolicy::PreemptBound) &&
+        s.depth == 0)
+        return false;
+    out = s;
+    return true;
+}
+
+std::string
+reproCommand(const std::string &app, const ScheduleSpec &s)
+{
+    return "./build/bench/bench_explore --repro " + app + " " +
+           s.token();
+}
+
+//
+// One schedule, all legs.
+//
+
+namespace {
+
+bool
+correctRun(const Target &t, const vm::RunResult &r)
+{
+    if (r.outcome != vm::Outcome::Success)
+        return false;
+    if (!t.checkOutput)
+        return true;
+    return r.output == t.expectedOutput && r.exitCode == t.expectedExit;
+}
+
+/** Oracle 3: the two engines must agree on every observable of the
+ *  run, down to the virtual clock tick. */
+std::string
+tickDiff(const vm::RunResult &a, const vm::RunResult &b)
+{
+    if (a.outcome != b.outcome)
+        return strfmt("outcome %s vs %s", vm::outcomeName(a.outcome),
+                      vm::outcomeName(b.outcome));
+    if (a.clock != b.clock)
+        return strfmt("clock %llu vs %llu",
+                      (unsigned long long)a.clock,
+                      (unsigned long long)b.clock);
+    if (a.stats.steps != b.stats.steps)
+        return strfmt("steps %llu vs %llu",
+                      (unsigned long long)a.stats.steps,
+                      (unsigned long long)b.stats.steps);
+    if (a.output != b.output)
+        return "output differs";
+    if (a.exitCode != b.exitCode)
+        return strfmt("exit %lld vs %lld", (long long)a.exitCode,
+                      (long long)b.exitCode);
+    if (a.failureTag != b.failureTag)
+        return "failure tag differs";
+    return {};
+}
+
+} // namespace
+
+uint64_t
+calibrateHorizon(const ir::Module &m, uint64_t maxSteps)
+{
+    vm::VmConfig cfg;
+    cfg.policy = vm::SchedPolicy::RoundRobin;
+    cfg.quantum = 1'000;
+    cfg.maxSteps = maxSteps;
+    vm::RunResult r = vm::runProgram(m, cfg);
+    return std::max<uint64_t>(r.stats.schedTicks, 64);
+}
+
+ScheduleOutcome
+runOneSchedule(const Target &t, const ScheduleSpec &s,
+               const CampaignOptions &opts)
+{
+    ScheduleOutcome out;
+    out.spec = s;
+    out.ran = true;
+
+    vm::VmConfig base;
+    s.applyTo(base);
+    base.pctHorizon = t.horizon;
+    base.quantum = t.quantum;
+    base.maxSteps = opts.maxSteps;
+    base.maxRetries = opts.maxRetries;
+    // No DelayRules: the campaign's whole point is finding the buggy
+    // interleavings without the hand-scripted trigger sleeps.
+
+    vm::RunResult u = vm::runProgram(*t.plain, base);
+    out.unhardened = u.outcome;
+    out.unhardenedCorrect = correctRun(t, u);
+    out.unhardenedInconclusive = u.outcome == vm::Outcome::Timeout;
+    out.unhardenedTag = u.failureTag;
+    out.steps = u.stats.steps;
+
+    if (opts.differential) {
+        vm::VmConfig refCfg = base;
+        refCfg.engine = vm::ExecEngine::Reference;
+        vm::RunResult r = vm::runProgram(*t.plain, refCfg);
+        std::string d = tickDiff(u, r);
+        if (!d.empty()) {
+            out.diverged = true;
+            out.divergenceMsg = "unhardened: " + d;
+        }
+    }
+
+    if (t.hardened) {
+        out.hardenedRan = true;
+        vm::VmConfig hardCfg = base;
+        out.chaos = opts.chaosEveryN > 0 && s.seed % 2 == 0;
+        if (out.chaos)
+            hardCfg.chaosRollbackEveryN = opts.chaosEveryN;
+        vm::RunResult h = vm::runProgram(*t.hardened, hardCfg);
+        out.hardened = h.outcome;
+        out.hardenedCorrect = correctRun(t, h);
+        out.hardenedInconclusive = h.outcome == vm::Outcome::Timeout;
+        out.chaosRollbacks = h.stats.chaosRollbacks;
+
+        if (opts.differential && !out.chaos && !out.diverged) {
+            vm::VmConfig refCfg = hardCfg;
+            refCfg.engine = vm::ExecEngine::Reference;
+            vm::RunResult r = vm::runProgram(*t.hardened, refCfg);
+            std::string d = tickDiff(h, r);
+            if (!d.empty()) {
+                out.diverged = true;
+                out.divergenceMsg = "hardened: " + d;
+            }
+        }
+    }
+    return out;
+}
+
+//
+// The campaign runner.
+//
+
+namespace {
+
+struct Job
+{
+    size_t target;
+    ScheduleSpec spec;
+    uint64_t seedOrdinal; ///< 1-based seed index within its policy
+};
+
+bool
+isFailingSchedule(const ScheduleOutcome &o)
+{
+    return o.ran && !o.unhardenedCorrect && !o.unhardenedInconclusive;
+}
+
+} // namespace
+
+CampaignReport
+runCampaign(const std::vector<Target> &targets,
+            const CampaignOptions &opts)
+{
+    std::vector<Job> jobs;
+    jobs.reserve(targets.size() * opts.policies.size() *
+                 opts.seedsPerPolicy);
+    for (size_t ti = 0; ti < targets.size(); ++ti)
+        for (const auto &[policy, depth] : opts.policies)
+            for (uint64_t seed = 1; seed <= opts.seedsPerPolicy; ++seed)
+                jobs.push_back(
+                    {ti, ScheduleSpec{policy, seed, depth}, seed});
+
+    std::vector<ScheduleOutcome> results(jobs.size());
+    std::vector<std::atomic<uint64_t>> failCount(targets.size());
+    std::atomic<size_t> next{0};
+
+    auto work = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            const Job &j = jobs[i];
+            if (opts.stopAfterFailures > 0 &&
+                failCount[j.target].load(std::memory_order_relaxed) >=
+                    opts.stopAfterFailures) {
+                results[i].spec = j.spec; // ran stays false
+                continue;
+            }
+            results[i] =
+                runOneSchedule(targets[j.target], j.spec, opts);
+            if (isFailingSchedule(results[i]))
+                failCount[j.target].fetch_add(
+                    1, std::memory_order_relaxed);
+        }
+    };
+
+    unsigned workers = std::max(1u, opts.workers);
+    auto t0 = std::chrono::steady_clock::now();
+    if (workers == 1 || jobs.size() <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(work);
+        for (auto &th : pool)
+            th.join();
+    }
+    auto t1 = std::chrono::steady_clock::now();
+
+    // Aggregate in matrix order: the report is identical however the
+    // workers interleaved (modulo stopAfterFailures short-circuiting).
+    CampaignReport rep;
+    rep.targets.resize(targets.size());
+    std::vector<std::set<std::string>> tags(targets.size());
+    for (size_t ti = 0; ti < targets.size(); ++ti)
+        rep.targets[ti].name = targets[ti].name;
+
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const Job &j = jobs[i];
+        const ScheduleOutcome &o = results[i];
+        TargetReport &tr = rep.targets[j.target];
+        if (!o.ran) {
+            ++tr.skipped;
+            continue;
+        }
+        ++tr.schedules;
+        ++rep.schedules;
+        tr.totalSteps += o.steps;
+        rep.vmRuns += 1 + (opts.differential ? 1 : 0);
+
+        if (o.unhardenedInconclusive) {
+            ++tr.inconclusive;
+        } else if (!o.unhardenedCorrect) {
+            ++tr.failingSchedules;
+            if (!o.unhardenedTag.empty())
+                tags[j.target].insert(o.unhardenedTag);
+            else
+                tags[j.target].insert(vm::outcomeName(o.unhardened));
+            if (!tr.foundFailure) {
+                tr.foundFailure = true;
+                tr.firstFailure = o.spec;
+                tr.firstFailureSeedBudget = j.seedOrdinal;
+            }
+        }
+
+        if (o.diverged && !tr.hasDivergence) {
+            tr.hasDivergence = true;
+            tr.firstDivergence = o.spec;
+            tr.firstDivergenceMsg = o.divergenceMsg;
+        }
+        tr.divergences += o.diverged;
+
+        if (o.hardenedRan) {
+            ++tr.hardenedSchedules;
+            rep.vmRuns +=
+                1 + (opts.differential && !o.chaos && !o.diverged);
+            tr.chaosRuns += o.chaos;
+            tr.chaosRollbacks += o.chaosRollbacks;
+            if (o.hardenedInconclusive) {
+                ++tr.hardenedInconclusive;
+            } else if (!o.hardenedCorrect) {
+                if (targets[j.target].mustRecover) {
+                    ++tr.unrecovered;
+                    if (!tr.hasUnrecovered) {
+                        tr.hasUnrecovered = true;
+                        tr.firstUnrecovered = o.spec;
+                    }
+                }
+                // The recovery property quantifies over schedules where
+                // the *unhardened* leg failed: there the hardened leg
+                // must either recover or surface the same failure kind.
+                if (!o.unhardenedCorrect && !o.unhardenedInconclusive &&
+                    o.hardened != o.unhardened)
+                    ++tr.hardenedDifferentFailure;
+            }
+        }
+    }
+
+    for (size_t ti = 0; ti < targets.size(); ++ti) {
+        TargetReport &tr = rep.targets[ti];
+        tr.failureTags.assign(tags[ti].begin(), tags[ti].end());
+        rep.totalSteps += tr.totalSteps;
+        rep.divergences += tr.divergences;
+        rep.unrecovered += tr.unrecovered;
+    }
+    rep.seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (rep.seconds > 0)
+        rep.schedulesPerSec = double(rep.schedules) / rep.seconds;
+    return rep;
+}
+
+std::string
+CampaignReport::summary() const
+{
+    std::string out;
+    for (const TargetReport &tr : targets) {
+        out += strfmt(
+            "%-14s %6llu schedules  %5llu failing  %3llu inconclusive"
+            "  %llu divergent  %llu unrecovered",
+            tr.name.c_str(), (unsigned long long)tr.schedules,
+            (unsigned long long)tr.failingSchedules,
+            (unsigned long long)tr.inconclusive,
+            (unsigned long long)tr.divergences,
+            (unsigned long long)tr.unrecovered);
+        if (tr.foundFailure)
+            out += strfmt("  first-failure %s (seed budget %llu)",
+                          tr.firstFailure.token().c_str(),
+                          (unsigned long long)tr.firstFailureSeedBudget);
+        out += '\n';
+        if (tr.hasDivergence)
+            out += "  DIVERGENCE (" + tr.firstDivergenceMsg + "): " +
+                   reproCommand(tr.name, tr.firstDivergence) + "\n";
+        if (tr.hasUnrecovered)
+            out += "  UNRECOVERED: " +
+                   reproCommand(tr.name, tr.firstUnrecovered) + "\n";
+    }
+    out += strfmt("total: %llu schedules, %llu VM runs, %.1f sched/s, "
+                  "%llu divergences, %llu unrecovered\n",
+                  (unsigned long long)schedules,
+                  (unsigned long long)vmRuns, schedulesPerSec,
+                  (unsigned long long)divergences,
+                  (unsigned long long)unrecovered);
+    return out;
+}
+
+} // namespace conair::explore

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The schedule-exploration campaign engine.
+ *
+ * A campaign fans one or more compiled programs out across thousands
+ * of (seed, policy, depth) schedules on a worker pool — the VM is
+ * single-threaded internally, so one Interp per worker makes the
+ * search embarrassingly parallel — and layers a differential recovery
+ * oracle over every explored schedule:
+ *
+ *  1. the unhardened program must either pass cleanly or fail; every
+ *     failing schedule is recorded (these are the rediscovered buggy
+ *     interleavings the paper forces with injected sleeps, §5);
+ *  2. the hardened program must never end in an unrecovered failure on
+ *     targets marked mustRecover (ConAir's whole-campaign guarantee);
+ *  3. the Decoded and Reference engines must be tick-identical on the
+ *     same schedule (clock, steps, outcome, output, exit code).
+ *
+ * The first violating (app, seed, policy) triple is reported as a
+ * one-line repro command.  Campaign results are deterministic: jobs
+ * are aggregated in matrix order, independent of worker timing.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "explore/schedule.h"
+#include "vm/stats.h"
+
+namespace conair::ir {
+class Module;
+}
+
+namespace conair::explore {
+
+/** One program entered in a campaign (modules are borrowed and must
+ *  outlive the run; they are read-only and shared across workers). */
+struct Target
+{
+    std::string name;
+
+    const ir::Module *plain = nullptr;    ///< unhardened build
+    const ir::Module *hardened = nullptr; ///< ConAir build (null = skip)
+
+    /** Correct-run expectations (wrong-output detection). */
+    std::string expectedOutput;
+    int64_t expectedExit = 0;
+    bool checkOutput = true;
+
+    /** Enforce oracle 2: every hardened schedule must end correct;
+     *  any hardened failure counts as unrecovered. */
+    bool mustRecover = false;
+
+    /** PCT/PreemptBound sampling horizon in scheduling ticks (shared
+     *  stores + sync ops; see calibrateHorizon). */
+    uint64_t horizon = 2'000;
+
+    /** Random-policy expected run length between switches. */
+    uint64_t quantum = 50;
+};
+
+/** Campaign shape: which schedules, how many workers, which legs. */
+struct CampaignOptions
+{
+    /** Seeds 1..N are explored per (policy, depth) entry. */
+    unsigned seedsPerPolicy = 250;
+
+    /** The policy axis of the matrix: (policy, depth) pairs. */
+    std::vector<std::pair<vm::SchedPolicy, uint32_t>> policies = {
+        {vm::SchedPolicy::Pct, 2},
+        {vm::SchedPolicy::Pct, 3},
+        {vm::SchedPolicy::PreemptBound, 2},
+        {vm::SchedPolicy::Random, 0},
+    };
+
+    /** Worker threads (clamped to >= 1). */
+    unsigned workers = 4;
+
+    /** Per-run step budget; exploration schedules can livelock spin
+     *  loops, so runs hitting it count as inconclusive, not failing. */
+    uint64_t maxSteps = 4'000'000;
+
+    /** Retry budget for the hardened leg: unrecoverable schedules must
+     *  fall through to their original failure quickly. */
+    int64_t maxRetries = 200;
+
+    /** Run the Reference-engine replica of the unhardened leg (and of
+     *  the hardened leg on chaos-free schedules). */
+    bool differential = true;
+
+    /** Hardened-leg chaos injection (VmConfig::chaosRollbackEveryN)
+     *  on even seeds; 0 disables the chaos dimension. */
+    uint64_t chaosEveryN = 128;
+
+    /** Stop issuing new schedules for a target once this many failing
+     *  schedules were found (0 = explore the full matrix).  Saves time
+     *  in smoke runs; aggregate counters then under-report. */
+    uint64_t stopAfterFailures = 0;
+};
+
+/** Everything one explored schedule produced. */
+struct ScheduleOutcome
+{
+    ScheduleSpec spec;
+    bool ran = false;     ///< false = skipped by stopAfterFailures
+    bool chaos = false;   ///< hardened leg had chaos injection on
+
+    vm::Outcome unhardened = vm::Outcome::Success;
+    bool unhardenedCorrect = false;
+    bool unhardenedInconclusive = false; ///< step budget exhausted
+    std::string unhardenedTag;           ///< failure tag, if any
+
+    bool hardenedRan = false;
+    vm::Outcome hardened = vm::Outcome::Success;
+    bool hardenedCorrect = false;
+    bool hardenedInconclusive = false;
+    uint64_t chaosRollbacks = 0;
+
+    bool diverged = false; ///< Decoded vs Reference mismatch
+    std::string divergenceMsg;
+
+    uint64_t steps = 0; ///< unhardened Decoded-leg step count
+};
+
+/** Per-target aggregation. */
+struct TargetReport
+{
+    std::string name;
+
+    uint64_t schedules = 0; ///< schedules actually run
+    uint64_t skipped = 0;
+
+    // Oracle 1: failing schedules of the unhardened program.
+    uint64_t failingSchedules = 0;
+    uint64_t inconclusive = 0;
+    std::vector<std::string> failureTags; ///< distinct, sorted
+    bool foundFailure = false;
+    ScheduleSpec firstFailure;
+    /** 1-based seed ordinal of the first failing schedule within its
+     *  (policy, depth) entry — the "seed budget" the acceptance bound
+     *  talks about. */
+    uint64_t firstFailureSeedBudget = 0;
+
+    // Oracle 2: hardened recovery.
+    uint64_t hardenedSchedules = 0;
+    uint64_t unrecovered = 0;
+    bool hasUnrecovered = false;
+    ScheduleSpec firstUnrecovered;
+    /** Schedules where the unhardened leg failed and the hardened leg
+     *  neither recovered nor surfaced the same failure kind.  The
+     *  adversarial property tests require this to stay zero; here it
+     *  is informational (unrecovered already covers mustRecover). */
+    uint64_t hardenedDifferentFailure = 0;
+    uint64_t hardenedInconclusive = 0;
+    uint64_t chaosRuns = 0;
+    uint64_t chaosRollbacks = 0;
+
+    // Oracle 3: engine differential.
+    uint64_t divergences = 0;
+    bool hasDivergence = false;
+    ScheduleSpec firstDivergence;
+    std::string firstDivergenceMsg;
+
+    uint64_t totalSteps = 0;
+};
+
+/** Whole-campaign result. */
+struct CampaignReport
+{
+    std::vector<TargetReport> targets;
+
+    uint64_t schedules = 0; ///< schedules run (sum over targets)
+    uint64_t vmRuns = 0;    ///< individual VM executions (all legs)
+    uint64_t totalSteps = 0;
+    double seconds = 0;
+    double schedulesPerSec = 0;
+
+    uint64_t divergences = 0;
+    uint64_t unrecovered = 0;
+
+    /** Human-readable per-target summary, including the one-line repro
+     *  command for the first divergence / unrecovered failure. */
+    std::string summary() const;
+};
+
+/** Runs the full campaign matrix (targets x policies x seeds). */
+CampaignReport runCampaign(const std::vector<Target> &targets,
+                           const CampaignOptions &opts);
+
+/** Runs a single (target, schedule) cell with all its legs — the
+ *  --repro path for a triple printed by a campaign. */
+ScheduleOutcome runOneSchedule(const Target &t, const ScheduleSpec &s,
+                               const CampaignOptions &opts);
+
+/** Measures a clean RoundRobin run of @p m and returns its scheduling
+ *  tick count (shared stores + sync ops, RunStats::schedTicks) — the
+ *  natural PCT/PreemptBound sampling horizon for that program. */
+uint64_t calibrateHorizon(const ir::Module &m, uint64_t maxSteps);
+
+} // namespace conair::explore

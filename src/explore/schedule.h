@@ -1,0 +1,43 @@
+/**
+ * @file
+ * One point in the schedule-exploration space: a (policy, seed, depth)
+ * triple.  Specs serialise to compact tokens ("pct:d3:s17") so a
+ * divergent schedule found by a campaign can be reproduced from one
+ * command line.
+ */
+#pragma once
+
+#include <string>
+
+#include "vm/config.h"
+
+namespace conair::explore {
+
+/** A fully reproducible schedule: policy + seed + search depth. */
+struct ScheduleSpec
+{
+    vm::SchedPolicy policy = vm::SchedPolicy::Pct;
+    uint64_t seed = 1;
+
+    /** PCT depth d (priority-change points = d-1) or the preemption
+     *  bound; ignored by Random/RoundRobin. */
+    uint32_t depth = 3;
+
+    /** Writes the schedule knobs into @p cfg (policy, seed, depth);
+     *  horizon/quantum stay as the caller set them. */
+    void applyTo(vm::VmConfig &cfg) const;
+
+    /** Compact token: "pct:d3:s17", "pb:d2:s5", "random:s9". */
+    std::string token() const;
+
+    bool operator==(const ScheduleSpec &) const = default;
+};
+
+/** Parses a token produced by ScheduleSpec::token(); returns false on
+ *  malformed input. */
+bool parseScheduleToken(const std::string &tok, ScheduleSpec &out);
+
+/** The one-line repro command printed for a divergent schedule. */
+std::string reproCommand(const std::string &app, const ScheduleSpec &s);
+
+} // namespace conair::explore

@@ -13,9 +13,13 @@ namespace conair::vm {
 
 /** Thread scheduling policies. */
 enum class SchedPolicy {
-    RoundRobin, ///< fixed quantum, cycle through runnable threads
-    Random,     ///< seeded random switches (production-like jitter)
+    RoundRobin,   ///< fixed quantum, cycle through runnable threads
+    Random,       ///< seeded random switches (production-like jitter)
+    Pct,          ///< probabilistic concurrency testing (see below)
+    PreemptBound, ///< preemption-bounded search (see below)
 };
+
+const char *schedPolicyName(SchedPolicy p);
 
 /**
  * Which execution engine interprets the program.  Both are
@@ -75,6 +79,48 @@ struct VmConfig
     /** Preemption quantum for RoundRobin / expected run length for
      *  Random (instructions between involuntary switches). */
     uint64_t quantum = 50;
+
+    /**
+     * @name Systematic schedule exploration (PCT / preemption bounding)
+     *
+     * SchedPolicy::Pct implements probabilistic concurrency testing
+     * (Burckhardt et al., ASPLOS 2010): every thread gets a random
+     * priority above @ref pctDepth at creation, the scheduler always
+     * runs the highest-priority runnable thread, and `pctDepth - 1`
+     * priority-change points are sampled at seeded *scheduling tick*
+     * counts in [1, pctHorizon]; when the global tick count crosses
+     * point i, the running thread's priority drops into the low band
+     * (`pctDepth - 2 - i`), forcing a context switch exactly there.
+     * A scheduling tick is a shared-memory store or a synchronisation
+     * builtin (RunStats::schedTicks) — the only places a racy window
+     * can open — so the horizon k stays small and for a bug of depth
+     * d each run finds it with probability >= 1/(n * k^(d-1)): a few
+     * thousand seeds reliably hit the ordering-sensitive windows the
+     * hand-scripted delay rules force.
+     *
+     * SchedPolicy::PreemptBound is the bounded-preemption variant:
+     * cooperative scheduling (threads run until they block, finish, or
+     * yield) except for @ref preemptBound forced switches at seeded
+     * tick counts in the same horizon.
+     *
+     * Both are fully deterministic given (seed, depth/bound, horizon):
+     * same inputs, same interleaving, tick for tick.
+     * @{
+     */
+
+    /** PCT depth d: 1 + number of priority-change points. */
+    uint64_t pctDepth = 3;
+
+    /** Horizon k: change/preemption points are drawn uniformly from
+     *  [1, pctHorizon] scheduling ticks (shared stores + sync ops).
+     *  Should approximate the program's clean-run schedTicks count
+     *  (campaigns calibrate it with calibrateHorizon). */
+    uint64_t pctHorizon = 2'000;
+
+    /** Forced preemptions for SchedPolicy::PreemptBound. */
+    uint64_t preemptBound = 2;
+
+    /** @} */
 
     /** Interleaving forcing (empty = natural scheduling). */
     std::vector<DelayRule> delays;

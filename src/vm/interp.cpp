@@ -33,6 +33,18 @@ refVal(const std::vector<RtValue> &regs, const std::vector<RtValue> &consts,
 } // namespace
 
 const char *
+schedPolicyName(SchedPolicy p)
+{
+    switch (p) {
+      case SchedPolicy::RoundRobin: return "rr";
+      case SchedPolicy::Random: return "random";
+      case SchedPolicy::Pct: return "pct";
+      case SchedPolicy::PreemptBound: return "pb";
+    }
+    return "?";
+}
+
+const char *
 outcomeName(Outcome o)
 {
     switch (o) {
@@ -49,9 +61,27 @@ outcomeName(Outcome o)
 
 Interp::Interp(const ir::Module &m, VmConfig cfg)
     : module_(m), cfg_(cfg), schedRng_(cfg.seed), appRng_(cfg.appSeed),
-      chaosRng_(cfg.seed ^ 0x5bd1e995u)
+      chaosRng_(cfg.seed ^ 0x5bd1e995u),
+      prioRng_(cfg.seed ^ 0xda942042e4dd58b5ull)
 {
     engineDecoded_ = cfg_.engine == ExecEngine::Decoded;
+
+    // Exploration policies: sample the priority-change / forced-
+    // preemption points up front from a dedicated split stream, so the
+    // schedule is a pure function of (seed, depth/bound, horizon).
+    if (cfg_.policy == SchedPolicy::Pct ||
+        cfg_.policy == SchedPolicy::PreemptBound) {
+        Rng pointRng(cfg_.seed ^ 0x8f14f4e7c3a2c9b1ull);
+        uint64_t n = cfg_.policy == SchedPolicy::Pct
+                         ? (cfg_.pctDepth > 0 ? cfg_.pctDepth - 1 : 0)
+                         : cfg_.preemptBound;
+        uint64_t horizon = std::max<uint64_t>(cfg_.pctHorizon, 1);
+        for (uint64_t i = 0; i < n; ++i)
+            schedPoints_.push_back(1 + pointRng.range(horizon));
+        std::sort(schedPoints_.begin(), schedPoints_.end());
+        if (!schedPoints_.empty())
+            nextSchedPointAt_ = schedPoints_[0];
+    }
 
     // Densify the delay rules: the hot path indexes delayRules_ /
     // hintFires_ by rule slot, never by hashing the hint id.  A later
@@ -116,10 +146,8 @@ Interp::run()
         fail(Outcome::Trap, "no main() function", nullptr);
         return result_;
     }
-    auto t0 = std::make_unique<Thread>();
-    t0->id = 0;
-    threads_.push_back(std::move(t0));
-    pushFrame(*threads_[0], main_fn, nullptr, 0, false, 0);
+    Thread *t0 = newThread();
+    pushFrame(*t0, main_fn, nullptr, 0, false, 0);
     quantumLeft_ = newQuantum();
 
     if (cfg_.wpCheckpointInterval > 0) {
@@ -175,7 +203,8 @@ Interp::run()
         }
         if (canBurst && running_ && !wpPendingRestore_ && !forceSwitch_ &&
             !schedEvent_ && quantumLeft_ > 0 &&
-            t->state == ThreadState::Runnable) {
+            t->state == ThreadState::Runnable &&
+            result_.stats.schedTicks < nextSchedPointAt_) {
             runBurst(*t);
             if (result_.stats.steps >= cfg_.maxSteps && running_) {
                 running_ = false;
@@ -184,6 +213,13 @@ Interp::run()
                 break;
             }
         }
+        // Exploration policies: fire the priority-change / forced-
+        // preemption point the tick count just crossed.  The burst
+        // loop never runs past one, so @p t executed the crossing
+        // shared store / sync op and is the thread the point
+        // deprioritizes — right at the edge of a racy window.
+        if (result_.stats.schedTicks >= nextSchedPointAt_ && running_)
+            applySchedPoint(*t);
     }
     result_.clock = clock_;
     return result_;
@@ -241,6 +277,7 @@ Interp::runBurst(Thread &t)
            !schedEvent_ && !wpPendingRestore_ &&
            t.state == ThreadState::Runnable && clock_ < next_wake &&
            result_.stats.steps < cfg_.maxSteps &&
+           result_.stats.schedTicks < nextSchedPointAt_ &&
            (!wp || result_.stats.steps < wpNextSnapshotAt_) &&
            hangCheckCountdown_ > 1) {
         --quantumLeft_;
@@ -664,6 +701,8 @@ Interp::doStore(Thread &t, const Instruction &inst)
         return;
     }
     *cell = v;
+    if (addr.p.seg != Ptr::Seg::Stack)
+        ++result_.stats.schedTicks;
 }
 
 void
@@ -691,6 +730,8 @@ Interp::doStoreDecoded(Thread &t, const DecodedInst &di)
         return;
     }
     *cell = v;
+    if (addr.p.seg != Ptr::Seg::Stack)
+        ++result_.stats.schedTicks;
 }
 
 //
@@ -1273,18 +1314,31 @@ Interp::execBuiltin(Thread &t, const Instruction &inst,
         return module_.strAt(s->id());
     };
 
+    // Synchronisation operations are scheduling ticks (see
+    // RunStats::schedTicks): the points a PCT change point can land on.
+    switch (inst.builtin()) {
+      case Builtin::ThreadCreate:
+      case Builtin::ThreadJoin:
+      case Builtin::MutexLock:
+      case Builtin::MutexUnlock:
+      case Builtin::MutexTimedLock:
+      case Builtin::Yield:
+      case Builtin::Sleep:
+        ++result_.stats.schedTicks;
+        break;
+      default:
+        break;
+    }
+
     switch (inst.builtin()) {
       case Builtin::ThreadCreate: {
         auto *fa = static_cast<const ir::FuncAddr *>(inst.operand(0));
         RtValue arg = vals[1];
-        auto nt = std::make_unique<Thread>();
-        nt->id = uint32_t(threads_.size());
-        uint32_t tid = nt->id;
-        threads_.push_back(std::move(nt));
-        pushFrame(*threads_[tid], fa->function(), &arg, 1, false, 0);
+        Thread *nt = newThread();
+        pushFrame(*nt, fa->function(), &arg, 1, false, 0);
         ++result_.stats.threadsSpawned;
         schedEvent_ = true;
-        t.frames.back().regs[dstReg] = RtValue::ofInt(tid);
+        t.frames.back().regs[dstReg] = RtValue::ofInt(nt->id);
         break;
       }
       case Builtin::ThreadJoin: {
@@ -1515,6 +1569,27 @@ Interp::doTryRollback(Thread &t, const Instruction &inst, int64_t site_id)
 
     runCompensation(t);
     restoreCheckpoint(t);
+
+    // A second failure of the same site means the first re-execution
+    // changed nothing: the root cause lives in another thread that
+    // still has to run (an order violation's missing definition, a
+    // rotator that has not reopened the log).  On a multicore that
+    // thread progresses in parallel with the retry loop; on this
+    // single-stream VM a strict-priority policy (PCT) would starve it,
+    // so model the paper's retry-loop usleep with a short randomized
+    // back-off from the thread's own decision stream.
+    if (t.episode.retries >= 2) {
+        // Exponential: the waited-for thread may itself sit behind a
+        // long-running higher-priority thread, so the total sleep over
+        // the retry budget must be able to outlast whole threads.
+        uint64_t shift = std::min<uint64_t>(t.episode.retries - 2, 12);
+        uint64_t bound = std::min<uint64_t>(
+            std::max<uint64_t>(cfg_.backoffMax, 1) << shift, 8192);
+        t.state = ThreadState::Sleeping;
+        t.wakeAt = clock_ + 1 + t.rng.range(bound);
+        forceSwitch_ = true;
+        ++result_.stats.backoffs;
+    }
 }
 
 void
@@ -1531,6 +1606,7 @@ Interp::maybeChaosRollback(Thread &t)
     if (chaosRng_.range(cfg_.chaosRollbackEveryN) != 0)
         return;
     ++result_.stats.chaosRollbacks;
+    result_.stats.chaosSites.push_back({result_.stats.steps, t.id});
     runCompensation(t);
     restoreCheckpoint(t);
 }
@@ -1548,7 +1624,11 @@ Interp::execConAir(Thread &t, const Instruction &inst,
         doTryRollback(t, inst, vals[0].i);
         break;
       case Builtin::CaBackoff: {
-        uint64_t ticks = 1 + schedRng_.range(cfg_.backoffMax);
+        // Per-thread decision stream: concurrent back-offs must not be
+        // correlated across threads, and a thread's draws must not
+        // shift the shared scheduler stream (which would make the
+        // interleaving depend on how often recovery fired).
+        uint64_t ticks = 1 + t.rng.range(cfg_.backoffMax);
         t.state = ThreadState::Sleeping;
         t.wakeAt = clock_ + ticks;
         forceSwitch_ = true;
@@ -1610,21 +1690,78 @@ Interp::execConAir(Thread &t, const Instruction &inst,
 uint64_t
 Interp::newQuantum()
 {
-    if (cfg_.policy == SchedPolicy::RoundRobin)
+    switch (cfg_.policy) {
+      case SchedPolicy::RoundRobin:
         return std::max<uint64_t>(cfg_.quantum, 1);
+      case SchedPolicy::Pct:
+      case SchedPolicy::PreemptBound:
+        // No quantum preemption: threads run until they block or a
+        // scheduling point fires (the quantum only has to outlast
+        // maxSteps).
+        return uint64_t(1) << 62;
+      case SchedPolicy::Random:
+        break;
+    }
     return 1 + schedRng_.range(std::max<uint64_t>(2 * cfg_.quantum, 1));
+}
+
+Interp::Thread *
+Interp::newThread()
+{
+    auto t = std::make_unique<Thread>();
+    t->id = uint32_t(threads_.size());
+    // Split decision stream: golden-ratio multiples of (id + 1)
+    // decorrelate the thread ids and reseed()'s splitmix finishes the
+    // mix, so no two threads share draw sequences and thread N's
+    // stream is independent of how many draws thread M made.
+    t->rng.reseed(cfg_.seed ^ (0x9e3779b97f4a7c15ull * (t->id + 1)));
+    if (cfg_.policy == SchedPolicy::Pct) {
+        // High band: strictly above every change-point priority
+        // (< pctDepth).  Creation order is deterministic under a fixed
+        // schedule, so priorities are reproducible from the seed.
+        t->priority = cfg_.pctDepth + (prioRng_.next() >> 32);
+    }
+    threads_.push_back(std::move(t));
+    return threads_.back().get();
+}
+
+void
+Interp::applySchedPoint(Thread &t)
+{
+    // Consume every point at or below the current tick count (points
+    // can collide when the horizon is much smaller than the run).
+    while (schedPointNext_ < schedPoints_.size() &&
+           result_.stats.schedTicks >= schedPoints_[schedPointNext_]) {
+        if (cfg_.policy == SchedPolicy::Pct) {
+            // PCT change point i: the running thread drops to low-band
+            // priority d-2-i, below every initial priority and every
+            // earlier victim, forcing a switch exactly here.
+            uint64_t i = schedPointNext_;
+            t.priority =
+                cfg_.pctDepth >= i + 2 ? cfg_.pctDepth - 2 - i : 0;
+        }
+        forceSwitch_ = true;
+        ++schedPointNext_;
+    }
+    nextSchedPointAt_ = schedPointNext_ < schedPoints_.size()
+                            ? schedPoints_[schedPointNext_]
+                            : UINT64_MAX;
 }
 
 Interp::Thread *
 Interp::pickThread()
 {
+    const bool sched_event = schedEvent_;
     schedEvent_ = false;
     // Fast path: the current thread keeps the CPU (no RNG, no scan).
+    // Under PCT a scheduling event (spawn, lock grant, wake) may have
+    // made a higher-priority thread runnable, so it forces the scan.
     Thread *cur = currentTid_ < threads_.size()
                       ? threads_[currentTid_].get()
                       : nullptr;
     if (cur && cur->state == ThreadState::Runnable && quantumLeft_ > 0 &&
-        !forceSwitch_) {
+        !forceSwitch_ &&
+        !(sched_event && cfg_.policy == SchedPolicy::Pct)) {
         --quantumLeft_;
         return cur;
     }
@@ -1638,7 +1775,11 @@ Interp::pickThread()
     forceSwitch_ = false;
 
     uint32_t chosen;
-    if (cfg_.policy == SchedPolicy::RoundRobin) {
+    switch (cfg_.policy) {
+      case SchedPolicy::RoundRobin:
+      case SchedPolicy::PreemptBound: {
+        // Cycle to the next runnable id (PreemptBound is cooperative
+        // round-robin between its forced preemption points).
         chosen = runnableScratch_[0];
         for (uint32_t tid : runnableScratch_) {
             if (tid > currentTid_) {
@@ -1646,8 +1787,21 @@ Interp::pickThread()
                 break;
             }
         }
-    } else {
+        break;
+      }
+      case SchedPolicy::Pct: {
+        // Strict priorities: highest wins, ties break to the lower id
+        // (ties are only possible in the low band).
+        chosen = runnableScratch_[0];
+        for (uint32_t tid : runnableScratch_)
+            if (threads_[tid]->priority > threads_[chosen]->priority)
+                chosen = tid;
+        break;
+      }
+      case SchedPolicy::Random:
+      default:
         chosen = runnableScratch_[schedRng_.range(runnableScratch_.size())];
+        break;
     }
     currentTid_ = chosen;
     quantumLeft_ = newQuantum() - 1;
@@ -1660,6 +1814,7 @@ Interp::wakeDue()
     for (auto &t : threads_) {
         if (t->state == ThreadState::Sleeping && t->wakeAt <= clock_) {
             t->state = ThreadState::Runnable;
+            schedEvent_ = true;
         } else if (t->state == ThreadState::BlockedLock &&
                    t->lockHasDeadline && t->wakeAt <= clock_) {
             // Timed lock expired: remove from the waiter queue and
@@ -1667,6 +1822,7 @@ Interp::wakeDue()
             MutexState &m = mutexAt(t->lockKey);
             std::erase(m.waiters, t->id);
             t->state = ThreadState::Runnable;
+            schedEvent_ = true;
             if (t->lockWantsResult) {
                 t->frames.back().regs[t->lockResultReg] =
                     RtValue::ofInt(1);

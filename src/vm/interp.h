@@ -152,6 +152,20 @@ class Interp
 
         MemCache mem;
 
+        /**
+         * Per-thread decision RNG, split off the run seed by thread id
+         * (splitmix over seed ^ hash(tid)).  Thread-local stochastic
+         * choices (the ConAir deadlock back-off) draw from this stream
+         * so two threads' decision sequences are independent and no
+         * thread's draws shift the shared scheduler stream.
+         */
+        Rng rng{0};
+
+        /** PCT scheduling priority (higher runs first); assigned at
+         *  creation from the priority stream, dropped into the low
+         *  band at change points.  Unused by the other policies. */
+        uint64_t priority = 0;
+
         // ConAir per-thread runtime state (paper §3.3, §4.1).
         Checkpoint ckpt;
         int64_t retryCount = 0;
@@ -268,6 +282,12 @@ class Interp
     void wakeDue();
     bool advanceSleepers();
     uint64_t newQuantum();
+    /** Allocates a thread with its split decision-RNG stream and (for
+     *  PCT) a fresh high-band priority. */
+    Thread *newThread();
+    /** Fires the next due PCT priority-change / bounded-preemption
+     *  point (no-op until the global step count crosses it). */
+    void applySchedPoint(Thread &t);
     /** Earliest wake deadline of any sleeper / timed lock. */
     uint64_t nextWakeDeadline() const;
     /** Drains the rest of the current quantum without consulting the
@@ -316,6 +336,18 @@ class Interp
     Rng schedRng_;
     Rng appRng_;
     Rng chaosRng_;
+    Rng prioRng_; ///< PCT initial-priority stream (split from seed)
+
+    /**
+     * Sorted global step counts where the exploration policies act:
+     * PCT priority-change points / PreemptBound forced switches.
+     * nextSchedPointAt_ caches the next due point (UINT64_MAX when
+     * exhausted or not an exploration policy) so the hot loop and the
+     * burst fast path compare one integer.
+     */
+    std::vector<uint64_t> schedPoints_;
+    size_t schedPointNext_ = 0;
+    uint64_t nextSchedPointAt_ = UINT64_MAX;
 
     /** Configured delay rules, densely indexed; the hot path and the
      *  fire counters use the index, never a map (a SchedHint without a

@@ -46,6 +46,16 @@ struct RecoveryEvent
     }
 };
 
+/** One chaos-injected rollback (site identity for the determinism
+ *  regression test). */
+struct ChaosRollbackSite
+{
+    uint64_t step = 0; ///< global instruction count at injection
+    uint32_t tid = 0;  ///< thread that was rolled back
+
+    bool operator==(const ChaosRollbackSite &) const = default;
+};
+
 /** Counters accumulated over one run. */
 struct RunStats
 {
@@ -66,6 +76,20 @@ struct RunStats
 
     /** Rollbacks injected by the chaos mode (idempotency testing). */
     uint64_t chaosRollbacks = 0;
+
+    /** Scheduling-relevant events retired: stores to shared memory
+     *  (global/heap segments) plus synchronisation builtins (spawn,
+     *  join, lock, unlock, yield, sleep).  PCT change points and
+     *  PreemptBound preemptions are sampled on this axis — racy
+     *  windows open at shared writes and lock acquisitions, so a
+     *  horizon counted in these events is orders of magnitude denser
+     *  than one counted in raw instructions. */
+    uint64_t schedTicks = 0;
+
+    /** Where each chaos rollback struck: (global step count, thread).
+     *  Chaos injection is deterministic — same seed, same sites — and
+     *  the regression test pins that down with this trace. */
+    std::vector<ChaosRollbackSite> chaosSites;
 
     /// @{ Execution-engine counters (decode layer + hot-path caches).
     /// Engine-internal: excluded from the cross-engine differential

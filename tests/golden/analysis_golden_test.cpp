@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Golden regression test for the static ConAir analysis numbers.
+ *
+ * Pins, for every registered kernel, the Table 4 failure-site counts
+ * (per kind) and the Table 6 optimizer picture: re-execution points
+ * with the §4.2 optimizer on and off, plus the sites it drops.  These
+ * numbers are pure functions of the kernel sources and the analysis —
+ * any drift means either an intentional analysis change (re-bless with
+ * `analysis_golden_test --update`) or an accidental regression.
+ *
+ * The golden file lives next to this test (GOLDEN_DIR is injected by
+ * CMake) so updates are reviewed like any other source change.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "apps/harness.h"
+#include "support/str.h"
+
+namespace conair::apps {
+namespace {
+
+bool updateGolden = false;
+
+std::string
+goldenPath()
+{
+    return std::string(GOLDEN_DIR) + "/analysis.golden";
+}
+
+/** One kernel's line in the golden file. */
+std::string
+analysisLine(const AppSpec &app)
+{
+    HardenOptions opt;
+    PreparedApp with = prepareApp(app, opt);
+    opt.conair.optimize = false;
+    PreparedApp without = prepareApp(app, opt);
+
+    const ca::ConAirReport &r = with.report;
+    return strfmt("%s assert=%u out=%u seg=%u dead=%u "
+                  "points=%u dead_points=%u nondead_points=%u "
+                  "opt_dropped=%u points_noopt=%u",
+                  app.name.c_str(), r.identified.assertion,
+                  r.identified.wrongOutput, r.identified.segfault,
+                  r.identified.deadlock, r.staticReexecPoints,
+                  r.deadlockPoints, r.nonDeadlockPoints,
+                  r.sitesDroppedByOptimizer,
+                  without.report.staticReexecPoints);
+}
+
+std::string
+currentGolden()
+{
+    std::string text;
+    for (const AppSpec &app : allApps())
+        text += analysisLine(app) + "\n";
+    return text;
+}
+
+TEST(AnalysisGolden, MatchesCheckedInNumbers)
+{
+    std::string current = currentGolden();
+
+    if (updateGolden) {
+        std::ofstream out(goldenPath());
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << current;
+        printf("updated %s\n", goldenPath().c_str());
+        return;
+    }
+
+    std::ifstream in(goldenPath());
+    ASSERT_TRUE(in) << "missing golden file " << goldenPath()
+                    << " — run `analysis_golden_test --update`";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string expected = buf.str();
+
+    // Compare per line so a drift names the kernel, not a blob diff.
+    std::istringstream exp(expected), cur(current);
+    std::string eline, cline;
+    unsigned lineNo = 0;
+    while (std::getline(exp, eline)) {
+        ++lineNo;
+        ASSERT_TRUE(std::getline(cur, cline))
+            << "golden has more kernels than the registry (line "
+            << lineNo << ": " << eline << ")";
+        EXPECT_EQ(cline, eline) << "analysis drift at golden line "
+                                << lineNo
+                                << "; re-bless with --update if "
+                                   "intentional";
+    }
+    EXPECT_FALSE(std::getline(cur, cline))
+        << "registry has kernels missing from the golden: " << cline;
+}
+
+/** The optimizer must actually earn its keep on the golden numbers:
+ *  with it off, every kernel needs at least as many points. */
+TEST(AnalysisGolden, OptimizerNeverAddsPoints)
+{
+    for (const AppSpec &app : allApps()) {
+        HardenOptions opt;
+        PreparedApp with = prepareApp(app, opt);
+        opt.conair.optimize = false;
+        PreparedApp without = prepareApp(app, opt);
+        EXPECT_LE(with.report.staticReexecPoints,
+                  without.report.staticReexecPoints)
+            << app.name;
+        // Every point serves at least one site kind; a point shared by
+        // a deadlock and a non-deadlock site is counted in both
+        // buckets, so the sum may exceed the distinct-point total.
+        EXPECT_LE(with.report.deadlockPoints,
+                  with.report.staticReexecPoints)
+            << app.name;
+        EXPECT_LE(with.report.nonDeadlockPoints,
+                  with.report.staticReexecPoints)
+            << app.name;
+        EXPECT_GE(with.report.deadlockPoints +
+                      with.report.nonDeadlockPoints,
+                  with.report.staticReexecPoints)
+            << app.name;
+    }
+}
+
+} // namespace
+} // namespace conair::apps
+
+int
+main(int argc, char **argv)
+{
+    // Strip our flag before gtest sees the argument list.
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--update") {
+            conair::apps::updateGolden = true;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            break;
+        }
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -21,6 +21,8 @@ class Generator
             emitHelper(i);
         if (opts_.withThreads)
             emitWorker();
+        if (opts_.adversarial)
+            emitAdversarialWorkers();
         emitMain(helpers);
         return out_;
     }
@@ -166,6 +168,10 @@ class Generator
         line("mutex mx;");
         if (opts_.withPointers)
             line("int* buf;");
+        if (opts_.adversarial) {
+            line("int state_flag = 1;");
+            line("int racy_total;");
+        }
         line("");
     }
 
@@ -197,6 +203,58 @@ class Generator
         line("");
     }
 
+    /**
+     * Workers whose shared-global updates genuinely race.  The closer
+     * transiently drops state_flag (MySQL1's rotator shape) while the
+     * observer asserts it — the observer's idempotent region re-reads
+     * the flag, so a hardened program recovers by retrying.  The racer
+     * pair performs unlocked read-modify-writes; a lost update is
+     * permanent, so the hardened program must surface main's final
+     * assert exactly like the unhardened one does.
+     */
+    void
+    emitAdversarialWorkers()
+    {
+        closerIters_ = 3 + unsigned(rng_.range(4));
+        observerIters_ = 5 + unsigned(rng_.range(6));
+        racerIters1_ = 3 + unsigned(rng_.range(5));
+        racerIters2_ = 3 + unsigned(rng_.range(5));
+        unsigned window = 1 + unsigned(rng_.range(4));
+
+        line("int closer(int n) {");
+        line("    for (int i = 0; i < n; i++) {");
+        line("        state_flag = 0;");
+        line("        int pad = 0;");
+        line(strfmt("        for (int j = 0; j < %u; j++) "
+                    "{ pad = pad + j; }",
+                    window));
+        line("        state_flag = 1 + pad * 0;");
+        line("    }");
+        line("    return 0;");
+        line("}");
+        line("");
+        line("int observer(int n) {");
+        line("    int seen = 0;");
+        line("    for (int i = 0; i < n; i++) {");
+        line("        int f = state_flag;");
+        line("        assert(f == 1);");
+        line("        seen = seen + f;");
+        line("    }");
+        line("    assert(seen == n);");
+        line("    return 0;");
+        line("}");
+        line("");
+        line("int racer(int n) {");
+        line("    for (int i = 0; i < n; i++) {");
+        line("        int r = racy_total;");
+        line("        r = r + 1;");
+        line("        racy_total = r;");
+        line("    }");
+        line("    return 0;");
+        line("}");
+        line("");
+    }
+
     void
     emitMain(unsigned helpers)
     {
@@ -205,6 +263,13 @@ class Generator
         if (opts_.withThreads) {
             line("    int t1 = spawn(worker, 7);");
             line("    int t2 = spawn(worker, 5);");
+        }
+        if (opts_.adversarial) {
+            line(strfmt("    int ta = spawn(closer, %u);", closerIters_));
+            line(strfmt("    int tb = spawn(observer, %u);",
+                        observerIters_));
+            line(strfmt("    int tc = spawn(racer, %u);", racerIters1_));
+            line(strfmt("    int td = spawn(racer, %u);", racerIters2_));
         }
         if (opts_.withPointers) {
             line(strfmt("    buf = malloc(%u);", opts_.arraySize));
@@ -230,6 +295,16 @@ class Generator
             line("    join(t1);");
             line("    join(t2);");
         }
+        if (opts_.adversarial) {
+            line("    join(ta);");
+            line("    join(tb);");
+            line("    join(tc);");
+            line("    join(td);");
+            // The lost-update oracle: under a clean interleaving this
+            // holds; a racy one trips it in both program variants.
+            line(strfmt("    assert(racy_total == %u);",
+                        racerIters1_ + racerIters2_));
+        }
         // Digest everything observable.
         std::string digest = "0";
         for (unsigned g = 0; g < opts_.numGlobals; ++g)
@@ -242,6 +317,9 @@ class Generator
             line("    digest = digest * 7 + " + v + ";");
         if (opts_.withThreads)
             line("    digest = digest * 13 + shared_total;");
+        if (opts_.adversarial)
+            line("    digest = digest * 17 + racy_total"
+                 " + state_flag;");
         line("    print(\"digest=\", digest % 1000003, \"\\n\");");
         line("    return 0;");
         line("}");
@@ -258,6 +336,10 @@ class Generator
     GenOptions opts_;
     std::string out_;
     unsigned varCounter_ = 0;
+    unsigned closerIters_ = 0;
+    unsigned observerIters_ = 0;
+    unsigned racerIters1_ = 0;
+    unsigned racerIters2_ = 0;
 };
 
 } // namespace

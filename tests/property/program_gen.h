@@ -32,6 +32,22 @@ struct GenOptions
     bool withThreads = true;    ///< spawn locked commutative workers
     bool withPointers = true;   ///< a malloc'd buffer + derefs
     bool withAsserts = true;    ///< always-true asserts (failure sites)
+
+    /**
+     * Adversarial mode: emit shared-global updates that genuinely race
+     * and assert oracles that fire under the wrong interleaving.
+     *  - a closer/observer pair races a transient state flag (the
+     *    MySQL1-style WAW window): the observer's assert is
+     *    *recoverable* — its idempotent region re-reads the flag;
+     *  - unlocked read-modify-write workers race a counter whose final
+     *    value main asserts: a lost update is *unrecoverable*, and the
+     *    hardened program must surface the same assert failure.
+     * Outputs are schedule-dependent by design, so adversarial
+     * programs are explored with output checking off; the property is
+     * unhardened-failure => hardened recovery or same failure kind,
+     * plus engine agreement (see property_test.cpp).
+     */
+    bool adversarial = false;
 };
 
 /** Generates one program from @p seed. */
