@@ -8,9 +8,11 @@
  * Decoded == Reference tick for tick).  See docs/EXPLORATION.md.
  *
  * Results go to stdout and to BENCH_explore.json in the working
- * directory.  The exit code is the oracle verdict: nonzero on any
- * engine divergence or unrecovered hardened failure (and, outside
- * smoke mode, on a kernel whose failure was never rediscovered).
+ * directory (including per-(kernel, policy) recovery metrics — see
+ * docs/OBSERVABILITY.md for the schema).  The exit code is the oracle
+ * verdict: nonzero on any engine divergence or unrecovered hardened
+ * failure (and, outside smoke mode, on a kernel whose failure was
+ * never rediscovered).
  *
  * Flags:
  *   --seeds N     seeds per (policy, depth) entry (default 250; the
@@ -28,6 +30,16 @@
  *                 re-run one schedule (token from a campaign report,
  *                 e.g. "pct:d3:s17") and print the full differential
  *                 detail for it
+ *   --trace FILE  write a Chrome trace_event JSON of the schedule
+ *                 (Perfetto-loadable).  With --repro, traces that
+ *                 schedule; in campaign mode, re-runs and traces the
+ *                 first failing schedule the campaign found.  The
+ *                 trace's rollback/checkpoint totals are cross-checked
+ *                 against the run's RunStats (exit 1 on mismatch).
+ *   --metrics FILE  (--repro only) write the hardened leg's
+ *                 MetricsRegistry JSON
+ *   --timeline    (--repro only) print the human-readable recovery
+ *                 timeline to stdout
  */
 #include "bench/bench_util.h"
 
@@ -35,6 +47,9 @@
 #include <thread>
 
 #include "explore/campaign.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "support/json.h"
 
 using namespace conair;
 using namespace conair::apps;
@@ -42,20 +57,6 @@ using namespace conair::bench;
 using namespace conair::explore;
 
 namespace {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s)
-        if (c == '"' || c == '\\')
-            out += std::string("\\") + c;
-        else if (c == '\n')
-            out += "\\n";
-        else
-            out += c;
-    return out;
-}
 
 std::vector<std::string>
 splitList(const std::string &s)
@@ -92,8 +93,83 @@ hasFlag(int argc, char **argv, const char *flag)
     return false;
 }
 
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    f << content;
+    return true;
+}
+
+/**
+ * Traces one (target, schedule) cell and emits the requested
+ * artifacts.  Returns false when the trace's wraparound-surviving
+ * rollback/checkpoint totals disagree with the run's RunStats — the
+ * cross-check the acceptance criteria pin.
+ */
+bool
+traceSchedule(const Target &target, const ScheduleSpec &s,
+              CampaignOptions opts, const std::string &appName,
+              const std::string &tracePath,
+              const std::string &metricsPath, bool timeline)
+{
+    obs::FlightRecorder unhardenedRec(8192);
+    obs::FlightRecorder hardenedRec(8192);
+    ScheduleInstruments ins{&unhardenedRec, &hardenedRec};
+    opts.collectMetrics = true;
+    ScheduleOutcome o = runOneSchedule(target, s, opts, &ins);
+
+    if (!tracePath.empty()) {
+        std::vector<obs::TraceProcess> procs = {
+            {&unhardenedRec, appName + " unhardened " + s.token(), 1},
+            {&hardenedRec, appName + " hardened " + s.token(), 2},
+        };
+        if (!writeFile(tracePath, obs::chromeTraceJson(procs)))
+            return false;
+        std::printf("wrote %s (%llu events, %llu dropped by ring "
+                    "wraparound)\n",
+                    tracePath.c_str(),
+                    (unsigned long long)(unhardenedRec.totalRecordedAll() +
+                                         hardenedRec.totalRecordedAll()),
+                    (unsigned long long)(unhardenedRec.droppedAll() +
+                                         hardenedRec.droppedAll()));
+    }
+    if (!metricsPath.empty()) {
+        if (!writeFile(metricsPath, o.metrics.toJson() + "\n"))
+            return false;
+        std::printf("wrote %s\n", metricsPath.c_str());
+    }
+    if (timeline) {
+        std::printf("--- recovery timeline (hardened leg) ---\n%s",
+                    obs::recoveryTimeline(hardenedRec).c_str());
+    }
+
+    // Trace-vs-stats cross-check: per-kind totals survive wraparound,
+    // so they must equal the hardened leg's RunStats counters exactly.
+    uint64_t trRollbacks =
+        hardenedRec.totalOf(obs::EventKind::Rollback);
+    uint64_t trCheckpoints =
+        hardenedRec.totalOf(obs::EventKind::Checkpoint);
+    bool ok = trRollbacks == o.hardenedRollbacks &&
+              trCheckpoints == o.hardenedCheckpoints;
+    std::printf("trace totals vs RunStats: rollbacks %llu/%llu, "
+                "checkpoints %llu/%llu -> %s\n",
+                (unsigned long long)trRollbacks,
+                (unsigned long long)o.hardenedRollbacks,
+                (unsigned long long)trCheckpoints,
+                (unsigned long long)o.hardenedCheckpoints,
+                ok ? "match" : "MISMATCH");
+    return ok;
+}
+
 int
-runRepro(const std::string &appName, const std::string &token)
+runRepro(const std::string &appName, const std::string &token,
+         const std::string &tracePath, const std::string &metricsPath,
+         bool timeline)
 {
     const AppSpec *spec = findApp(appName);
     if (!spec) {
@@ -131,7 +207,23 @@ runRepro(const std::string &appName, const std::string &token)
         std::printf("ENGINE DIVERGENCE: %s\n", o.divergenceMsg.c_str());
     else
         std::printf("engines: Decoded == Reference (tick-identical)\n");
-    return o.diverged ? 1 : 0;
+
+    bool traceOk = true;
+    if (!tracePath.empty() || !metricsPath.empty() || timeline)
+        traceOk = traceSchedule(target, s, opts, appName, tracePath,
+                                metricsPath, timeline);
+    return o.diverged || !traceOk ? 1 : 0;
+}
+
+void
+writeMetricsJson(JsonWriter &w, const TargetReport &tr)
+{
+    w.key("metrics").beginObject();
+    for (const auto &[label, reg] : tr.policyMetrics) {
+        w.key(label);
+        reg.writeJson(w);
+    }
+    w.endObject();
 }
 
 } // namespace
@@ -139,6 +231,11 @@ runRepro(const std::string &appName, const std::string &token)
 int
 main(int argc, char **argv)
 {
+    const std::string tracePath = argString(argc, argv, "--trace", "");
+    const std::string metricsPath =
+        argString(argc, argv, "--metrics", "");
+    const bool timeline = hasFlag(argc, argv, "--timeline");
+
     if (hasFlag(argc, argv, "--repro")) {
         // --repro APP TOKEN: the two operands follow the flag.
         const char *app = nullptr, *tok = nullptr;
@@ -149,10 +246,11 @@ main(int argc, char **argv)
             }
         if (!app || !tok) {
             std::fprintf(stderr,
-                         "usage: bench_explore --repro APP TOKEN\n");
+                         "usage: bench_explore --repro APP TOKEN "
+                         "[--trace F] [--metrics F] [--timeline]\n");
             return 2;
         }
-        return runRepro(app, tok);
+        return runRepro(app, tok, tracePath, metricsPath, timeline);
     }
 
     const bool smoke = hasFlag(argc, argv, "--smoke");
@@ -188,6 +286,7 @@ main(int argc, char **argv)
     CampaignOptions opts;
     opts.seedsPerPolicy = seeds;
     opts.workers = workers;
+    opts.collectMetrics = true;
     std::string policyList = argString(argc, argv, "--policies", "");
     if (!policyList.empty()) {
         opts.policies.clear();
@@ -213,6 +312,27 @@ main(int argc, char **argv)
 
     CampaignReport rep = runCampaign(targets, opts);
     std::printf("%s\n", rep.summary().c_str());
+
+    // --trace in campaign mode: replay the first failing schedule the
+    // campaign found, flight recorder attached, and emit the trace.
+    bool traceOk = true;
+    if (!tracePath.empty()) {
+        bool traced = false;
+        for (size_t ti = 0; ti < rep.targets.size() && !traced; ++ti) {
+            const TargetReport &tr = rep.targets[ti];
+            if (!tr.foundFailure)
+                continue;
+            std::printf("tracing first failing schedule: %s %s\n",
+                        tr.name.c_str(),
+                        tr.firstFailure.token().c_str());
+            traceOk = traceSchedule(targets[ti], tr.firstFailure, opts,
+                                    tr.name, tracePath, metricsPath,
+                                    timeline);
+            traced = true;
+        }
+        if (!traced)
+            std::printf("--trace: no failing schedule to trace\n");
+    }
 
     // Parallel speedup: a fixed sub-campaign, 1 worker vs N.  The
     // measurement is honest about the host: with fewer hardware
@@ -243,46 +363,53 @@ main(int argc, char **argv)
     }
 
     // BENCH_explore.json.
-    std::ofstream out("BENCH_explore.json");
-    out << "{\n  \"bench\": \"explore\",\n  \"mode\": \""
-        << (smoke ? "smoke" : "full") << "\",\n  \"workers\": "
-        << workers << ",\n  \"hw_threads\": " << hw
-        << ",\n  \"seeds_per_policy\": " << seeds
-        << ",\n  \"schedules\": " << rep.schedules
-        << ",\n  \"vm_runs\": " << rep.vmRuns
-        << ",\n  \"total_steps\": " << rep.totalSteps
-        << ",\n  \"seconds\": " << fmt("%.3f", rep.seconds)
-        << ",\n  \"schedules_per_sec\": "
-        << fmt("%.1f", rep.schedulesPerSec)
-        << ",\n  \"divergences\": " << rep.divergences
-        << ",\n  \"unrecovered\": " << rep.unrecovered
-        << ",\n  \"speedup\": {\"workers\": " << workers
-        << ", \"baseline_sched_per_sec\": " << fmt("%.1f", base_sps)
-        << ", \"parallel_sched_per_sec\": " << fmt("%.1f", par_sps)
-        << ", \"speedup\": " << fmt("%.2f", speedup)
-        << "},\n  \"kernels\": [\n";
-    for (size_t i = 0; i < rep.targets.size(); ++i) {
-        const TargetReport &tr = rep.targets[i];
-        out << "    {\"name\": \"" << jsonEscape(tr.name)
-            << "\", \"schedules\": " << tr.schedules
-            << ", \"skipped\": " << tr.skipped
-            << ", \"failing_schedules\": " << tr.failingSchedules
-            << ", \"inconclusive\": " << tr.inconclusive
-            << ", \"distinct_failure_tags\": " << tr.failureTags.size()
-            << ", \"first_failure\": \""
-            << (tr.foundFailure
-                    ? jsonEscape(tr.firstFailure.token())
-                    : std::string())
-            << "\", \"first_failure_seed_budget\": "
-            << tr.firstFailureSeedBudget
-            << ", \"divergences\": " << tr.divergences
-            << ", \"unrecovered\": " << tr.unrecovered
-            << ", \"hardened_inconclusive\": " << tr.hardenedInconclusive
-            << ", \"chaos_runs\": " << tr.chaosRuns
-            << ", \"chaos_rollbacks\": " << tr.chaosRollbacks << "}"
-            << (i + 1 < rep.targets.size() ? "," : "") << "\n";
+    JsonWriter w(2);
+    w.beginObject();
+    w.key("bench").value("explore");
+    w.key("mode").value(smoke ? "smoke" : "full");
+    w.key("workers").value(workers);
+    w.key("hw_threads").value(hw);
+    w.key("seeds_per_policy").value(seeds);
+    w.key("schedules").value(rep.schedules);
+    w.key("vm_runs").value(rep.vmRuns);
+    w.key("total_steps").value(rep.totalSteps);
+    w.key("seconds").value(rep.seconds, "%.3f");
+    w.key("schedules_per_sec").value(rep.schedulesPerSec, "%.1f");
+    w.key("divergences").value(rep.divergences);
+    w.key("unrecovered").value(rep.unrecovered);
+    w.key("speedup").beginObject();
+    w.key("workers").value(workers);
+    w.key("baseline_sched_per_sec").value(base_sps, "%.1f");
+    w.key("parallel_sched_per_sec").value(par_sps, "%.1f");
+    w.key("speedup").value(speedup, "%.2f");
+    w.endObject();
+    w.key("kernels").beginArray();
+    for (const TargetReport &tr : rep.targets) {
+        w.beginObject();
+        w.key("name").value(tr.name);
+        w.key("schedules").value(tr.schedules);
+        w.key("skipped").value(tr.skipped);
+        w.key("failing_schedules").value(tr.failingSchedules);
+        w.key("inconclusive").value(tr.inconclusive);
+        w.key("distinct_failure_tags")
+            .value(uint64_t(tr.failureTags.size()));
+        w.key("first_failure")
+            .value(tr.foundFailure ? tr.firstFailure.token()
+                                   : std::string());
+        w.key("first_failure_seed_budget")
+            .value(tr.firstFailureSeedBudget);
+        w.key("divergences").value(tr.divergences);
+        w.key("unrecovered").value(tr.unrecovered);
+        w.key("hardened_inconclusive").value(tr.hardenedInconclusive);
+        w.key("chaos_runs").value(tr.chaosRuns);
+        w.key("chaos_rollbacks").value(tr.chaosRollbacks);
+        writeMetricsJson(w, tr);
+        w.endObject();
     }
-    out << "  ]\n}\n";
+    w.endArray();
+    w.endObject();
+    std::ofstream out("BENCH_explore.json");
+    out << w.str() << "\n";
     out.close();
     std::printf("wrote BENCH_explore.json\n");
 
@@ -297,6 +424,11 @@ main(int argc, char **argv)
         std::fprintf(stderr, "FAIL: %llu unrecovered hardened "
                              "failures\n",
                      (unsigned long long)rep.unrecovered);
+        rc = 1;
+    }
+    if (!traceOk) {
+        std::fprintf(stderr,
+                     "FAIL: trace totals mismatch RunStats\n");
         rc = 1;
     }
     if (!smoke) {

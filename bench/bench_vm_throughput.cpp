@@ -22,6 +22,8 @@
 #include <fstream>
 
 #include "frontend/compile.h"
+#include "obs/trace.h"
+#include "support/json.h"
 #include "vm/interp.h"
 
 using namespace conair;
@@ -144,10 +146,15 @@ struct Cell
 };
 
 Cell
-measure(const ir::Module &m, vm::VmConfig cfg, unsigned runs)
+measure(const ir::Module &m, vm::VmConfig cfg, unsigned runs,
+        obs::FlightRecorder *rec = nullptr)
 {
     Cell best;
     for (unsigned r = 0; r < runs; ++r) {
+        if (rec) {
+            rec->clear();
+            cfg.recorder = rec;
+        }
         auto t0 = std::chrono::steady_clock::now();
         vm::RunResult res = vm::runProgram(m, cfg);
         auto t1 = std::chrono::steady_clock::now();
@@ -163,18 +170,6 @@ measure(const ir::Module &m, vm::VmConfig cfg, unsigned runs)
         }
     }
     return best;
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s)
-        if (c == '"' || c == '\\')
-            out += std::string("\\") + c;
-        else
-            out += c;
-    return out;
 }
 
 } // namespace
@@ -217,13 +212,13 @@ main(int argc, char **argv)
                 "(wall clock) ===\n\n");
 
     Table t({"Workload", "Reference (steps/s)", "Decoded (steps/s)",
-             "Speedup"});
+             "Speedup", "Decoded+trace (steps/s)", "Trace cost"});
 
     struct Row
     {
         std::string name;
         bool singleThread;
-        Cell ref, dec;
+        Cell ref, dec, traced;
     };
     std::vector<Row> rows;
 
@@ -240,42 +235,65 @@ main(int argc, char **argv)
         row.singleThread = w.singleThread;
         row.ref = measure(*m, ref, runs);
         row.dec = measure(*m, decoded, runs);
+        // The tracing-on row: same decoded config, flight recorder
+        // attached.  Its distance from the plain decoded row is the
+        // *enabled* cost; the decoded row itself carries the
+        // disabled-mode branch, so regressions against the PR-1
+        // baseline surface in decoded_steps_per_sec.
+        obs::FlightRecorder recorder(4096);
+        row.traced = measure(*m, decoded, runs, &recorder);
         if (row.ref.outcome != vm::Outcome::Success ||
             row.dec.outcome != vm::Outcome::Success ||
-            row.ref.steps != row.dec.steps) {
+            row.ref.steps != row.dec.steps ||
+            row.traced.steps != row.dec.steps) {
             std::fprintf(stderr,
-                         "engine divergence on %s: steps %llu vs %llu\n",
+                         "engine divergence on %s: steps %llu vs %llu "
+                         "(traced %llu)\n",
                          w.name.c_str(),
                          (unsigned long long)row.ref.steps,
-                         (unsigned long long)row.dec.steps);
+                         (unsigned long long)row.dec.steps,
+                         (unsigned long long)row.traced.steps);
             return 1;
         }
         rows.push_back(row);
         double speedup = row.dec.stepsPerSec / row.ref.stepsPerSec;
+        double traceCost =
+            1.0 - row.traced.stepsPerSec / row.dec.stepsPerSec;
         t.row({row.name, fmt("%.0f", row.ref.stepsPerSec),
                fmt("%.0f", row.dec.stepsPerSec),
-               fmt("%.2fx", speedup)});
+               fmt("%.2fx", speedup),
+               fmt("%.0f", row.traced.stepsPerSec),
+               fmt("%.1f%%", traceCost * 100)});
     }
     t.print();
 
-    std::ofstream out("BENCH_vm.json");
-    out << "{\n  \"bench\": \"vm_throughput\",\n  \"mode\": \""
-        << (smoke ? "smoke" : "full") << "\",\n  \"runs\": " << runs
-        << ",\n  \"workloads\": [\n";
-    for (size_t i = 0; i < rows.size(); ++i) {
-        const Row &r = rows[i];
-        out << "    {\"name\": \"" << jsonEscape(r.name)
-            << "\", \"single_thread\": "
-            << (r.singleThread ? "true" : "false")
-            << ", \"steps\": " << r.ref.steps
-            << ", \"reference_steps_per_sec\": "
-            << fmt("%.0f", r.ref.stepsPerSec)
-            << ", \"decoded_steps_per_sec\": "
-            << fmt("%.0f", r.dec.stepsPerSec) << ", \"speedup\": "
-            << fmt("%.3f", r.dec.stepsPerSec / r.ref.stepsPerSec)
-            << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    JsonWriter w(2);
+    w.beginObject();
+    w.key("bench").value("vm_throughput");
+    w.key("mode").value(smoke ? "smoke" : "full");
+    w.key("runs").value(runs);
+    w.key("workloads").beginArray();
+    for (const Row &r : rows) {
+        w.beginObject();
+        w.key("name").value(r.name);
+        w.key("single_thread").value(r.singleThread);
+        w.key("steps").value(r.ref.steps);
+        w.key("reference_steps_per_sec")
+            .value(r.ref.stepsPerSec, "%.0f");
+        w.key("decoded_steps_per_sec").value(r.dec.stepsPerSec, "%.0f");
+        w.key("speedup")
+            .value(r.dec.stepsPerSec / r.ref.stepsPerSec, "%.3f");
+        w.key("decoded_traced_steps_per_sec")
+            .value(r.traced.stepsPerSec, "%.0f");
+        w.key("trace_overhead")
+            .value(1.0 - r.traced.stepsPerSec / r.dec.stepsPerSec,
+                   "%.3f");
+        w.endObject();
     }
-    out << "  ]\n}\n";
+    w.endArray();
+    w.endObject();
+    std::ofstream out("BENCH_vm.json");
+    out << w.str() << "\n";
     out.close();
     std::printf("\nwrote BENCH_vm.json\n");
 

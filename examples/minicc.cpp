@@ -5,6 +5,7 @@
  *
  * Usage:
  *   minicc [options] file.mc
+ *   minicc [options] --app NAME
  *     --conair             harden with survival-mode ConAir
  *     --fix TAG            harden only the site TAG (repeatable)
  *     --no-interproc       disable §4.3 inter-procedural recovery
@@ -15,9 +16,17 @@
  *     --quantum N          preemption quantum (default 50)
  *     --delay HINT:TICKS   stall hint(HINT) for TICKS (repeatable)
  *     --max-steps N        instruction budget
+ *     --app NAME           run a bundled bug kernel (FFT, MySQL1, ...)
+ *                          under its failure-forcing schedule instead
+ *                          of compiling a file; implies --conair
+ *     --trace FILE         write a Chrome trace_event JSON of the run
+ *                          (load in Perfetto; see docs/OBSERVABILITY.md)
+ *     --metrics FILE       write the run's metrics registry JSON
+ *     --timeline           print the recovery timeline to stderr
  *
  * Example (examples/data/racy_counter.mc ships with the repo):
  *   minicc --conair --delay 1:5000 examples/data/racy_counter.mc
+ *   minicc --app MySQL1 --trace trace.json --timeline
  */
 #include <cstdio>
 #include <cstring>
@@ -25,9 +34,13 @@
 #include <sstream>
 #include <string>
 
+#include "apps/harness.h"
 #include "conair/driver.h"
 #include "frontend/compile.h"
 #include "ir/printer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "vm/interp.h"
 
 using namespace conair;
@@ -43,7 +56,25 @@ usage()
                  "              [--seed N] [--quantum N] "
                  "[--delay HINT:TICKS]\n"
                  "              [--no-interproc] [--no-optimize] "
-                 "[--max-steps N] file.mc\n");
+                 "[--max-steps N]\n"
+                 "              [--trace FILE] [--metrics FILE] "
+                 "[--timeline]\n"
+                 "              file.mc | --app NAME\n");
+}
+
+bool
+writeArtifact(const std::string &path, const std::string &content,
+              const char *what)
+{
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "minicc: cannot write %s %s\n", what,
+                     path.c_str());
+        return false;
+    }
+    f << content;
+    std::fprintf(stderr, "; wrote %s %s\n", what, path.c_str());
+    return true;
 }
 
 } // namespace
@@ -51,8 +82,9 @@ usage()
 int
 main(int argc, char **argv)
 {
-    std::string path;
+    std::string path, appName, tracePath, metricsPath;
     bool conair = false, print_ir = false, report = false;
+    bool timeline = false;
     ca::ConAirOptions copts;
     vm::VmConfig cfg;
     cfg.seed = 1;
@@ -86,6 +118,14 @@ main(int argc, char **argv)
             cfg.quantum = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--max-steps") {
             cfg.maxSteps = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--app") {
+            appName = next();
+        } else if (arg == "--trace") {
+            tracePath = next();
+        } else if (arg == "--metrics") {
+            metricsPath = next();
+        } else if (arg == "--timeline") {
+            timeline = true;
         } else if (arg == "--delay") {
             std::string spec = next();
             size_t colon = spec.find(':');
@@ -103,9 +143,56 @@ main(int argc, char **argv)
             path = arg;
         }
     }
-    if (path.empty()) {
+    if (path.empty() == appName.empty()) {
         usage();
         return 2;
+    }
+
+    // Shared observability hooks for both run paths.
+    obs::FlightRecorder recorder(8192);
+    obs::MetricsRegistry metrics;
+    const bool observe =
+        !tracePath.empty() || !metricsPath.empty() || timeline;
+
+    if (!appName.empty()) {
+        // Bundled bug kernel under its failure-forcing schedule, with
+        // full survival hardening — the harness path behind Tables 3-7.
+        const apps::AppSpec *spec = apps::findApp(appName);
+        if (!spec) {
+            std::fprintf(stderr, "minicc: unknown app '%s' (have:",
+                         appName.c_str());
+            for (const apps::AppSpec &a : apps::allApps())
+                std::fprintf(stderr, " %s", a.name.c_str());
+            std::fprintf(stderr, ")\n");
+            return 2;
+        }
+        apps::PreparedApp p =
+            apps::prepareApp(*spec, apps::HardenOptions{});
+        vm::RunResult run =
+            apps::runBuggy(p, cfg.seed, observe ? &recorder : nullptr,
+                           observe ? &metrics : nullptr);
+        std::fputs(run.output.c_str(), stdout);
+        std::fprintf(stderr,
+                     "; %s: %s, %llu rollback(s), %zu recovery "
+                     "episode(s)\n",
+                     appName.c_str(), vm::outcomeName(run.outcome),
+                     (unsigned long long)run.stats.rollbacks,
+                     run.stats.recoveries.size());
+        if (timeline)
+            std::fprintf(stderr, "%s",
+                         obs::recoveryTimeline(recorder).c_str());
+        if (!tracePath.empty() &&
+            !writeArtifact(tracePath,
+                           obs::chromeTraceJson(recorder, appName),
+                           "trace"))
+            return 2;
+        if (!metricsPath.empty() &&
+            !writeArtifact(metricsPath, metrics.toJson() + "\n",
+                           "metrics"))
+            return 2;
+        return run.outcome == vm::Outcome::Success
+                   ? int(run.exitCode & 0xff)
+                   : 1;
     }
 
     std::ifstream in(path);
@@ -142,8 +229,22 @@ main(int argc, char **argv)
     if (print_ir)
         std::printf("%s", ir::printModule(*module).c_str());
 
+    if (observe) {
+        cfg.recorder = &recorder;
+        cfg.metrics = &metrics;
+    }
     vm::RunResult run = vm::runProgram(*module, cfg);
     std::fputs(run.output.c_str(), stdout);
+    if (timeline)
+        std::fprintf(stderr, "%s",
+                     obs::recoveryTimeline(recorder).c_str());
+    if (!tracePath.empty() &&
+        !writeArtifact(tracePath, obs::chromeTraceJson(recorder, path),
+                       "trace"))
+        return 2;
+    if (!metricsPath.empty() &&
+        !writeArtifact(metricsPath, metrics.toJson() + "\n", "metrics"))
+        return 2;
     if (run.outcome != vm::Outcome::Success) {
         std::fprintf(stderr, "minicc: %s: %s\n",
                      vm::outcomeName(run.outcome),

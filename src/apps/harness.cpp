@@ -66,6 +66,17 @@ runBuggy(const PreparedApp &p, uint64_t seed)
     return vm::runProgram(*p.module, cfg);
 }
 
+vm::RunResult
+runBuggy(const PreparedApp &p, uint64_t seed, obs::FlightRecorder *rec,
+         obs::MetricsRegistry *met)
+{
+    vm::VmConfig cfg = p.spec->buggyConfig;
+    cfg.seed = seed;
+    cfg.recorder = rec;
+    cfg.metrics = met;
+    return vm::runProgram(*p.module, cfg);
+}
+
 bool
 runIsCorrect(const AppSpec &app, const vm::RunResult &r)
 {

@@ -47,6 +47,13 @@ vm::RunResult runClean(const PreparedApp &p, uint64_t seed);
 /** Runs one failure-forcing execution with @p seed. */
 vm::RunResult runBuggy(const PreparedApp &p, uint64_t seed);
 
+/** runBuggy with observability attached: @p rec / @p met (either may
+ *  be null) receive the run's flight-recorder events and metrics —
+ *  the minicc --app/--trace/--metrics path for the ten kernels. */
+vm::RunResult runBuggy(const PreparedApp &p, uint64_t seed,
+                       obs::FlightRecorder *rec,
+                       obs::MetricsRegistry *met);
+
 /** Did this run behave correctly (outcome, output, exit code)? */
 bool runIsCorrect(const AppSpec &app, const vm::RunResult &r);
 

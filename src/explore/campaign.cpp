@@ -103,6 +103,16 @@ reproCommand(const std::string &app, const ScheduleSpec &s)
            s.token();
 }
 
+std::string
+policyLabel(vm::SchedPolicy policy, uint32_t depth)
+{
+    const char *name = vm::schedPolicyName(policy);
+    if (policy == vm::SchedPolicy::Pct ||
+        policy == vm::SchedPolicy::PreemptBound)
+        return strfmt("%s:d%u", name, depth);
+    return name;
+}
+
 //
 // One schedule, all legs.
 //
@@ -160,7 +170,8 @@ calibrateHorizon(const ir::Module &m, uint64_t maxSteps)
 
 ScheduleOutcome
 runOneSchedule(const Target &t, const ScheduleSpec &s,
-               const CampaignOptions &opts)
+               const CampaignOptions &opts,
+               const ScheduleInstruments *ins)
 {
     ScheduleOutcome out;
     out.spec = s;
@@ -175,7 +186,10 @@ runOneSchedule(const Target &t, const ScheduleSpec &s,
     // No DelayRules: the campaign's whole point is finding the buggy
     // interleavings without the hand-scripted trigger sleeps.
 
-    vm::RunResult u = vm::runProgram(*t.plain, base);
+    vm::VmConfig plainCfg = base;
+    if (ins)
+        plainCfg.recorder = ins->unhardened;
+    vm::RunResult u = vm::runProgram(*t.plain, plainCfg);
     out.unhardened = u.outcome;
     out.unhardenedCorrect = correctRun(t, u);
     out.unhardenedInconclusive = u.outcome == vm::Outcome::Timeout;
@@ -199,15 +213,25 @@ runOneSchedule(const Target &t, const ScheduleSpec &s,
         out.chaos = opts.chaosEveryN > 0 && s.seed % 2 == 0;
         if (out.chaos)
             hardCfg.chaosRollbackEveryN = opts.chaosEveryN;
+        if (ins)
+            hardCfg.recorder = ins->hardened;
+        if (opts.collectMetrics)
+            hardCfg.metrics = &out.metrics;
         vm::RunResult h = vm::runProgram(*t.hardened, hardCfg);
         out.hardened = h.outcome;
         out.hardenedCorrect = correctRun(t, h);
         out.hardenedInconclusive = h.outcome == vm::Outcome::Timeout;
         out.chaosRollbacks = h.stats.chaosRollbacks;
+        out.hardenedRollbacks = h.stats.rollbacks;
+        out.hardenedCheckpoints = h.stats.checkpointsExecuted;
 
         if (opts.differential && !out.chaos && !out.diverged) {
             vm::VmConfig refCfg = hardCfg;
             refCfg.engine = vm::ExecEngine::Reference;
+            // The differential replica always runs bare: tick identity
+            // against the instrumented leg proves recording is passive.
+            refCfg.recorder = nullptr;
+            refCfg.metrics = nullptr;
             vm::RunResult r = vm::runProgram(*t.hardened, refCfg);
             std::string d = tickDiff(h, r);
             if (!d.empty()) {
@@ -230,6 +254,7 @@ struct Job
     size_t target;
     ScheduleSpec spec;
     uint64_t seedOrdinal; ///< 1-based seed index within its policy
+    size_t policyIdx;     ///< index into CampaignOptions::policies
 };
 
 bool
@@ -248,10 +273,12 @@ runCampaign(const std::vector<Target> &targets,
     jobs.reserve(targets.size() * opts.policies.size() *
                  opts.seedsPerPolicy);
     for (size_t ti = 0; ti < targets.size(); ++ti)
-        for (const auto &[policy, depth] : opts.policies)
+        for (size_t pi = 0; pi < opts.policies.size(); ++pi) {
+            const auto &[policy, depth] = opts.policies[pi];
             for (uint64_t seed = 1; seed <= opts.seedsPerPolicy; ++seed)
                 jobs.push_back(
-                    {ti, ScheduleSpec{policy, seed, depth}, seed});
+                    {ti, ScheduleSpec{policy, seed, depth}, seed, pi});
+        }
 
     std::vector<ScheduleOutcome> results(jobs.size());
     std::vector<std::atomic<uint64_t>> failCount(targets.size());
@@ -296,8 +323,13 @@ runCampaign(const std::vector<Target> &targets,
     CampaignReport rep;
     rep.targets.resize(targets.size());
     std::vector<std::set<std::string>> tags(targets.size());
-    for (size_t ti = 0; ti < targets.size(); ++ti)
+    for (size_t ti = 0; ti < targets.size(); ++ti) {
         rep.targets[ti].name = targets[ti].name;
+        if (opts.collectMetrics)
+            for (const auto &[policy, depth] : opts.policies)
+                rep.targets[ti].policyMetrics.emplace_back(
+                    policyLabel(policy, depth), obs::MetricsRegistry{});
+    }
 
     for (size_t i = 0; i < jobs.size(); ++i) {
         const Job &j = jobs[i];
@@ -336,6 +368,8 @@ runCampaign(const std::vector<Target> &targets,
 
         if (o.hardenedRan) {
             ++tr.hardenedSchedules;
+            if (opts.collectMetrics)
+                tr.policyMetrics[j.policyIdx].second.merge(o.metrics);
             rep.vmRuns +=
                 1 + (opts.differential && !o.chaos && !o.diverged);
             tr.chaosRuns += o.chaos;

@@ -28,10 +28,15 @@
 #include <vector>
 
 #include "explore/schedule.h"
+#include "obs/metrics.h"
 #include "vm/stats.h"
 
 namespace conair::ir {
 class Module;
+}
+
+namespace conair::obs {
+class FlightRecorder;
 }
 
 namespace conair::explore {
@@ -99,6 +104,12 @@ struct CampaignOptions
      *  schedules were found (0 = explore the full matrix).  Saves time
      *  in smoke runs; aggregate counters then under-report. */
     uint64_t stopAfterFailures = 0;
+
+    /** Collect a MetricsRegistry from every hardened leg and aggregate
+     *  it per (target, policy entry) into TargetReport::policyMetrics.
+     *  Aggregation happens in matrix order, so the merged metrics are
+     *  independent of worker count like every other report field. */
+    bool collectMetrics = false;
 };
 
 /** Everything one explored schedule produced. */
@@ -123,6 +134,27 @@ struct ScheduleOutcome
     std::string divergenceMsg;
 
     uint64_t steps = 0; ///< unhardened Decoded-leg step count
+
+    /** Hardened-leg RunStats counters surfaced for the trace-vs-stats
+     *  validation (--repro --trace cross-checks event totals). */
+    uint64_t hardenedRollbacks = 0;
+    uint64_t hardenedCheckpoints = 0;
+
+    /** Hardened-leg metrics (populated when opts.collectMetrics). */
+    obs::MetricsRegistry metrics;
+};
+
+/**
+ * Optional observability hooks for runOneSchedule (the --repro --trace
+ * path).  Only the *Decoded* unhardened/hardened legs are instrumented;
+ * the Reference differential replicas always run bare — recording is
+ * passive, so the tick-identity oracle doubles as a regression test
+ * that instrumentation never perturbs execution.
+ */
+struct ScheduleInstruments
+{
+    obs::FlightRecorder *unhardened = nullptr;
+    obs::FlightRecorder *hardened = nullptr;
 };
 
 /** Per-target aggregation. */
@@ -165,6 +197,12 @@ struct TargetReport
     std::string firstDivergenceMsg;
 
     uint64_t totalSteps = 0;
+
+    /** Per-policy-entry aggregated hardened-leg metrics (only when
+     *  CampaignOptions::collectMetrics): one ("pct:d2", registry) pair
+     *  per opts.policies entry, in matrix order. */
+    std::vector<std::pair<std::string, obs::MetricsRegistry>>
+        policyMetrics;
 };
 
 /** Whole-campaign result. */
@@ -191,9 +229,15 @@ CampaignReport runCampaign(const std::vector<Target> &targets,
                            const CampaignOptions &opts);
 
 /** Runs a single (target, schedule) cell with all its legs — the
- *  --repro path for a triple printed by a campaign. */
+ *  --repro path for a triple printed by a campaign.  @p ins optionally
+ *  attaches flight recorders to the Decoded legs. */
 ScheduleOutcome runOneSchedule(const Target &t, const ScheduleSpec &s,
-                               const CampaignOptions &opts);
+                               const CampaignOptions &opts,
+                               const ScheduleInstruments *ins = nullptr);
+
+/** The "pct:d2" / "random" label of one CampaignOptions::policies
+ *  entry (a schedule token without the seed part). */
+std::string policyLabel(vm::SchedPolicy policy, uint32_t depth);
 
 /** Measures a clean RoundRobin run of @p m and returns its scheduling
  *  tick count (shared stores + sync ops, RunStats::schedTicks) — the

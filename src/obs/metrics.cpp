@@ -1,0 +1,162 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "support/diag.h"
+#include "support/json.h"
+
+namespace conair::obs {
+
+Histogram::Histogram(std::vector<uint64_t> upperBounds)
+    : bounds(std::move(upperBounds)), counts(bounds.size() + 1, 0)
+{
+}
+
+void
+Histogram::observe(uint64_t v)
+{
+    size_t i = std::lower_bound(bounds.begin(), bounds.end(), v) -
+               bounds.begin();
+    ++counts[i];
+    ++count;
+    sum += v;
+    max = std::max(max, v);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count == 0)
+        return;
+    if (count == 0) {
+        *this = other;
+        return;
+    }
+    if (bounds != other.bounds)
+        fatal("Histogram::merge: bucket layouts differ");
+    for (size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    count += other.count;
+    sum += other.sum;
+    max = std::max(max, other.max);
+}
+
+void
+MetricsRegistry::add(const std::string &name, uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+uint64_t
+MetricsRegistry::counter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+MetricsRegistry::observe(const std::string &name, uint64_t v,
+                         const std::vector<uint64_t> &bounds)
+{
+    auto it = hists_.find(name);
+    if (it == hists_.end())
+        it = hists_.emplace(name, Histogram(bounds)).first;
+    it->second.observe(v);
+}
+
+const Histogram *
+MetricsRegistry::histogram(const std::string &name) const
+{
+    auto it = hists_.find(name);
+    return it == hists_.end() ? nullptr : &it->second;
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    for (const auto &[name, v] : other.counters_)
+        counters_[name] += v;
+    for (const auto &[name, h] : other.hists_) {
+        auto it = hists_.find(name);
+        if (it == hists_.end())
+            hists_.emplace(name, h);
+        else
+            it->second.merge(h);
+    }
+}
+
+void
+MetricsRegistry::clear()
+{
+    counters_.clear();
+    hists_.clear();
+}
+
+void
+MetricsRegistry::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto &[name, v] : counters_)
+        w.key(name).value(v);
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto &[name, h] : hists_) {
+        w.key(name).beginObject();
+        w.key("count").value(h.count);
+        w.key("sum").value(h.sum);
+        w.key("max").value(h.max);
+        w.key("mean").value(h.mean(), "%.3f");
+        w.key("bounds").beginArray();
+        for (uint64_t bnd : h.bounds)
+            w.value(bnd);
+        w.endArray();
+        w.key("buckets").beginArray();
+        for (uint64_t c : h.counts)
+            w.value(c);
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+MetricsRegistry::toJson(int indent) const
+{
+    JsonWriter w(indent);
+    writeJson(w);
+    return w.str();
+}
+
+const std::vector<uint64_t> &
+MetricsRegistry::latencyBucketsUs()
+{
+    // Recovery latency in virtual microseconds: rollback-to-recovery
+    // episodes span a handful of re-executed instructions (0.1 µs
+    // each) up to long retry/back-off loops.
+    static const std::vector<uint64_t> b = {1,   2,   5,    10,   20,
+                                            50,  100, 200,  500,  1000,
+                                            2000, 5000, 10000, 100000};
+    return b;
+}
+
+const std::vector<uint64_t> &
+MetricsRegistry::retryBuckets()
+{
+    static const std::vector<uint64_t> b = {1, 2, 3, 4, 6, 8, 12, 16, 32};
+    return b;
+}
+
+const std::vector<uint64_t> &
+MetricsRegistry::tickDistanceBuckets()
+{
+    // Checkpoint-to-failure distance in scheduling ticks: ConAir's
+    // whole bet is that this stays tiny (idempotent region), so the
+    // ladder is dense near zero.
+    static const std::vector<uint64_t> b = {0,  1,  2,   4,   8,   16,
+                                            32, 64, 128, 256, 1024, 8192};
+    return b;
+}
+
+} // namespace conair::obs

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A small metrics registry: named monotonic counters plus fixed-bucket
+ * histograms, built for deterministic aggregation.  The VM populates
+ * one per run (VmConfig::metrics); the campaign engine merges
+ * per-schedule registries per (kernel, policy) in matrix order, so the
+ * aggregated numbers are independent of worker count — pinned by
+ * tests/explore/campaign_test.cpp.
+ *
+ * The stock instruments (see docs/OBSERVABILITY.md for the schema):
+ *   counters    checkpoints, rollbacks, recoveries, backoffs,
+ *               compensation_frees, compensation_unlocks,
+ *               chaos_rollbacks, retries_by_site/<tag>
+ *   histograms  recovery_latency_us        (latencyBucketsUs)
+ *               recovery_retries           (retryBuckets)
+ *               ckpt_to_failure_ticks      (tickDistanceBuckets)
+ *
+ * Map-backed on purpose: names serialize in sorted order, keeping the
+ * JSON artifact byte-stable for the golden tests.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace conair {
+class JsonWriter;
+}
+
+namespace conair::obs {
+
+/** A fixed-bucket histogram.  `bounds` are inclusive upper edges of
+ *  the finite buckets; one overflow bucket catches the rest. */
+struct Histogram
+{
+    std::vector<uint64_t> bounds; ///< ascending upper edges
+    std::vector<uint64_t> counts; ///< bounds.size() + 1 buckets
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+
+    Histogram() = default;
+    explicit Histogram(std::vector<uint64_t> upperBounds);
+
+    void observe(uint64_t v);
+
+    /** Adds @p other in; bucket layouts must match. */
+    void merge(const Histogram &other);
+
+    double mean() const { return count ? double(sum) / double(count) : 0.0; }
+
+    bool operator==(const Histogram &) const = default;
+};
+
+class MetricsRegistry
+{
+  public:
+    /** Adds @p delta to counter @p name (created at zero on first use). */
+    void add(const std::string &name, uint64_t delta = 1);
+
+    /** Counter value (0 when the counter was never touched). */
+    uint64_t counter(const std::string &name) const;
+
+    /** Records @p v into histogram @p name, creating it with
+     *  @p bounds on first use.  Later calls ignore @p bounds. */
+    void observe(const std::string &name, uint64_t v,
+                 const std::vector<uint64_t> &bounds);
+
+    /** The histogram, or nullptr if never observed. */
+    const Histogram *histogram(const std::string &name) const;
+
+    /** Folds @p other in: counters add, histograms merge. */
+    void merge(const MetricsRegistry &other);
+
+    bool empty() const { return counters_.empty() && hists_.empty(); }
+    void clear();
+
+    const std::map<std::string, uint64_t> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return hists_;
+    }
+
+    /** Serializes as {"counters": {...}, "histograms": {...}} into an
+     *  open writer position (caller owns the surrounding document). */
+    void writeJson(JsonWriter &w) const;
+
+    /** A standalone pretty-printed JSON document. */
+    std::string toJson(int indent = 2) const;
+
+    bool operator==(const MetricsRegistry &) const = default;
+
+    // Stock bucket ladders for the VM's instruments.
+    static const std::vector<uint64_t> &latencyBucketsUs();
+    static const std::vector<uint64_t> &retryBuckets();
+    static const std::vector<uint64_t> &tickDistanceBuckets();
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+    std::map<std::string, Histogram> hists_;
+};
+
+} // namespace conair::obs

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The flight recorder: a per-thread ring buffer of typed trace events
+ * covering everything that matters at recovery time — scheduler
+ * decisions, PCT change points, checkpoints, rollbacks, compensation
+ * ops, lock traffic, failure-site hits, chaos injections.
+ *
+ * The recorder is passive observation only: recording never touches
+ * the VM's RNG streams, clock, or step accounting, so an instrumented
+ * run is tick-for-tick identical to an uninstrumented one (pinned by
+ * tests/obs/vm_trace_test.cpp).  The VM holds a nullable pointer
+ * (VmConfig::recorder); disabled mode is one branch per event site and
+ * allocates nothing.
+ *
+ * Ring semantics: each thread keeps the newest `capacity` events;
+ * older ones are overwritten.  Per-kind totals survive wraparound, so
+ * aggregate counts (rollbacks, checkpoints, ...) always match the
+ * run's RunStats even when the ring dropped the early events.
+ *
+ * Everything the recorder captures is a deterministic function of
+ * (program, engine, policy, seed), which makes exported traces
+ * regression-testable artifacts (see tests/obs/trace_golden_test.cpp
+ * and docs/OBSERVABILITY.md).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace conair::obs {
+
+/**
+ * Event taxonomy.  The `a` / `b` payload words are kind-specific:
+ *
+ *  kind                 a                        b
+ *  -------------------  -----------------------  -------------------------
+ *  ThreadSpawn          PCT priority (0 if n/a)  -
+ *  SchedSwitch          previous thread id       runnable-thread count
+ *  SchedPoint           change-point index       new priority (PCT)
+ *  Checkpoint           1 = locals-saving        schedTicks at checkpoint
+ *  Rollback             retry # within episode   checkpoint-to-failure
+ *                                                distance in schedTicks
+ *  CompensationFree     heap block id            -
+ *  CompensationUnlock   mutex cell block         mutex cell offset
+ *  Backoff              sleep ticks              1 = retry back-off
+ *  LockAcquire          mutex cell block         1 = granted after block
+ *  LockBlock            mutex cell block         1 = timed acquisition
+ *  LockTimeout          mutex cell block         1 = zero-timeout try-lock
+ *  FailureSite          vm::Outcome as integer   -
+ *  ChaosRollback        global step count        -
+ *  RecoveryDone         retries in the episode   episode start clock
+ *
+ * `tag` carries the failure-site / lock-site tag when the instruction
+ * has one (Rollback, FailureSite, RecoveryDone, Lock*).
+ */
+enum class EventKind : uint8_t {
+    ThreadSpawn,
+    SchedSwitch,
+    SchedPoint,
+    Checkpoint,
+    Rollback,
+    CompensationFree,
+    CompensationUnlock,
+    Backoff,
+    LockAcquire,
+    LockBlock,
+    LockTimeout,
+    FailureSite,
+    ChaosRollback,
+    RecoveryDone,
+};
+
+inline constexpr size_t kEventKindCount =
+    size_t(EventKind::RecoveryDone) + 1;
+
+/** Stable lowercase name ("rollback", "lock-acquire", ...). */
+const char *eventKindName(EventKind k);
+
+/** One recorded event. */
+struct TraceEvent
+{
+    uint64_t seq = 0;   ///< global record order (total order of events)
+    uint64_t clock = 0; ///< virtual time at the event
+    uint64_t step = 0;  ///< executed-instruction count at the event
+    uint64_t a = 0;     ///< kind-specific payload (see EventKind)
+    uint64_t b = 0;     ///< kind-specific payload (see EventKind)
+    uint32_t tid = 0;   ///< VM thread the event belongs to
+    EventKind kind = EventKind::ThreadSpawn;
+    std::string tag;    ///< site tag, when the kind carries one
+
+    bool operator==(const TraceEvent &) const = default;
+};
+
+/** Per-thread ring buffers + per-kind totals. */
+class FlightRecorder
+{
+  public:
+    /** @p perThreadCapacity = events retained per thread (newest win);
+     *  clamped to >= 1. */
+    explicit FlightRecorder(size_t perThreadCapacity = 4096);
+
+    void record(uint32_t tid, EventKind kind, uint64_t clock,
+                uint64_t step, uint64_t a = 0, uint64_t b = 0,
+                std::string tag = {});
+
+    /** Highest thread id seen + 1 (0 when nothing was recorded). */
+    size_t threadCount() const { return rings_.size(); }
+
+    /** Events still retained for @p tid, oldest first. */
+    std::vector<TraceEvent> threadEvents(uint32_t tid) const;
+
+    /** All retained events of all threads, in record (seq) order. */
+    std::vector<TraceEvent> merged() const;
+
+    /** Events ever recorded for @p tid (including overwritten ones). */
+    uint64_t totalRecorded(uint32_t tid) const;
+
+    /** Events overwritten by ring wraparound for @p tid. */
+    uint64_t dropped(uint32_t tid) const;
+
+    uint64_t totalRecordedAll() const { return nextSeq_; }
+    uint64_t droppedAll() const;
+
+    /** Events of @p k ever recorded; survives wraparound, so these
+     *  totals are comparable against RunStats counters. */
+    uint64_t totalOf(EventKind k) const
+    {
+        return kindTotals_[size_t(k)];
+    }
+
+    size_t capacity() const { return cap_; }
+
+    /** Forgets all events and totals (capacity is kept). */
+    void clear();
+
+  private:
+    struct Ring
+    {
+        std::vector<TraceEvent> buf; ///< grows to cap_, then wraps
+        size_t next = 0;             ///< overwrite position once full
+        uint64_t total = 0;          ///< events ever recorded
+    };
+
+    size_t cap_;
+    uint64_t nextSeq_ = 0;
+    std::vector<Ring> rings_; ///< indexed by thread id
+    uint64_t kindTotals_[kEventKindCount] = {};
+};
+
+} // namespace conair::obs

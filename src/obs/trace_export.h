@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Exporters over FlightRecorder contents:
+ *
+ *  - chromeTraceJson(): Chrome `trace_event` JSON, loadable in
+ *    Perfetto (ui.perfetto.dev) or chrome://tracing.  One process per
+ *    recorded VM run, one track per VM thread; recovery episodes and
+ *    lock waits render as duration ("X") events, everything else as
+ *    instants.  Per-kind totals (which survive ring wraparound) go in
+ *    the top-level "otherData" object so aggregate counts stay
+ *    comparable against RunStats even when the ring dropped events.
+ *
+ *  - recoveryTimeline(): a human-readable dump of the recovery story
+ *    (checkpoints, rollbacks, compensation, back-off, recovery) for
+ *    terminal inspection of a failing repro token.
+ *
+ * Both are deterministic byte-for-byte for a given recorder state; the
+ * golden trace test pins chromeTraceJson() output exactly.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace conair::obs {
+
+/** One recorded VM run to export as a trace process. */
+struct TraceProcess
+{
+    const FlightRecorder *recorder = nullptr;
+    std::string name; ///< process_name metadata, e.g. "MySQL1 hardened"
+    uint32_t pid = 1;
+};
+
+/** Virtual-clock tick duration in microseconds.  The VM's virtual
+ *  clock advances kNanosPerStep = 100 ns per tick, i.e. 0.1 µs. */
+inline constexpr double kDefaultMicrosPerTick = 0.1;
+
+/** Renders @p processes as a Chrome trace_event JSON document. */
+std::string chromeTraceJson(const std::vector<TraceProcess> &processes,
+                            double microsPerTick = kDefaultMicrosPerTick);
+
+/** Convenience wrapper for a single run. */
+std::string chromeTraceJson(const FlightRecorder &rec,
+                            const std::string &processName,
+                            double microsPerTick = kDefaultMicrosPerTick);
+
+/** Human-readable recovery timeline (one line per recovery-relevant
+ *  event, chronological, annotated with thread / clock / site tag). */
+std::string recoveryTimeline(const FlightRecorder &rec,
+                             double microsPerTick = kDefaultMicrosPerTick);
+
+} // namespace conair::obs

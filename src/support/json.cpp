@@ -1,0 +1,180 @@
+#include "support/json.h"
+
+#include "support/diag.h"
+#include "support/str.h"
+
+namespace conair {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+            break;
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::preValue()
+{
+    if (keyPending_) {
+        keyPending_ = false;
+        return; // the key already positioned us
+    }
+    Ctx ctx = stack_.back();
+    if (ctx == Ctx::Object)
+        fatal("JsonWriter: value inside an object needs a key");
+    if (hasItems_.back())
+        out_ += ',';
+    if (indent_ > 0 && ctx != Ctx::Top) {
+        out_ += '\n';
+        out_.append(size_t(indent_) * (stack_.size() - 1), ' ');
+    }
+    hasItems_.back() = true;
+}
+
+void
+JsonWriter::open(Ctx c, char ch)
+{
+    preValue();
+    out_ += ch;
+    stack_.push_back(c);
+    hasItems_.push_back(false);
+}
+
+void
+JsonWriter::close(Ctx c, char ch)
+{
+    if (stack_.back() != c || keyPending_)
+        fatal("JsonWriter: mismatched container close");
+    bool had = hasItems_.back();
+    stack_.pop_back();
+    hasItems_.pop_back();
+    if (indent_ > 0 && had) {
+        out_ += '\n';
+        out_.append(size_t(indent_) * (stack_.size() - 1), ' ');
+    }
+    out_ += ch;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    open(Ctx::Object, '{');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    close(Ctx::Object, '}');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    open(Ctx::Array, '[');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    close(Ctx::Array, ']');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    if (stack_.back() != Ctx::Object || keyPending_)
+        fatal("JsonWriter: key outside an object");
+    if (hasItems_.back())
+        out_ += ',';
+    if (indent_ > 0) {
+        out_ += '\n';
+        out_.append(size_t(indent_) * (stack_.size() - 1), ' ');
+    }
+    hasItems_.back() = true;
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += indent_ > 0 ? "\": " : "\":";
+    keyPending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    preValue();
+    out_ += '"';
+    out_ += jsonEscape(s);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    preValue();
+    out_ += strfmt("%lld", (long long)v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    preValue();
+    out_ += strfmt("%llu", (unsigned long long)v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    preValue();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v, const char *fmt)
+{
+    preValue();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-nonliteral"
+    out_ += strfmt(fmt, v);
+#pragma GCC diagnostic pop
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(const std::string &json)
+{
+    preValue();
+    out_ += json;
+    return *this;
+}
+
+} // namespace conair

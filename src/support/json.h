@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A small streaming JSON writer shared by everything that emits JSON
+ * (the BENCH_*.json bench reports, the Chrome trace exporter, the
+ * metrics registry).  One implementation of escaping and comma/indent
+ * bookkeeping instead of a hand-rolled emitter per bench.
+ *
+ * Output is deterministic: the writer adds no whitespace beyond the
+ * indentation the caller configured, numbers are rendered with fixed
+ * printf formats, and key order is whatever the caller emits (use
+ * sorted containers for byte-stable artifacts — the golden trace test
+ * pins exporter output byte for byte).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace conair {
+
+/** Escapes @p s for inclusion inside a JSON double-quoted string
+ *  (quotes, backslashes, and control characters; non-ASCII bytes are
+ *  passed through, so UTF-8 input stays UTF-8). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Streaming JSON writer with automatic comma insertion.
+ *
+ *   JsonWriter w(2);                 // pretty-print, 2-space indent
+ *   w.beginObject().key("bench").value("explore")
+ *    .key("kernels").beginArray();
+ *   ...
+ *   w.endArray().endObject();
+ *   write(w.str());
+ *
+ * An indent of 0 produces compact single-line output.  Misnesting
+ * (value without key inside an object, endObject inside an array, ...)
+ * trips fatal() — emitters are all test-covered, so this is a
+ * programming error, not an input error.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(int indent = 0) : indent_(indent) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emits an object key; the next call must emit its value. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int v) { return value(int64_t(v)); }
+    JsonWriter &value(unsigned v) { return value(uint64_t(v)); }
+    JsonWriter &value(bool v);
+
+    /** Renders @p v with printf format @p fmt ("%.3f", "%.17g", ...).
+     *  Kept explicit so artifact precision is a caller decision and
+     *  byte-stable across runs. */
+    JsonWriter &value(double v, const char *fmt = "%.6g");
+
+    /** Splices pre-rendered JSON (a number formatted elsewhere, or a
+     *  nested document) as one value. */
+    JsonWriter &rawValue(const std::string &json);
+
+    /** The document so far (complete once every container is closed). */
+    const std::string &str() const { return out_; }
+
+  private:
+    enum class Ctx : uint8_t { Top, Object, Array };
+
+    void preValue(); ///< comma/newline/indent before a value or key
+    void open(Ctx c, char ch);
+    void close(Ctx c, char ch);
+
+    std::string out_;
+    std::vector<Ctx> stack_{Ctx::Top};
+    std::vector<bool> hasItems_{false};
+    bool keyPending_ = false;
+    int indent_ = 0;
+};
+
+} // namespace conair

@@ -9,6 +9,11 @@
 #include <unordered_map>
 #include <vector>
 
+namespace conair::obs {
+class FlightRecorder;
+class MetricsRegistry;
+}
+
 namespace conair::vm {
 
 /** Thread scheduling policies. */
@@ -186,6 +191,28 @@ struct VmConfig
 
     /** Upper bound on injected rollbacks (termination guarantee). */
     uint64_t chaosMaxRollbacks = 10'000;
+
+    /** @} */
+
+    /**
+     * @name Observability (src/obs/)
+     *
+     * Both hooks are pure observation: recording never perturbs the
+     * schedule, RNG streams, clock, or stats, so an instrumented run
+     * is tick-for-tick identical to an uninstrumented one (pinned by
+     * tests/obs/vm_trace_test.cpp).  nullptr (the default) disables a
+     * hook; the disabled path is a branch on the pointer with no
+     * allocation.  Neither pointer is owned by the VM.
+     * @{
+     */
+
+    /** Flight recorder receiving typed trace events (scheduler
+     *  decisions, checkpoints, rollbacks, lock traffic, ...). */
+    obs::FlightRecorder *recorder = nullptr;
+
+    /** Metrics registry receiving counters and histograms (recovery
+     *  latency, retries per site, checkpoint-to-failure distance). */
+    obs::MetricsRegistry *metrics = nullptr;
 
     /** @} */
 };

@@ -1,7 +1,10 @@
 #include "vm/interp.h"
 
 #include <algorithm>
+#include <ostream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/str.h"
 
 namespace conair::vm {
@@ -59,12 +62,20 @@ outcomeName(Outcome o)
     return "?";
 }
 
+std::ostream &
+operator<<(std::ostream &os, Outcome o)
+{
+    return os << outcomeName(o);
+}
+
 Interp::Interp(const ir::Module &m, VmConfig cfg)
     : module_(m), cfg_(cfg), schedRng_(cfg.seed), appRng_(cfg.appSeed),
       chaosRng_(cfg.seed ^ 0x5bd1e995u),
       prioRng_(cfg.seed ^ 0xda942042e4dd58b5ull)
 {
     engineDecoded_ = cfg_.engine == ExecEngine::Decoded;
+    rec_ = cfg_.recorder;
+    met_ = cfg_.metrics;
 
     // Exploration policies: sample the priority-change / forced-
     // preemption points up front from a dedicated split stream, so the
@@ -757,6 +768,10 @@ Interp::lockMutex(Thread &t, Ptr p, bool timed, uint64_t timeout,
     if (m.owner == -1) {
         m.owner = int32_t(t.id);
         t.pendingNote = true;
+        if (rec_)
+            rec_->record(t.id, obs::EventKind::LockAcquire, clock_,
+                         result_.stats.steps, key.block, 0,
+                         site ? site->tag() : std::string());
         if (timed)
             t.frames.back().regs[dstReg] = RtValue::ofInt(0);
         return;
@@ -765,6 +780,10 @@ Interp::lockMutex(Thread &t, Ptr p, bool timed, uint64_t timeout,
         // Zero timeout is a try-lock: a contended acquisition reports
         // the timeout immediately instead of parking the thread on an
         // already-expired deadline for a scheduling round.
+        if (rec_)
+            rec_->record(t.id, obs::EventKind::LockTimeout, clock_,
+                         result_.stats.steps, key.block, 1,
+                         site ? site->tag() : std::string());
         t.frames.back().regs[dstReg] = RtValue::ofInt(1);
         return;
     }
@@ -789,6 +808,10 @@ Interp::lockMutex(Thread &t, Ptr p, bool timed, uint64_t timeout,
         t.wakeAt = 0;
         t.lockWantsResult = false;
     }
+    if (rec_)
+        rec_->record(t.id, obs::EventKind::LockBlock, clock_,
+                     result_.stats.steps, key.block, timed ? 1 : 0,
+                     site ? site->tag() : std::string());
     forceSwitch_ = true;
 }
 
@@ -805,6 +828,9 @@ Interp::grantLock(MutexState &m)
         w.state = ThreadState::Runnable;
         w.pendingNote = true;
         schedEvent_ = true;
+        if (rec_)
+            rec_->record(wid, obs::EventKind::LockAcquire, clock_,
+                         result_.stats.steps, w.lockKey.block, 1);
         if (w.lockWantsResult) {
             w.frames.back().regs[w.lockResultReg] = RtValue::ofInt(0);
             w.lockWantsResult = false;
@@ -1469,9 +1495,17 @@ Interp::doCheckpoint(Thread &t, const Instruction &inst)
         clock_ += cost;
         result_.stats.steps += cost;
     }
+    t.ckpt.schedTicksAt = result_.stats.schedTicks;
     t.cleanSinceCkpt = true;
     ++t.epoch;
     ++result_.stats.checkpointsExecuted;
+    if (rec_)
+        rec_->record(t.id, obs::EventKind::Checkpoint, clock_,
+                     result_.stats.steps,
+                     inst.builtin() == Builtin::CaCheckpointLocals ? 1 : 0,
+                     result_.stats.schedTicks);
+    if (met_)
+        met_->add("checkpoints");
 }
 
 namespace {
@@ -1512,6 +1546,11 @@ Interp::runCompensation(Thread &t)
         if (it != heap_.end() && !it->second.freed) {
             it->second.freed = true;
             ++result_.stats.compensationFrees;
+            if (rec_)
+                rec_->record(t.id, obs::EventKind::CompensationFree,
+                             clock_, result_.stats.steps, e.key.block);
+            if (met_)
+                met_->add("compensation_frees");
         }
     }
     t.allocLog.clear();
@@ -1520,6 +1559,12 @@ Interp::runCompensation(Thread &t)
             continue;
         unlockMutex(t, Ptr{e.key.seg, e.key.block, e.key.offset}, true);
         ++result_.stats.compensationUnlocks;
+        if (rec_)
+            rec_->record(t.id, obs::EventKind::CompensationUnlock,
+                         clock_, result_.stats.steps, e.key.block,
+                         e.key.offset);
+        if (met_)
+            met_->add("compensation_unlocks");
     }
     t.lockLog.clear();
 }
@@ -1567,6 +1612,18 @@ Interp::doTryRollback(Thread &t, const Instruction &inst, int64_t site_id)
     }
     ++t.episode.retries;
 
+    if (rec_)
+        rec_->record(t.id, obs::EventKind::Rollback, clock_,
+                     result_.stats.steps, t.episode.retries,
+                     result_.stats.schedTicks - t.ckpt.schedTicksAt,
+                     inst.tag());
+    if (met_) {
+        met_->add("rollbacks");
+        met_->observe("ckpt_to_failure_ticks",
+                      result_.stats.schedTicks - t.ckpt.schedTicksAt,
+                      obs::MetricsRegistry::tickDistanceBuckets());
+    }
+
     runCompensation(t);
     restoreCheckpoint(t);
 
@@ -1589,6 +1646,11 @@ Interp::doTryRollback(Thread &t, const Instruction &inst, int64_t site_id)
         t.wakeAt = clock_ + 1 + t.rng.range(bound);
         forceSwitch_ = true;
         ++result_.stats.backoffs;
+        if (rec_)
+            rec_->record(t.id, obs::EventKind::Backoff, clock_,
+                         result_.stats.steps, t.wakeAt - clock_, 1);
+        if (met_)
+            met_->add("backoffs");
     }
 }
 
@@ -1607,6 +1669,11 @@ Interp::maybeChaosRollback(Thread &t)
         return;
     ++result_.stats.chaosRollbacks;
     result_.stats.chaosSites.push_back({result_.stats.steps, t.id});
+    if (rec_)
+        rec_->record(t.id, obs::EventKind::ChaosRollback, clock_,
+                     result_.stats.steps, result_.stats.steps);
+    if (met_)
+        met_->add("chaos_rollbacks");
     runCompensation(t);
     restoreCheckpoint(t);
 }
@@ -1633,6 +1700,11 @@ Interp::execConAir(Thread &t, const Instruction &inst,
         t.wakeAt = clock_ + ticks;
         forceSwitch_ = true;
         ++result_.stats.backoffs;
+        if (rec_)
+            rec_->record(t.id, obs::EventKind::Backoff, clock_,
+                         result_.stats.steps, ticks, 0);
+        if (met_)
+            met_->add("backoffs");
         break;
       }
       case Builtin::CaNoteAlloc: {
@@ -1672,6 +1744,19 @@ Interp::execConAir(Thread &t, const Instruction &inst,
             ev.retries = t.episode.retries;
             ev.startClock = t.episode.startClock;
             ev.endClock = clock_;
+            if (rec_)
+                rec_->record(t.id, obs::EventKind::RecoveryDone, clock_,
+                             result_.stats.steps, ev.retries,
+                             ev.startClock, ev.siteTag);
+            if (met_) {
+                met_->add("recoveries");
+                met_->add("retries_by_site/" + ev.siteTag, ev.retries);
+                met_->observe("recovery_latency_us",
+                              uint64_t(ev.micros()),
+                              obs::MetricsRegistry::latencyBucketsUs());
+                met_->observe("recovery_retries", ev.retries,
+                              obs::MetricsRegistry::retryBuckets());
+            }
             result_.stats.recoveries.push_back(std::move(ev));
             t.episode.active = false;
         }
@@ -1722,7 +1807,11 @@ Interp::newThread()
         t->priority = cfg_.pctDepth + (prioRng_.next() >> 32);
     }
     threads_.push_back(std::move(t));
-    return threads_.back().get();
+    Thread *created = threads_.back().get();
+    if (rec_)
+        rec_->record(created->id, obs::EventKind::ThreadSpawn, clock_,
+                     result_.stats.steps, created->priority);
+    return created;
 }
 
 void
@@ -1741,6 +1830,10 @@ Interp::applySchedPoint(Thread &t)
                 cfg_.pctDepth >= i + 2 ? cfg_.pctDepth - 2 - i : 0;
         }
         forceSwitch_ = true;
+        if (rec_)
+            rec_->record(t.id, obs::EventKind::SchedPoint, clock_,
+                         result_.stats.steps, schedPointNext_,
+                         t.priority);
         ++schedPointNext_;
     }
     nextSchedPointAt_ = schedPointNext_ < schedPoints_.size()
@@ -1803,6 +1896,10 @@ Interp::pickThread()
         chosen = runnableScratch_[schedRng_.range(runnableScratch_.size())];
         break;
     }
+    if (rec_ && chosen != currentTid_)
+        rec_->record(chosen, obs::EventKind::SchedSwitch, clock_,
+                     result_.stats.steps, currentTid_,
+                     runnableScratch_.size());
     currentTid_ = chosen;
     quantumLeft_ = newQuantum() - 1;
     return threads_[chosen].get();
@@ -1823,6 +1920,9 @@ Interp::wakeDue()
             std::erase(m.waiters, t->id);
             t->state = ThreadState::Runnable;
             schedEvent_ = true;
+            if (rec_)
+                rec_->record(t->id, obs::EventKind::LockTimeout, clock_,
+                             result_.stats.steps, t->lockKey.block, 0);
             if (t->lockWantsResult) {
                 t->frames.back().regs[t->lockResultReg] =
                     RtValue::ofInt(1);
@@ -1949,6 +2049,10 @@ Interp::fail(Outcome o, const std::string &msg, const Instruction *site)
 {
     if (!running_ || wpPendingRestore_)
         return;
+    if (rec_)
+        rec_->record(currentTid_, obs::EventKind::FailureSite, clock_,
+                     result_.stats.steps, uint64_t(o), 0,
+                     site ? site->tag() : std::string());
     if (cfg_.wpCheckpointInterval > 0 && !wpSnapshots_.empty() &&
         wpRecoveriesUsed_ < cfg_.wpMaxRecoveries) {
         // Whole-program rollback instead of dying.  The restore is

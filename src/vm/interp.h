@@ -86,6 +86,11 @@ class Interp
         uint32_t dPc = 0;
         uint32_t dPrevBlock = kNoBlock;
 
+        /** RunStats::schedTicks when the checkpoint was taken — the
+         *  flight recorder's checkpoint-to-failure distance axis.
+         *  Observability only; never restored into VM state. */
+        uint64_t schedTicksAt = 0;
+
         /** Fig 4 "local writes" design point: saved copies of the
          *  frame's alloca storage (empty for plain checkpoints). */
         std::vector<std::pair<uint32_t, std::vector<RtValue>>> locals;
@@ -382,6 +387,12 @@ class Interp
     uint64_t hangCheckCountdown_ = 1024;
     std::vector<uint32_t> runnableScratch_; ///< pickThread, reused
     std::vector<RtValue> phiScratch_;       ///< phi parallel copies
+
+    // Observability hooks (aliases of cfg_.recorder / cfg_.metrics;
+    // nullptr = disabled, the common case).  Recording is passive:
+    // no RNG draws, no clock ticks, no stats mutations.
+    obs::FlightRecorder *rec_ = nullptr;
+    obs::MetricsRegistry *met_ = nullptr;
 
     // Clock and result.
     uint64_t clock_ = 0;

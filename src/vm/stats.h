@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,9 @@ enum class Outcome : uint8_t {
 };
 
 const char *outcomeName(Outcome o);
+
+/** Streams outcomeName(o) — so test failures print "Segfault", not 3. */
+std::ostream &operator<<(std::ostream &os, Outcome o);
 
 /** Virtual nanoseconds per executed instruction (for µs reporting).
  *  One VM step models a handful of machine instructions. */

@@ -96,6 +96,7 @@ TEST_F(CampaignFixture, ReportIsIndependentOfWorkerCount)
     auto targets = targetsFor(prepared);
 
     CampaignOptions opts = smallOptions();
+    opts.collectMetrics = true;
     opts.workers = 1;
     CampaignReport serial = runCampaign(targets, opts);
     opts.workers = 4;
@@ -115,6 +116,15 @@ TEST_F(CampaignFixture, ReportIsIndependentOfWorkerCount)
         EXPECT_EQ(a.unrecovered, b.unrecovered) << a.name;
         EXPECT_EQ(a.totalSteps, b.totalSteps) << a.name;
         EXPECT_EQ(a.chaosRollbacks, b.chaosRollbacks) << a.name;
+        // Metrics are merged in matrix order during aggregation, so
+        // the per-policy registries are worker-count independent too.
+        ASSERT_EQ(a.policyMetrics.size(), opts.policies.size())
+            << a.name;
+        EXPECT_EQ(a.policyMetrics, b.policyMetrics) << a.name;
+        for (size_t pi = 0; pi < a.policyMetrics.size(); ++pi)
+            EXPECT_EQ(a.policyMetrics[pi].second.toJson(),
+                      b.policyMetrics[pi].second.toJson())
+                << a.name << " " << a.policyMetrics[pi].first;
     }
 }
 

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * MetricsRegistry unit tests: counter arithmetic, histogram bucket
+ * placement, registry merge semantics, and the JSON serialization the
+ * campaign report embeds.
+ */
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace conair::obs {
+namespace {
+
+TEST(Histogram, ObservePlacesValuesInBuckets)
+{
+    Histogram h;
+    h.bounds = {10, 100, 1000};
+    h.counts.assign(h.bounds.size() + 1, 0);
+    h.observe(5);    // <= 10
+    h.observe(10);   // <= 10 (bounds are inclusive upper edges)
+    h.observe(11);   // <= 100
+    h.observe(1001); // overflow
+    EXPECT_EQ(h.counts[0], 2u);
+    EXPECT_EQ(h.counts[1], 1u);
+    EXPECT_EQ(h.counts[2], 0u);
+    EXPECT_EQ(h.counts[3], 1u);
+    EXPECT_EQ(h.count, 4u);
+    EXPECT_EQ(h.sum, 5u + 10u + 11u + 1001u);
+    EXPECT_EQ(h.max, 1001u);
+    EXPECT_DOUBLE_EQ(h.mean(), double(h.sum) / 4.0);
+}
+
+TEST(Histogram, MergeAddsBucketwise)
+{
+    Histogram a, b;
+    a.bounds = b.bounds = {10, 100};
+    a.counts.assign(3, 0);
+    b.counts.assign(3, 0);
+    a.observe(1);
+    b.observe(50);
+    b.observe(5000);
+    a.merge(b);
+    EXPECT_EQ(a.count, 3u);
+    EXPECT_EQ(a.counts[0], 1u);
+    EXPECT_EQ(a.counts[1], 1u);
+    EXPECT_EQ(a.counts[2], 1u);
+    EXPECT_EQ(a.max, 5000u);
+}
+
+TEST(MetricsRegistry, CountersAccumulate)
+{
+    MetricsRegistry reg;
+    EXPECT_TRUE(reg.empty());
+    reg.add("rollbacks");
+    reg.add("rollbacks", 4);
+    EXPECT_EQ(reg.counter("rollbacks"), 5u);
+    EXPECT_EQ(reg.counter("missing"), 0u);
+    EXPECT_FALSE(reg.empty());
+}
+
+TEST(MetricsRegistry, ObserveCreatesHistogramOnFirstUse)
+{
+    MetricsRegistry reg;
+    EXPECT_EQ(reg.histogram("lat"), nullptr);
+    reg.observe("lat", 7, MetricsRegistry::latencyBucketsUs());
+    reg.observe("lat", 300, MetricsRegistry::latencyBucketsUs());
+    const Histogram *h = reg.histogram("lat");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 2u);
+    EXPECT_EQ(h->max, 300u);
+}
+
+TEST(MetricsRegistry, MergeCombinesCountersAndHistograms)
+{
+    MetricsRegistry a, b;
+    a.add("rollbacks", 2);
+    b.add("rollbacks", 3);
+    b.add("recoveries", 1);
+    a.observe("retries", 2, MetricsRegistry::retryBuckets());
+    b.observe("retries", 9, MetricsRegistry::retryBuckets());
+    a.merge(b);
+    EXPECT_EQ(a.counter("rollbacks"), 5u);
+    EXPECT_EQ(a.counter("recoveries"), 1u);
+    ASSERT_NE(a.histogram("retries"), nullptr);
+    EXPECT_EQ(a.histogram("retries")->count, 2u);
+    EXPECT_EQ(a.histogram("retries")->max, 9u);
+}
+
+TEST(MetricsRegistry, MergeIsOrderInsensitiveOnDisjointKeys)
+{
+    MetricsRegistry a, b, ab, ba;
+    a.add("x", 1);
+    b.add("y", 2);
+    ab = a;
+    ab.merge(b);
+    ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab, ba);
+}
+
+TEST(MetricsRegistry, JsonIsSortedAndDeterministic)
+{
+    MetricsRegistry reg;
+    reg.add("zeta", 1);
+    reg.add("alpha", 2);
+    reg.observe("lat", 42, MetricsRegistry::latencyBucketsUs());
+    std::string j = reg.toJson();
+    EXPECT_EQ(j, reg.toJson());
+    // Map storage sorts keys.
+    EXPECT_LT(j.find("alpha"), j.find("zeta"));
+    EXPECT_NE(j.find("\"counters\""), std::string::npos);
+    EXPECT_NE(j.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(j.find("\"mean\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, ClearResetsEverything)
+{
+    MetricsRegistry reg;
+    reg.add("x");
+    reg.observe("h", 1, MetricsRegistry::retryBuckets());
+    reg.clear();
+    EXPECT_TRUE(reg.empty());
+    EXPECT_EQ(reg.counter("x"), 0u);
+    EXPECT_EQ(reg.histogram("h"), nullptr);
+}
+
+TEST(MetricsRegistry, BucketLaddersAreSorted)
+{
+    for (const auto &bounds : {MetricsRegistry::latencyBucketsUs(),
+                               MetricsRegistry::retryBuckets(),
+                               MetricsRegistry::tickDistanceBuckets()}) {
+        ASSERT_FALSE(bounds.empty());
+        for (size_t i = 1; i < bounds.size(); ++i)
+            EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+}
+
+} // namespace
+} // namespace conair::obs

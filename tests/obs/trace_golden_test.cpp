@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Byte-for-byte golden regression test for the Chrome trace exporter.
+ *
+ * Replays one campaign repro token (ZSNES under pct:d2:s2 — a failing
+ * schedule whose hardened leg recovers, the same cell bench_explore
+ * --repro exercises) with flight recorders on both Decoded legs,
+ * renders the two-process Chrome trace JSON plus the recovery
+ * timeline, and compares against trace.golden byte for byte.
+ * Any change to event ordering, payload encoding, timestamp formatting,
+ * or the exporters themselves shows up as a diff here.
+ *
+ * Re-bless after an *intentional* format change with:
+ *   ./obs_trace_golden_test --update
+ */
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apps/harness.h"
+#include "explore/campaign.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+
+namespace conair {
+
+bool updateGolden = false;
+
+namespace {
+
+std::string
+goldenPath()
+{
+    return std::string(GOLDEN_DIR) + "/trace.golden";
+}
+
+/** The artifact under test: both legs of one repro replay, rendered
+ *  the same way bench_explore --repro --trace renders them, plus the
+ *  human-readable timeline of the hardened leg. */
+std::string
+currentGolden()
+{
+    const apps::AppSpec *spec = apps::findApp("ZSNES");
+    if (!spec)
+        return "<ZSNES missing>";
+    apps::CampaignApp app = apps::prepareCampaignApp(*spec);
+    explore::Target target = apps::campaignTarget(app);
+
+    explore::ScheduleSpec sched;
+    EXPECT_TRUE(explore::parseScheduleToken("pct:d2:s2", sched));
+
+    explore::CampaignOptions opts;
+    opts.maxSteps = 4'000'000;
+    opts.collectMetrics = true;
+
+    // Small rings keep the golden file reviewable; dropped events are
+    // part of the pinned output (totals still cover them).
+    obs::FlightRecorder plainRec(256), hardRec(256);
+    explore::ScheduleInstruments ins;
+    ins.unhardened = &plainRec;
+    ins.hardened = &hardRec;
+    explore::ScheduleOutcome o =
+        explore::runOneSchedule(target, sched, opts, &ins);
+    EXPECT_TRUE(o.ran);
+    EXPECT_FALSE(o.diverged) << o.divergenceMsg;
+
+    // The hardened leg must actually recover here, so the golden file
+    // pins recovery-episode rendering, not just checkpoints.
+    EXPECT_GT(o.hardenedRollbacks, 0u);
+    EXPECT_TRUE(o.hardenedCorrect);
+
+    std::string json = obs::chromeTraceJson(
+        {{&plainRec, "ZSNES unhardened pct:d2:s2", 1},
+         {&hardRec, "ZSNES hardened pct:d2:s2", 2}});
+    std::string out;
+    out += "=== chrome trace (two processes) ===\n";
+    out += json;
+    out += "\n=== hardened recovery timeline ===\n";
+    out += obs::recoveryTimeline(hardRec);
+    out += "=== hardened metrics ===\n";
+    out += o.metrics.toJson();
+    out += "\n";
+    return out;
+}
+
+TEST(TraceGolden, MatchesGoldenFile)
+{
+    std::string current = currentGolden();
+
+    if (updateGolden) {
+        std::ofstream out(goldenPath());
+        ASSERT_TRUE(out.is_open()) << goldenPath();
+        out << current;
+        SUCCEED() << "golden file updated";
+        return;
+    }
+
+    std::ifstream in(goldenPath());
+    ASSERT_TRUE(in.is_open())
+        << goldenPath() << " missing; run with --update to create it";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string expected = buf.str();
+
+    std::istringstream cs(current), es(expected);
+    std::string cline, eline;
+    size_t lineno = 0;
+    while (true) {
+        bool cg = bool(std::getline(cs, cline));
+        bool eg = bool(std::getline(es, eline));
+        ++lineno;
+        if (!cg && !eg)
+            break;
+        if (!cg)
+            cline = "<missing line>";
+        if (!eg)
+            eline = "<missing line>";
+        ASSERT_EQ(cline, eline)
+            << "trace.golden line " << lineno
+            << " diverged; if the exporter change is intentional, "
+               "re-bless with: ./obs_trace_golden_test --update";
+    }
+    // Line-wise equality established; pin the bytes too (trailing
+    // whitespace / final newline).
+    EXPECT_EQ(current, expected);
+}
+
+} // namespace
+} // namespace conair
+
+int
+main(int argc, char **argv)
+{
+    // Strip our flag before gtest sees the argument list.
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--update") {
+            conair::updateGolden = true;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            break;
+        }
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

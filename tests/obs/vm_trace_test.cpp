@@ -1,0 +1,161 @@
+/**
+ * @file
+ * VM <-> flight-recorder integration tests.  Two properties are pinned:
+ *
+ *  1. *Passivity.*  Attaching a recorder and a metrics registry is pure
+ *     observation — the instrumented run is tick-for-tick identical to
+ *     the bare run (same outcome, clock, steps, output, and counters).
+ *     This is the contract that lets the campaign engine keep its
+ *     tick-identity differential oracle meaningful while tracing.
+ *
+ *  2. *Consistency.*  The recorder's per-kind totals and the metrics
+ *     counters agree with RunStats, even when the ring wrapped and
+ *     dropped events — totals are maintained outside the ring.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/harness.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "vm/interp.h"
+
+namespace conair {
+namespace {
+
+/** MySQL1 under its failure-forcing schedule: rolls back and recovers,
+ *  so every recovery-related event kind fires. */
+const apps::AppSpec &
+mysqlSpec()
+{
+    const apps::AppSpec *spec = apps::findApp("MySQL1");
+    EXPECT_NE(spec, nullptr);
+    return *spec;
+}
+
+TEST(VmTrace, RecordingDoesNotPerturbExecution)
+{
+    apps::PreparedApp p =
+        apps::prepareApp(mysqlSpec(), apps::HardenOptions{});
+    vm::RunResult bare = apps::runBuggy(p, 1);
+
+    obs::FlightRecorder rec(4096);
+    obs::MetricsRegistry met;
+    vm::RunResult traced = apps::runBuggy(p, 1, &rec, &met);
+
+    EXPECT_EQ(traced.outcome, bare.outcome);
+    EXPECT_EQ(traced.exitCode, bare.exitCode);
+    EXPECT_EQ(traced.clock, bare.clock);
+    EXPECT_EQ(traced.output, bare.output);
+    EXPECT_EQ(traced.stats.steps, bare.stats.steps);
+    EXPECT_EQ(traced.stats.schedTicks, bare.stats.schedTicks);
+    EXPECT_EQ(traced.stats.rollbacks, bare.stats.rollbacks);
+    EXPECT_EQ(traced.stats.checkpointsExecuted,
+              bare.stats.checkpointsExecuted);
+    EXPECT_EQ(traced.stats.recoveries.size(),
+              bare.stats.recoveries.size());
+    // The run actually exercised recovery, so the test is not vacuous.
+    EXPECT_GT(traced.stats.rollbacks, 0u);
+}
+
+TEST(VmTrace, DisabledModeRecordsNothing)
+{
+    // recorder == nullptr is the production default; nothing observable
+    // may leak.  (A freshly constructed recorder left unattached must
+    // also stay empty.)
+    apps::PreparedApp p =
+        apps::prepareApp(mysqlSpec(), apps::HardenOptions{});
+    obs::FlightRecorder rec(64);
+    vm::RunResult r = apps::runBuggy(p, 1, nullptr, nullptr);
+    EXPECT_EQ(r.outcome, vm::Outcome::Success);
+    EXPECT_EQ(rec.totalRecordedAll(), 0u);
+    EXPECT_EQ(rec.threadCount(), 0u);
+}
+
+TEST(VmTrace, TotalsMatchRunStats)
+{
+    apps::PreparedApp p =
+        apps::prepareApp(mysqlSpec(), apps::HardenOptions{});
+    obs::FlightRecorder rec(4096);
+    obs::MetricsRegistry met;
+    vm::RunResult r = apps::runBuggy(p, 1, &rec, &met);
+    ASSERT_EQ(r.outcome, vm::Outcome::Success);
+
+    using K = obs::EventKind;
+    EXPECT_EQ(rec.totalOf(K::Rollback), r.stats.rollbacks);
+    EXPECT_EQ(rec.totalOf(K::Checkpoint), r.stats.checkpointsExecuted);
+    EXPECT_EQ(rec.totalOf(K::RecoveryDone), r.stats.recoveries.size());
+    EXPECT_EQ(rec.totalOf(K::Backoff), r.stats.backoffs);
+    EXPECT_EQ(rec.totalOf(K::CompensationFree),
+              r.stats.compensationFrees);
+    EXPECT_EQ(rec.totalOf(K::CompensationUnlock),
+              r.stats.compensationUnlocks);
+    // ThreadSpawn also fires for the initial main thread, which the
+    // spawn() builtin counter does not include.
+    EXPECT_EQ(rec.totalOf(K::ThreadSpawn), r.stats.threadsSpawned + 1);
+    EXPECT_EQ(rec.totalOf(K::ChaosRollback), r.stats.chaosRollbacks);
+
+    EXPECT_EQ(met.counter("rollbacks"), r.stats.rollbacks);
+    EXPECT_EQ(met.counter("checkpoints"), r.stats.checkpointsExecuted);
+    EXPECT_EQ(met.counter("recoveries"), r.stats.recoveries.size());
+    EXPECT_EQ(met.counter("backoffs"), r.stats.backoffs);
+    const obs::Histogram *lat = met.histogram("recovery_latency_us");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->count, r.stats.recoveries.size());
+}
+
+TEST(VmTrace, TotalsSurviveRingWraparound)
+{
+    apps::PreparedApp p =
+        apps::prepareApp(mysqlSpec(), apps::HardenOptions{});
+    // A tiny ring guarantees drops; totals must still match RunStats.
+    obs::FlightRecorder rec(8);
+    vm::RunResult r = apps::runBuggy(p, 1, &rec, nullptr);
+    ASSERT_EQ(r.outcome, vm::Outcome::Success);
+    EXPECT_GT(rec.droppedAll(), 0u);
+    EXPECT_EQ(rec.totalOf(obs::EventKind::Checkpoint),
+              r.stats.checkpointsExecuted);
+    EXPECT_EQ(rec.totalOf(obs::EventKind::Rollback), r.stats.rollbacks);
+}
+
+TEST(VmTrace, TraceIsDeterministicAcrossRuns)
+{
+    apps::PreparedApp p =
+        apps::prepareApp(mysqlSpec(), apps::HardenOptions{});
+    std::string first, second;
+    for (std::string *out : {&first, &second}) {
+        obs::FlightRecorder rec(4096);
+        obs::MetricsRegistry met;
+        vm::RunResult r = apps::runBuggy(p, 1, &rec, &met);
+        ASSERT_EQ(r.outcome, vm::Outcome::Success);
+        *out = obs::chromeTraceJson(rec, "MySQL1") + "\n---\n" +
+               met.toJson() + "\n---\n" + obs::recoveryTimeline(rec);
+    }
+    EXPECT_EQ(first, second);
+}
+
+TEST(VmTrace, RecorderSeesLockTraffic)
+{
+    apps::PreparedApp p =
+        apps::prepareApp(mysqlSpec(), apps::HardenOptions{});
+    obs::FlightRecorder rec(4096);
+    vm::RunResult r = apps::runBuggy(p, 1, &rec, nullptr);
+    ASSERT_EQ(r.outcome, vm::Outcome::Success);
+    EXPECT_GT(rec.totalOf(obs::EventKind::LockAcquire), 0u);
+}
+
+TEST(VmTrace, FailureSiteFiresOnUnhardenedFailure)
+{
+    // A *recovered* hardened run never reaches the terminal failure
+    // path, so FailureSite belongs to the unhardened leg of the story.
+    apps::HardenOptions plain;
+    plain.applyConAir = false;
+    apps::PreparedApp p = apps::prepareApp(mysqlSpec(), plain);
+    obs::FlightRecorder rec(4096);
+    vm::RunResult r = apps::runBuggy(p, 1, &rec, nullptr);
+    ASSERT_NE(r.outcome, vm::Outcome::Success);
+    EXPECT_EQ(rec.totalOf(obs::EventKind::FailureSite), 1u);
+}
+
+} // namespace
+} // namespace conair

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * JsonWriter / jsonEscape unit tests: escaping, nesting, indentation,
+ * and the numeric formatting the bench artifacts rely on.
+ */
+#include <gtest/gtest.h>
+
+#include "support/json.h"
+
+namespace conair {
+namespace {
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonWriter, CompactObject)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("a").value(1);
+    w.key("b").value("x");
+    w.key("c").value(true);
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"a\":1,\"b\":\"x\",\"c\":true}");
+}
+
+TEST(JsonWriter, IndentedNesting)
+{
+    JsonWriter w(2);
+    w.beginObject();
+    w.key("xs").beginArray();
+    w.value(1);
+    w.value(2);
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(JsonWriter, EmptyContainers)
+{
+    JsonWriter w(2);
+    w.beginObject();
+    w.key("o").beginObject().endObject();
+    w.key("a").beginArray().endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\n  \"o\": {},\n  \"a\": []\n}");
+}
+
+TEST(JsonWriter, NumericFormats)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(uint64_t(18446744073709551615ull));
+    w.value(int64_t(-5));
+    w.value(1.5, "%.1f");
+    w.value(0.123456789); // default %.6g
+    w.endArray();
+    EXPECT_EQ(w.str(), "[18446744073709551615,-5,1.5,0.123457]");
+}
+
+TEST(JsonWriter, RawValuePassesThrough)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("r").rawValue("[1,2]");
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"r\":[1,2]}");
+}
+
+TEST(JsonWriter, StringsAreEscaped)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("path\"x").value("a\nb");
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"path\\\"x\":\"a\\nb\"}");
+}
+
+} // namespace
+} // namespace conair

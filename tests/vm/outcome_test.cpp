@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Outcome naming: every enumerator has a distinct printable name, and
+ * operator<< streams it (so EXPECT_EQ failures print "segfault", not a
+ * raw integer).
+ */
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "vm/stats.h"
+
+namespace conair::vm {
+namespace {
+
+const Outcome kAll[] = {
+    Outcome::Success, Outcome::AssertFail, Outcome::OracleFail,
+    Outcome::Segfault, Outcome::Hang,      Outcome::Timeout,
+    Outcome::Trap,
+};
+
+TEST(Outcome, EveryValueHasADistinctName)
+{
+    std::set<std::string> names;
+    for (Outcome o : kAll) {
+        std::string name = outcomeName(o);
+        EXPECT_FALSE(name.empty());
+        EXPECT_NE(name, "unknown") << int(o);
+        names.insert(name);
+    }
+    EXPECT_EQ(names.size(), std::size(kAll));
+}
+
+TEST(Outcome, ExactNames)
+{
+    EXPECT_STREQ(outcomeName(Outcome::Success), "success");
+    EXPECT_STREQ(outcomeName(Outcome::AssertFail), "assert-fail");
+    EXPECT_STREQ(outcomeName(Outcome::OracleFail), "oracle-fail");
+    EXPECT_STREQ(outcomeName(Outcome::Segfault), "segfault");
+    EXPECT_STREQ(outcomeName(Outcome::Hang), "hang");
+    EXPECT_STREQ(outcomeName(Outcome::Timeout), "timeout");
+    EXPECT_STREQ(outcomeName(Outcome::Trap), "trap");
+}
+
+TEST(Outcome, StreamOperatorMatchesOutcomeName)
+{
+    for (Outcome o : kAll) {
+        std::ostringstream os;
+        os << o;
+        EXPECT_EQ(os.str(), outcomeName(o));
+    }
+}
+
+} // namespace
+} // namespace conair::vm
