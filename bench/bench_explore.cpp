@@ -36,10 +36,25 @@
  *                 first failing schedule the campaign found.  The
  *                 trace's rollback/checkpoint totals are cross-checked
  *                 against the run's RunStats (exit 1 on mismatch).
- *   --metrics FILE  (--repro only) write the hardened leg's
- *                 MetricsRegistry JSON
+ *   --metrics FILE  write the hardened leg's MetricsRegistry JSON for
+ *                 the traced schedule, plus the same registry as
+ *                 Prometheus text exposition next to it (FILE with a
+ *                 .prom extension)
  *   --timeline    (--repro only) print the human-readable recovery
  *                 timeline to stdout
+ *   --diagnose [APP] TOKEN
+ *                 replay one schedule in diagnosis recording mode and
+ *                 print the postmortem RecoveryReport (racy pair,
+ *                 scheduler-switch window, bug-pattern verdict, ASCII
+ *                 interleaving diagram).  APP defaults to ZSNES.  As a
+ *                 bare flag after --repro APP TOKEN it diagnoses that
+ *                 schedule.  See docs/OBSERVABILITY.md.
+ *   --diagnose-json FILE
+ *                 also write the RecoveryReport as JSON
+ *   --abort-dir DIR
+ *                 campaign mode: flush-on-abort — when the campaign
+ *                 oracle trips (divergence / unrecovered), dump the
+ *                 instrumented legs' trace and a diagnosis into DIR
  */
 #include "bench/bench_util.h"
 
@@ -47,6 +62,7 @@
 #include <thread>
 
 #include "explore/campaign.h"
+#include "obs/postmortem/diagnosis.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "support/json.h"
@@ -142,6 +158,17 @@ traceSchedule(const Target &target, const ScheduleSpec &s,
         if (!writeFile(metricsPath, o.metrics.toJson() + "\n"))
             return false;
         std::printf("wrote %s\n", metricsPath.c_str());
+        // The same registry in Prometheus text exposition format, for
+        // scrape-style consumers (docs/OBSERVABILITY.md).
+        std::string promPath = metricsPath;
+        size_t dot = promPath.rfind('.');
+        if (dot != std::string::npos && promPath.find('/', dot) ==
+                                            std::string::npos)
+            promPath.resize(dot);
+        promPath += ".prom";
+        if (!writeFile(promPath, o.metrics.toPrometheusText()))
+            return false;
+        std::printf("wrote %s\n", promPath.c_str());
     }
     if (timeline) {
         std::printf("--- recovery timeline (hardened leg) ---\n%s",
@@ -166,10 +193,45 @@ traceSchedule(const Target &target, const ScheduleSpec &s,
     return ok;
 }
 
+/**
+ * Replays (target, schedule) in diagnosis recording mode and prints
+ * the postmortem RecoveryReport.  The hardened leg is diagnosed when
+ * it tells a recovery story (RecoveryDone / FailureSite events);
+ * otherwise the unhardened leg's terminal failure is.  Returns false
+ * when no diagnosis could be produced at all.
+ */
+bool
+diagnoseSchedule(const Target &target, const ScheduleSpec &s,
+                 CampaignOptions opts, const std::string &appName,
+                 const std::string &jsonPath)
+{
+    obs::FlightRecorder plainRec(65536), hardRec(65536);
+    ScheduleInstruments ins{&plainRec, &hardRec};
+    ins.recordSharedAccesses = true;
+    runOneSchedule(target, s, opts, &ins);
+
+    bool useHard =
+        target.hardened &&
+        (hardRec.totalOf(obs::EventKind::RecoveryDone) > 0 ||
+         hardRec.totalOf(obs::EventKind::FailureSite) > 0);
+    obs::pm::RecoveryReport rep = obs::pm::diagnose(
+        useHard ? hardRec : plainRec,
+        useHard ? *target.hardened : *target.plain, appName, s.token());
+    std::printf("diagnosing the %s leg\n",
+                useHard ? "hardened" : "unhardened");
+    std::printf("%s", obs::pm::renderText(rep).c_str());
+    if (!jsonPath.empty()) {
+        if (!writeFile(jsonPath, obs::pm::toJson(rep) + "\n"))
+            return false;
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+    return !rep.episodes.empty();
+}
+
 int
 runRepro(const std::string &appName, const std::string &token,
          const std::string &tracePath, const std::string &metricsPath,
-         bool timeline)
+         bool timeline, bool diagnose, const std::string &diagJsonPath)
 {
     const AppSpec *spec = findApp(appName);
     if (!spec) {
@@ -212,7 +274,35 @@ runRepro(const std::string &appName, const std::string &token,
     if (!tracePath.empty() || !metricsPath.empty() || timeline)
         traceOk = traceSchedule(target, s, opts, appName, tracePath,
                                 metricsPath, timeline);
-    return o.diverged || !traceOk ? 1 : 0;
+    bool diagOk = true;
+    if (diagnose)
+        diagOk = diagnoseSchedule(target, s, opts, appName,
+                                  diagJsonPath);
+    return o.diverged || !traceOk || !diagOk ? 1 : 0;
+}
+
+/** --diagnose [APP] TOKEN standalone mode (APP defaults to ZSNES). */
+int
+runDiagnose(const std::string &appName, const std::string &token,
+            const std::string &jsonPath)
+{
+    const AppSpec *spec = findApp(appName);
+    if (!spec) {
+        std::fprintf(stderr, "unknown app '%s'\n", appName.c_str());
+        return 2;
+    }
+    ScheduleSpec s;
+    if (!parseScheduleToken(token, s)) {
+        std::fprintf(stderr, "bad schedule token '%s'\n",
+                     token.c_str());
+        return 2;
+    }
+    CampaignApp app = prepareCampaignApp(*spec);
+    Target target = campaignTarget(app);
+    return diagnoseSchedule(target, s, CampaignOptions{}, appName,
+                            jsonPath)
+               ? 0
+               : 1;
 }
 
 void
@@ -235,6 +325,9 @@ main(int argc, char **argv)
     const std::string metricsPath =
         argString(argc, argv, "--metrics", "");
     const bool timeline = hasFlag(argc, argv, "--timeline");
+    const bool diagnose = hasFlag(argc, argv, "--diagnose");
+    const std::string diagJsonPath =
+        argString(argc, argv, "--diagnose-json", "");
 
     if (hasFlag(argc, argv, "--repro")) {
         // --repro APP TOKEN: the two operands follow the flag.
@@ -247,10 +340,34 @@ main(int argc, char **argv)
         if (!app || !tok) {
             std::fprintf(stderr,
                          "usage: bench_explore --repro APP TOKEN "
-                         "[--trace F] [--metrics F] [--timeline]\n");
+                         "[--trace F] [--metrics F] [--timeline] "
+                         "[--diagnose] [--diagnose-json F]\n");
             return 2;
         }
-        return runRepro(app, tok, tracePath, metricsPath, timeline);
+        return runRepro(app, tok, tracePath, metricsPath, timeline,
+                        diagnose, diagJsonPath);
+    }
+
+    if (diagnose) {
+        // --diagnose [APP] TOKEN: one or two operands follow the flag;
+        // a lone operand that parses as a schedule token runs against
+        // the default kernel (ZSNES, the paper's running example).
+        const char *a1 = nullptr, *a2 = nullptr;
+        for (int i = 1; i < argc; ++i)
+            if (std::strcmp(argv[i], "--diagnose") == 0) {
+                if (i + 1 < argc && argv[i + 1][0] != '-')
+                    a1 = argv[i + 1];
+                if (i + 2 < argc && argv[i + 2][0] != '-')
+                    a2 = argv[i + 2];
+            }
+        ScheduleSpec probe;
+        if (a1 && a2)
+            return runDiagnose(a1, a2, diagJsonPath);
+        if (a1 && parseScheduleToken(a1, probe))
+            return runDiagnose("ZSNES", a1, diagJsonPath);
+        std::fprintf(stderr, "usage: bench_explore --diagnose [APP] "
+                             "TOKEN [--diagnose-json F]\n");
+        return 2;
     }
 
     const bool smoke = hasFlag(argc, argv, "--smoke");
@@ -287,6 +404,11 @@ main(int argc, char **argv)
     opts.seedsPerPolicy = seeds;
     opts.workers = workers;
     opts.collectMetrics = true;
+    // Every first-failing schedule in BENCH_explore.json carries a
+    // postmortem diagnosis (racy pair + verdict); the replay happens
+    // after aggregation, outside the worker pool.
+    opts.diagnoseFailures = true;
+    opts.abortArtifactDir = argString(argc, argv, "--abort-dir", "");
     std::string policyList = argString(argc, argv, "--policies", "");
     if (!policyList.empty()) {
         opts.policies.clear();
@@ -404,6 +526,17 @@ main(int argc, char **argv)
         w.key("chaos_runs").value(tr.chaosRuns);
         w.key("chaos_rollbacks").value(tr.chaosRollbacks);
         writeMetricsJson(w, tr);
+        if (tr.hasDiagnosis) {
+            w.key("diagnosis_leg").value(tr.diagnosisLeg);
+            w.key("diagnosis");
+            obs::pm::writeJson(w, tr.diagnosis);
+        }
+        if (!tr.abortArtifacts.empty()) {
+            w.key("abort_artifacts").beginArray();
+            for (const std::string &p : tr.abortArtifacts)
+                w.value(p);
+            w.endArray();
+        }
         w.endObject();
     }
     w.endArray();

@@ -147,13 +147,15 @@ struct Cell
 
 Cell
 measure(const ir::Module &m, vm::VmConfig cfg, unsigned runs,
-        obs::FlightRecorder *rec = nullptr)
+        obs::FlightRecorder *rec = nullptr,
+        bool recordSharedAccesses = false)
 {
     Cell best;
     for (unsigned r = 0; r < runs; ++r) {
         if (rec) {
             rec->clear();
             cfg.recorder = rec;
+            cfg.recordSharedAccesses = recordSharedAccesses;
         }
         auto t0 = std::chrono::steady_clock::now();
         vm::RunResult res = vm::runProgram(m, cfg);
@@ -212,13 +214,14 @@ main(int argc, char **argv)
                 "(wall clock) ===\n\n");
 
     Table t({"Workload", "Reference (steps/s)", "Decoded (steps/s)",
-             "Speedup", "Decoded+trace (steps/s)", "Trace cost"});
+             "Speedup", "Decoded+trace (steps/s)", "Trace cost",
+             "Diag cost"});
 
     struct Row
     {
         std::string name;
         bool singleThread;
-        Cell ref, dec, traced;
+        Cell ref, dec, traced, diag;
     };
     std::vector<Row> rows;
 
@@ -242,28 +245,40 @@ main(int argc, char **argv)
         // baseline surface in decoded_steps_per_sec.
         obs::FlightRecorder recorder(4096);
         row.traced = measure(*m, decoded, runs, &recorder);
+        // The diagnosis-mode row (recordSharedAccesses on): bounds the
+        // cost of SharedLoad/SharedStore recording.  Like the trace
+        // row, its *default-mode* counterpart (the plain decoded row)
+        // must stay unchanged — the guard below checks step identity
+        // across all four cells.
+        obs::FlightRecorder diagRecorder(4096);
+        row.diag = measure(*m, decoded, runs, &diagRecorder, true);
         if (row.ref.outcome != vm::Outcome::Success ||
             row.dec.outcome != vm::Outcome::Success ||
             row.ref.steps != row.dec.steps ||
-            row.traced.steps != row.dec.steps) {
+            row.traced.steps != row.dec.steps ||
+            row.diag.steps != row.dec.steps) {
             std::fprintf(stderr,
                          "engine divergence on %s: steps %llu vs %llu "
-                         "(traced %llu)\n",
+                         "(traced %llu, diag %llu)\n",
                          w.name.c_str(),
                          (unsigned long long)row.ref.steps,
                          (unsigned long long)row.dec.steps,
-                         (unsigned long long)row.traced.steps);
+                         (unsigned long long)row.traced.steps,
+                         (unsigned long long)row.diag.steps);
             return 1;
         }
         rows.push_back(row);
         double speedup = row.dec.stepsPerSec / row.ref.stepsPerSec;
         double traceCost =
             1.0 - row.traced.stepsPerSec / row.dec.stepsPerSec;
+        double diagCost =
+            1.0 - row.diag.stepsPerSec / row.dec.stepsPerSec;
         t.row({row.name, fmt("%.0f", row.ref.stepsPerSec),
                fmt("%.0f", row.dec.stepsPerSec),
                fmt("%.2fx", speedup),
                fmt("%.0f", row.traced.stepsPerSec),
-               fmt("%.1f%%", traceCost * 100)});
+               fmt("%.1f%%", traceCost * 100),
+               fmt("%.1f%%", diagCost * 100)});
     }
     t.print();
 
@@ -287,6 +302,11 @@ main(int argc, char **argv)
             .value(r.traced.stepsPerSec, "%.0f");
         w.key("trace_overhead")
             .value(1.0 - r.traced.stepsPerSec / r.dec.stepsPerSec,
+                   "%.3f");
+        w.key("decoded_diag_steps_per_sec")
+            .value(r.diag.stepsPerSec, "%.0f");
+        w.key("diag_overhead")
+            .value(1.0 - r.diag.stepsPerSec / r.dec.stepsPerSec,
                    "%.3f");
         w.endObject();
     }

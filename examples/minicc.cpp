@@ -23,10 +23,14 @@
  *                          (load in Perfetto; see docs/OBSERVABILITY.md)
  *     --metrics FILE       write the run's metrics registry JSON
  *     --timeline           print the recovery timeline to stderr
+ *     --diagnose           run in diagnosis recording mode and print a
+ *                          postmortem root-cause report (racy pair,
+ *                          interleaving diagram, verdict) to stderr
  *
  * Example (examples/data/racy_counter.mc ships with the repo):
  *   minicc --conair --delay 1:5000 examples/data/racy_counter.mc
  *   minicc --app MySQL1 --trace trace.json --timeline
+ *   minicc --app ZSNES --diagnose
  */
 #include <cstdio>
 #include <cstring>
@@ -39,6 +43,7 @@
 #include "frontend/compile.h"
 #include "ir/printer.h"
 #include "obs/metrics.h"
+#include "obs/postmortem/diagnosis.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "vm/interp.h"
@@ -58,7 +63,7 @@ usage()
                  "              [--no-interproc] [--no-optimize] "
                  "[--max-steps N]\n"
                  "              [--trace FILE] [--metrics FILE] "
-                 "[--timeline]\n"
+                 "[--timeline] [--diagnose]\n"
                  "              file.mc | --app NAME\n");
 }
 
@@ -84,7 +89,7 @@ main(int argc, char **argv)
 {
     std::string path, appName, tracePath, metricsPath;
     bool conair = false, print_ir = false, report = false;
-    bool timeline = false;
+    bool timeline = false, diagnose = false;
     ca::ConAirOptions copts;
     vm::VmConfig cfg;
     cfg.seed = 1;
@@ -126,6 +131,8 @@ main(int argc, char **argv)
             metricsPath = next();
         } else if (arg == "--timeline") {
             timeline = true;
+        } else if (arg == "--diagnose") {
+            diagnose = true;
         } else if (arg == "--delay") {
             std::string spec = next();
             size_t colon = spec.find(':');
@@ -148,11 +155,12 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // Shared observability hooks for both run paths.
-    obs::FlightRecorder recorder(8192);
+    // Shared observability hooks for both run paths.  Diagnosis mode
+    // needs a deep ring: shared accesses are ~1 event per sched tick.
+    obs::FlightRecorder recorder(diagnose ? 65536 : 8192);
     obs::MetricsRegistry metrics;
-    const bool observe =
-        !tracePath.empty() || !metricsPath.empty() || timeline;
+    const bool observe = !tracePath.empty() || !metricsPath.empty() ||
+                         timeline || diagnose;
 
     if (!appName.empty()) {
         // Bundled bug kernel under its failure-forcing schedule, with
@@ -170,7 +178,7 @@ main(int argc, char **argv)
             apps::prepareApp(*spec, apps::HardenOptions{});
         vm::RunResult run =
             apps::runBuggy(p, cfg.seed, observe ? &recorder : nullptr,
-                           observe ? &metrics : nullptr);
+                           observe ? &metrics : nullptr, diagnose);
         std::fputs(run.output.c_str(), stdout);
         std::fprintf(stderr,
                      "; %s: %s, %llu rollback(s), %zu recovery "
@@ -181,6 +189,12 @@ main(int argc, char **argv)
         if (timeline)
             std::fprintf(stderr, "%s",
                          obs::recoveryTimeline(recorder).c_str());
+        if (diagnose)
+            std::fprintf(stderr, "%s",
+                         obs::pm::renderText(
+                             obs::pm::diagnose(recorder, *p.module,
+                                               appName))
+                             .c_str());
         if (!tracePath.empty() &&
             !writeArtifact(tracePath,
                            obs::chromeTraceJson(recorder, appName),
@@ -232,12 +246,18 @@ main(int argc, char **argv)
     if (observe) {
         cfg.recorder = &recorder;
         cfg.metrics = &metrics;
+        cfg.recordSharedAccesses = diagnose;
     }
     vm::RunResult run = vm::runProgram(*module, cfg);
     std::fputs(run.output.c_str(), stdout);
     if (timeline)
         std::fprintf(stderr, "%s",
                      obs::recoveryTimeline(recorder).c_str());
+    if (diagnose)
+        std::fprintf(stderr, "%s",
+                     obs::pm::renderText(
+                         obs::pm::diagnose(recorder, *module, path))
+                         .c_str());
     if (!tracePath.empty() &&
         !writeArtifact(tracePath, obs::chromeTraceJson(recorder, path),
                        "trace"))

@@ -68,12 +68,13 @@ runBuggy(const PreparedApp &p, uint64_t seed)
 
 vm::RunResult
 runBuggy(const PreparedApp &p, uint64_t seed, obs::FlightRecorder *rec,
-         obs::MetricsRegistry *met)
+         obs::MetricsRegistry *met, bool recordSharedAccesses)
 {
     vm::VmConfig cfg = p.spec->buggyConfig;
     cfg.seed = seed;
     cfg.recorder = rec;
     cfg.metrics = met;
+    cfg.recordSharedAccesses = recordSharedAccesses;
     return vm::runProgram(*p.module, cfg);
 }
 

@@ -49,10 +49,14 @@ vm::RunResult runBuggy(const PreparedApp &p, uint64_t seed);
 
 /** runBuggy with observability attached: @p rec / @p met (either may
  *  be null) receive the run's flight-recorder events and metrics —
- *  the minicc --app/--trace/--metrics path for the ten kernels. */
+ *  the minicc --app/--trace/--metrics path for the ten kernels.
+ *  @p recordSharedAccesses additionally turns on diagnosis recording
+ *  mode (SharedLoad/SharedStore events for the postmortem engine;
+ *  requires @p rec). */
 vm::RunResult runBuggy(const PreparedApp &p, uint64_t seed,
                        obs::FlightRecorder *rec,
-                       obs::MetricsRegistry *met);
+                       obs::MetricsRegistry *met,
+                       bool recordSharedAccesses = false);
 
 /** Did this run behave correctly (outcome, output, exit code)? */
 bool runIsCorrect(const AppSpec &app, const vm::RunResult &r);

@@ -4,10 +4,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <thread>
 
 #include "ir/module.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "support/str.h"
 #include "vm/interp.h"
 
@@ -187,8 +191,10 @@ runOneSchedule(const Target &t, const ScheduleSpec &s,
     // interleavings without the hand-scripted trigger sleeps.
 
     vm::VmConfig plainCfg = base;
-    if (ins)
+    if (ins) {
         plainCfg.recorder = ins->unhardened;
+        plainCfg.recordSharedAccesses = ins->recordSharedAccesses;
+    }
     vm::RunResult u = vm::runProgram(*t.plain, plainCfg);
     out.unhardened = u.outcome;
     out.unhardenedCorrect = correctRun(t, u);
@@ -213,8 +219,10 @@ runOneSchedule(const Target &t, const ScheduleSpec &s,
         out.chaos = opts.chaosEveryN > 0 && s.seed % 2 == 0;
         if (out.chaos)
             hardCfg.chaosRollbackEveryN = opts.chaosEveryN;
-        if (ins)
+        if (ins) {
             hardCfg.recorder = ins->hardened;
+            hardCfg.recordSharedAccesses = ins->recordSharedAccesses;
+        }
         if (opts.collectMetrics)
             hardCfg.metrics = &out.metrics;
         vm::RunResult h = vm::runProgram(*t.hardened, hardCfg);
@@ -229,9 +237,11 @@ runOneSchedule(const Target &t, const ScheduleSpec &s,
             vm::VmConfig refCfg = hardCfg;
             refCfg.engine = vm::ExecEngine::Reference;
             // The differential replica always runs bare: tick identity
-            // against the instrumented leg proves recording is passive.
+            // against the instrumented leg proves recording is passive
+            // (diagnosis mode included).
             refCfg.recorder = nullptr;
             refCfg.metrics = nullptr;
+            refCfg.recordSharedAccesses = false;
             vm::RunResult r = vm::runProgram(*t.hardened, refCfg);
             std::string d = tickDiff(h, r);
             if (!d.empty()) {
@@ -401,6 +411,94 @@ runCampaign(const std::vector<Target> &targets,
         rep.divergences += tr.divergences;
         rep.unrecovered += tr.unrecovered;
     }
+    // Post-aggregation observability passes.  Both replay one schedule
+    // per target *outside* the worker pool, so every aggregate above
+    // stays independent of worker count.
+    if (opts.diagnoseFailures || !opts.abortArtifactDir.empty()) {
+        // Diagnosis-mode rings need depth: shared accesses are roughly
+        // one event per scheduling tick.
+        constexpr size_t kDiagCapacity = 65536;
+
+        auto replay = [&](size_t ti, const ScheduleSpec &spec,
+                          obs::FlightRecorder &plainRec,
+                          obs::FlightRecorder &hardRec) {
+            ScheduleInstruments ins;
+            ins.unhardened = &plainRec;
+            ins.hardened = &hardRec;
+            ins.recordSharedAccesses = true;
+            runOneSchedule(targets[ti], spec, opts, &ins);
+        };
+
+        // The hardened leg tells the recovery story when it has one;
+        // otherwise diagnose the unhardened leg's terminal failure.
+        auto pickLeg = [](const Target &t,
+                          const obs::FlightRecorder &hardRec) {
+            return t.hardened &&
+                   (hardRec.totalOf(obs::EventKind::RecoveryDone) > 0 ||
+                    hardRec.totalOf(obs::EventKind::FailureSite) > 0);
+        };
+
+        for (size_t ti = 0; ti < targets.size(); ++ti) {
+            TargetReport &tr = rep.targets[ti];
+            const Target &t = targets[ti];
+
+            if (opts.diagnoseFailures && tr.foundFailure) {
+                obs::FlightRecorder plainRec(kDiagCapacity);
+                obs::FlightRecorder hardRec(kDiagCapacity);
+                replay(ti, tr.firstFailure, plainRec, hardRec);
+                bool useHard = pickLeg(t, hardRec);
+                tr.diagnosis = obs::pm::diagnose(
+                    useHard ? hardRec : plainRec,
+                    useHard ? *t.hardened : *t.plain, t.name,
+                    tr.firstFailure.token());
+                tr.hasDiagnosis = true;
+                tr.diagnosisLeg = useHard ? "hardened" : "unhardened";
+            }
+
+            // Flush-on-abort: an oracle violation (divergence or
+            // unrecovered failure) dumps the instrumented legs' trace
+            // and a diagnosis so the evidence survives process exit.
+            if (!opts.abortArtifactDir.empty() &&
+                (tr.hasDivergence || tr.hasUnrecovered)) {
+                const ScheduleSpec &spec = tr.hasDivergence
+                                               ? tr.firstDivergence
+                                               : tr.firstUnrecovered;
+                obs::FlightRecorder plainRec(kDiagCapacity);
+                obs::FlightRecorder hardRec(kDiagCapacity);
+                replay(ti, spec, plainRec, hardRec);
+
+                std::filesystem::create_directories(
+                    opts.abortArtifactDir);
+                std::string token = spec.token();
+                std::replace(token.begin(), token.end(), ':', '-');
+                std::string stem = opts.abortArtifactDir + "/" +
+                                   t.name + "_" + token;
+
+                std::vector<obs::TraceProcess> procs;
+                procs.push_back({&plainRec, t.name + " unhardened", 1});
+                if (t.hardened)
+                    procs.push_back({&hardRec, t.name + " hardened", 2});
+                auto flush = [&](const std::string &path,
+                                 const std::string &body) {
+                    std::ofstream f(path, std::ios::binary);
+                    f << body;
+                    tr.abortArtifacts.push_back(path);
+                };
+                flush(stem + "_trace.json",
+                      obs::chromeTraceJson(procs));
+
+                bool useHard = pickLeg(t, hardRec);
+                obs::pm::RecoveryReport diag = obs::pm::diagnose(
+                    useHard ? hardRec : plainRec,
+                    useHard ? *t.hardened : *t.plain, t.name,
+                    spec.token());
+                flush(stem + "_diagnosis.json", obs::pm::toJson(diag));
+                flush(stem + "_diagnosis.txt",
+                      obs::pm::renderText(diag));
+            }
+        }
+    }
+
     rep.seconds = std::chrono::duration<double>(t1 - t0).count();
     if (rep.seconds > 0)
         rep.schedulesPerSec = double(rep.schedules) / rep.seconds;

@@ -29,6 +29,7 @@
 
 #include "explore/schedule.h"
 #include "obs/metrics.h"
+#include "obs/postmortem/diagnosis.h"
 #include "vm/stats.h"
 
 namespace conair::ir {
@@ -110,6 +111,26 @@ struct CampaignOptions
      *  Aggregation happens in matrix order, so the merged metrics are
      *  independent of worker count like every other report field. */
     bool collectMetrics = false;
+
+    /**
+     * After aggregation, deterministically replay every target's first
+     * failing schedule in diagnosis recording mode and attach the
+     * postmortem RecoveryReport (racy pair, switch window, verdict) to
+     * the TargetReport — so every first-failing schedule in
+     * BENCH_explore.json carries a diagnosis.  The replay happens
+     * outside the worker pool (one schedule per target), so campaign
+     * aggregates stay worker-independent.
+     */
+    bool diagnoseFailures = false;
+
+    /**
+     * Flush-on-abort: when a differential leg trips (divergence or
+     * unrecovered failure), re-run that schedule instrumented and dump
+     * the legs' trace plus the diagnosis into this directory (created
+     * if missing) instead of discarding them — oracle failures stay
+     * debuggable after the campaign exits.  Empty = off.
+     */
+    std::string abortArtifactDir;
 };
 
 /** Everything one explored schedule produced. */
@@ -155,6 +176,12 @@ struct ScheduleInstruments
 {
     obs::FlightRecorder *unhardened = nullptr;
     obs::FlightRecorder *hardened = nullptr;
+
+    /** Diagnosis recording mode (VmConfig::recordSharedAccesses) on
+     *  the instrumented Decoded legs: SharedLoad/SharedStore events
+     *  feed the postmortem racy-pair reconstruction.  The Reference
+     *  replicas still run bare. */
+    bool recordSharedAccesses = false;
 };
 
 /** Per-target aggregation. */
@@ -203,6 +230,17 @@ struct TargetReport
      *  per opts.policies entry, in matrix order. */
     std::vector<std::pair<std::string, obs::MetricsRegistry>>
         policyMetrics;
+
+    /** Postmortem diagnosis of firstFailure (only when
+     *  CampaignOptions::diagnoseFailures and foundFailure). */
+    bool hasDiagnosis = false;
+    obs::pm::RecoveryReport diagnosis;
+    /** Which leg the diagnosis trace came from ("hardened" when the
+     *  hardened build told a recovery story, else "unhardened"). */
+    std::string diagnosisLeg;
+
+    /** Files written by flush-on-abort for this target. */
+    std::vector<std::string> abortArtifacts;
 };
 
 /** Whole-campaign result. */

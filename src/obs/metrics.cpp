@@ -1,9 +1,11 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cctype>
 
 #include "support/diag.h"
 #include "support/json.h"
+#include "support/str.h"
 
 namespace conair::obs {
 
@@ -39,6 +41,31 @@ Histogram::merge(const Histogram &other)
     count += other.count;
     sum += other.sum;
     max = std::max(max, other.max);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    double rank = q * double(count);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        if (double(seen) + double(counts[i]) >= rank) {
+            if (i == bounds.size())
+                return double(max); // overflow bucket: best bound known
+            double lo = i == 0 ? 0.0 : double(bounds[i - 1]);
+            double hi = double(bounds[i]);
+            double frac =
+                std::max(0.0, (rank - double(seen)) / double(counts[i]));
+            return std::min(lo + (hi - lo) * frac, double(max));
+        }
+        seen += counts[i];
+    }
+    return double(max);
 }
 
 void
@@ -107,6 +134,9 @@ MetricsRegistry::writeJson(JsonWriter &w) const
         w.key("sum").value(h.sum);
         w.key("max").value(h.max);
         w.key("mean").value(h.mean(), "%.3f");
+        w.key("p50").value(h.p50(), "%.3f");
+        w.key("p95").value(h.p95(), "%.3f");
+        w.key("p99").value(h.p99(), "%.3f");
         w.key("bounds").beginArray();
         for (uint64_t bnd : h.bounds)
             w.value(bnd);
@@ -127,6 +157,86 @@ MetricsRegistry::toJson(int indent) const
     JsonWriter w(indent);
     writeJson(w);
     return w.str();
+}
+
+namespace {
+
+/** Prometheus metric names allow [a-zA-Z0-9_:] only. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out)
+        if (!std::isalnum((unsigned char)c) && c != '_' && c != ':')
+            c = '_';
+    if (out.empty() || std::isdigit((unsigned char)out[0]))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+/** Label values escape backslash, double quote, and newline. */
+std::string
+promLabelValue(const std::string &v)
+{
+    std::string out;
+    for (char c : v) {
+        if (c == '\\' || c == '"')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::toPrometheusText() const
+{
+    std::string out;
+    // Counters.  A '/' splits a family from its site label
+    // (retries_by_site/<tag> -> retries_by_site{site="<tag>"}); the
+    // map is sorted, so a family's members are adjacent and its
+    // `# TYPE` header is emitted once.
+    std::string lastFamily;
+    for (const auto &[name, v] : counters_) {
+        size_t slash = name.find('/');
+        std::string family = promName(name.substr(0, slash));
+        if (family != lastFamily) {
+            out += strfmt("# TYPE %s counter\n", family.c_str());
+            lastFamily = family;
+        }
+        if (slash == std::string::npos)
+            out += strfmt("%s %llu\n", family.c_str(),
+                          (unsigned long long)v);
+        else
+            out += strfmt("%s{site=\"%s\"} %llu\n", family.c_str(),
+                          promLabelValue(name.substr(slash + 1)).c_str(),
+                          (unsigned long long)v);
+    }
+    // Histograms: cumulative buckets + sum + count, Prometheus style.
+    for (const auto &[name, h] : hists_) {
+        std::string family = promName(name);
+        out += strfmt("# TYPE %s histogram\n", family.c_str());
+        uint64_t cum = 0;
+        for (size_t i = 0; i < h.bounds.size(); ++i) {
+            cum += h.counts[i];
+            out += strfmt("%s_bucket{le=\"%llu\"} %llu\n",
+                          family.c_str(),
+                          (unsigned long long)h.bounds[i],
+                          (unsigned long long)cum);
+        }
+        out += strfmt("%s_bucket{le=\"+Inf\"} %llu\n", family.c_str(),
+                      (unsigned long long)h.count);
+        out += strfmt("%s_sum %llu\n", family.c_str(),
+                      (unsigned long long)h.sum);
+        out += strfmt("%s_count %llu\n", family.c_str(),
+                      (unsigned long long)h.count);
+    }
+    return out;
 }
 
 const std::vector<uint64_t> &

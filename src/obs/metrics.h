@@ -51,6 +51,20 @@ struct Histogram
 
     double mean() const { return count ? double(sum) / double(count) : 0.0; }
 
+    /**
+     * Estimated q-quantile (q in [0, 1]) by linear interpolation inside
+     * the bucket holding the q*count-th observation — the classic
+     * Prometheus histogram_quantile estimator.  Interpolates from the
+     * previous bound to the bucket's upper bound (the first finite
+     * bucket starts at 0); an estimate landing in the overflow bucket
+     * is clamped to the observed max.  0 when empty.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
     bool operator==(const Histogram &) const = default;
 };
 
@@ -92,6 +106,15 @@ class MetricsRegistry
 
     /** A standalone pretty-printed JSON document. */
     std::string toJson(int indent = 2) const;
+
+    /**
+     * Prometheus text exposition format (version 0.0.4): counters as
+     * `# TYPE <name> counter` samples, histograms as cumulative
+     * `_bucket{le="..."}` series plus `_sum` and `_count`.  Metric
+     * names are sanitised to [a-zA-Z0-9_:] (so `retries_by_site/<tag>`
+     * becomes a `site="<tag>"` label on `retries_by_site`).
+     */
+    std::string toPrometheusText() const;
 
     bool operator==(const MetricsRegistry &) const = default;
 

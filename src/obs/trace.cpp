@@ -22,6 +22,8 @@ eventKindName(EventKind k)
       case EventKind::FailureSite: return "failure-site";
       case EventKind::ChaosRollback: return "chaos-rollback";
       case EventKind::RecoveryDone: return "recovery-done";
+      case EventKind::SharedLoad: return "shared-load";
+      case EventKind::SharedStore: return "shared-store";
     }
     return "unknown";
 }

@@ -50,9 +50,20 @@ namespace conair::obs {
  *  FailureSite          vm::Outcome as integer   -
  *  ChaosRollback        global step count        -
  *  RecoveryDone         retries in the episode   episode start clock
+ *  SharedLoad           packed cell address      value bits read
+ *  SharedStore          packed cell address      value bits written
  *
  * `tag` carries the failure-site / lock-site tag when the instruction
- * has one (Rollback, FailureSite, RecoveryDone, Lock*).
+ * has one (Rollback, FailureSite, RecoveryDone, Lock*, Shared*).
+ *
+ * SharedLoad / SharedStore only fire in *diagnosis recording mode*
+ * (VmConfig::recordSharedAccesses, off by default): every non-stack
+ * load/store is recorded with its cell address packed via
+ * packCellAddr() and the transferred value's raw bits (integers and
+ * bools as-is, doubles bit-cast, pointers packed like addresses,
+ * uninitialised cells as 0).  The postmortem diagnosis engine
+ * (src/obs/postmortem/) joins these with the static backward slice to
+ * reconstruct the racy access pair behind a recovery episode.
  */
 enum class EventKind : uint8_t {
     ThreadSpawn,
@@ -69,10 +80,48 @@ enum class EventKind : uint8_t {
     FailureSite,
     ChaosRollback,
     RecoveryDone,
+    SharedLoad,
+    SharedStore,
 };
 
 inline constexpr size_t kEventKindCount =
-    size_t(EventKind::RecoveryDone) + 1;
+    size_t(EventKind::SharedStore) + 1;
+
+/**
+ * @name Packed cell addresses (SharedLoad / SharedStore payload `a`)
+ *
+ * A VM memory cell is (segment, block, offset).  Diagnosis events pack
+ * that triple into one uint64 so the recorder's fixed-width payload
+ * words can carry it: segment in the top 2 bits, block in the middle
+ * 38, offset (non-negative, < 2^24 in practice — blocks are small) in
+ * the low 24.  The VM packs with packCellAddr(); the diagnosis engine
+ * unpacks with the accessors, so both sides agree by construction.
+ * @{
+ */
+
+inline constexpr uint64_t packCellAddr(uint8_t seg, uint32_t block,
+                                       int64_t offset)
+{
+    return (uint64_t(seg & 3) << 62) | (uint64_t(block) << 24) |
+           (uint64_t(offset) & 0xFFFFFF);
+}
+
+inline constexpr uint8_t cellSeg(uint64_t packed)
+{
+    return uint8_t(packed >> 62);
+}
+
+inline constexpr uint32_t cellBlock(uint64_t packed)
+{
+    return uint32_t((packed >> 24) & 0x3FFFFFFFFFull);
+}
+
+inline constexpr int64_t cellOffset(uint64_t packed)
+{
+    return int64_t(packed & 0xFFFFFF);
+}
+
+/** @} */
 
 /** Stable lowercase name ("rollback", "lock-acquire", ...). */
 const char *eventKindName(EventKind k);

@@ -32,6 +32,9 @@ kindCategory(EventKind k)
         return "failure";
       case EventKind::ChaosRollback:
         return "chaos";
+      case EventKind::SharedLoad:
+      case EventKind::SharedStore:
+        return "mem";
     }
     return "misc";
 }
@@ -212,9 +215,9 @@ recoveryTimeline(const FlightRecorder &rec, double microsPerTick)
     uint64_t shown = 0;
     for (const TraceEvent &ev : rec.merged()) {
         const char *cat = kindCategory(ev.kind);
-        // The timeline is the recovery story: scheduling noise stays
-        // in the full trace.
-        if (cat[0] == 's') // "sched"
+        // The timeline is the recovery story: scheduling noise and
+        // diagnosis-mode memory traffic stay in the full trace.
+        if (cat[0] == 's' || cat[0] == 'm') // "sched", "mem"
             continue;
         ++shown;
         out += strfmt("[%10.1f us] t%-2u %-19s",

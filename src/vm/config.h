@@ -214,6 +214,17 @@ struct VmConfig
      *  latency, retries per site, checkpoint-to-failure distance). */
     obs::MetricsRegistry *metrics = nullptr;
 
+    /**
+     * Diagnosis recording mode: additionally record a SharedLoad /
+     * SharedStore event (packed cell address + value bits + site tag)
+     * for every non-stack memory access, in both engines.  Needs
+     * @ref recorder set; still pure observation (tick-identical runs),
+     * but the event volume is ~1 per scheduling tick, so it is off by
+     * default and enabled only when a trace will feed the postmortem
+     * diagnosis engine (src/obs/postmortem/).
+     */
+    bool recordSharedAccesses = false;
+
     /** @} */
 };
 

@@ -1,6 +1,7 @@
 #include "vm/interp.h"
 
 #include <algorithm>
+#include <cstring>
 #include <ostream>
 
 #include "obs/metrics.h"
@@ -76,6 +77,7 @@ Interp::Interp(const ir::Module &m, VmConfig cfg)
     engineDecoded_ = cfg_.engine == ExecEngine::Decoded;
     rec_ = cfg_.recorder;
     met_ = cfg_.metrics;
+    diag_ = rec_ != nullptr && cfg_.recordSharedAccesses;
 
     // Exploration policies: sample the priority-change / forced-
     // preemption points up front from a dedicated split stream, so the
@@ -687,6 +689,46 @@ Interp::finishLoad(Frame &f, uint32_t dstReg, ir::Type type,
     f.regs[dstReg] = v;
 }
 
+namespace {
+
+/** Raw payload bits of a runtime value for SharedLoad/SharedStore
+ *  events: integers/bools as-is, doubles bit-cast, pointers packed
+ *  like cell addresses, uninitialised cells as 0 (matching the
+ *  zero-read semantics of finishLoad). */
+uint64_t
+valueBits(const RtValue &v)
+{
+    if (v.isUninit())
+        return 0;
+    switch (v.kind) {
+      case ir::Type::F64: {
+        uint64_t bits;
+        std::memcpy(&bits, &v.f, sizeof bits);
+        return bits;
+      }
+      case ir::Type::Ptr:
+        return obs::packCellAddr(uint8_t(v.p.seg), v.p.block,
+                                 v.p.offset);
+      default:
+        return uint64_t(v.i);
+    }
+}
+
+} // namespace
+
+void
+Interp::recordSharedAccess(const Thread &t, bool isStore, Ptr addr,
+                           const RtValue &v, const std::string &tag)
+{
+    rec_->record(t.id,
+                 isStore ? obs::EventKind::SharedStore
+                         : obs::EventKind::SharedLoad,
+                 clock_, result_.stats.steps,
+                 obs::packCellAddr(uint8_t(addr.seg), addr.block,
+                                   addr.offset),
+                 valueBits(v), tag);
+}
+
 void
 Interp::doLoad(Thread &t, const Instruction &inst)
 {
@@ -697,6 +739,8 @@ Interp::doLoad(Thread &t, const Instruction &inst)
         result_.failureTag = inst.tag();
         return;
     }
+    if (diag_ && addr.p.seg != Ptr::Seg::Stack)
+        recordSharedAccess(t, false, addr.p, *cell, inst.tag());
     finishLoad(f, f.map->indexOf(&inst), inst.type(), *cell, &inst);
 }
 
@@ -712,8 +756,11 @@ Interp::doStore(Thread &t, const Instruction &inst)
         return;
     }
     *cell = v;
-    if (addr.p.seg != Ptr::Seg::Stack)
+    if (addr.p.seg != Ptr::Seg::Stack) {
         ++result_.stats.schedTicks;
+        if (diag_)
+            recordSharedAccess(t, true, addr.p, v, inst.tag());
+    }
 }
 
 void
@@ -726,6 +773,8 @@ Interp::doLoadDecoded(Thread &t, const DecodedInst &di)
         result_.failureTag = di.src->tag();
         return;
     }
+    if (diag_ && addr.p.seg != Ptr::Seg::Stack)
+        recordSharedAccess(t, false, addr.p, *cell, di.src->tag());
     finishLoad(f, di.dst, di.type, *cell, di.src);
 }
 
@@ -741,8 +790,11 @@ Interp::doStoreDecoded(Thread &t, const DecodedInst &di)
         return;
     }
     *cell = v;
-    if (addr.p.seg != Ptr::Seg::Stack)
+    if (addr.p.seg != Ptr::Seg::Stack) {
         ++result_.stats.schedTicks;
+        if (diag_)
+            recordSharedAccess(t, true, addr.p, v, di.src->tag());
+    }
 }
 
 //

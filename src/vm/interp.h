@@ -393,6 +393,14 @@ class Interp
     // no RNG draws, no clock ticks, no stats mutations.
     obs::FlightRecorder *rec_ = nullptr;
     obs::MetricsRegistry *met_ = nullptr;
+    /** Diagnosis recording mode: rec_ set AND cfg_.recordSharedAccesses
+     *  — shared loads/stores also emit SharedLoad/SharedStore events. */
+    bool diag_ = false;
+
+    /** Records a SharedLoad/SharedStore event for a successful
+     *  non-stack access (diagnosis mode only). */
+    void recordSharedAccess(const Thread &t, bool isStore, Ptr addr,
+                            const RtValue &v, const std::string &tag);
 
     // Clock and result.
     uint64_t clock_ = 0;

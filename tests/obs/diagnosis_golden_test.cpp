@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Byte-for-byte golden regression test for the postmortem diagnosis
+ * exporters.
+ *
+ * Replays ZSNES under pct:d2:s2 (the campaign repro token the
+ * acceptance criteria name) in diagnosis recording mode, diagnoses the
+ * hardened leg, and pins both the human-readable report (with the
+ * ASCII interleaving diagram) and the JSON document against
+ * diagnosis.golden.  Any change to the verdict ladder, pair selection,
+ * evidence wording, or either exporter shows up as a diff here.
+ *
+ * Re-bless after an *intentional* change with:
+ *   ./obs_diagnosis_golden_test --update
+ */
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apps/harness.h"
+#include "explore/campaign.h"
+#include "obs/postmortem/diagnosis.h"
+#include "obs/trace.h"
+
+namespace conair {
+
+bool updateGolden = false;
+
+namespace {
+
+std::string
+goldenPath()
+{
+    return std::string(GOLDEN_DIR) + "/diagnosis.golden";
+}
+
+std::string
+currentGolden()
+{
+    const apps::AppSpec *spec = apps::findApp("ZSNES");
+    if (!spec)
+        return "<ZSNES missing>";
+    apps::CampaignApp app = apps::prepareCampaignApp(*spec);
+    explore::Target target = apps::campaignTarget(app);
+
+    explore::ScheduleSpec sched;
+    EXPECT_TRUE(explore::parseScheduleToken("pct:d2:s2", sched));
+
+    obs::FlightRecorder plainRec(65536), hardRec(65536);
+    explore::ScheduleInstruments ins;
+    ins.unhardened = &plainRec;
+    ins.hardened = &hardRec;
+    ins.recordSharedAccesses = true;
+    explore::ScheduleOutcome o = explore::runOneSchedule(
+        target, sched, explore::CampaignOptions{}, &ins);
+    EXPECT_TRUE(o.ran);
+    EXPECT_FALSE(o.diverged) << o.divergenceMsg;
+    // The schedule must exercise recovery so the golden pins a real
+    // episode, not an empty report.
+    EXPECT_GT(o.hardenedRollbacks, 0u);
+
+    obs::pm::RecoveryReport rep = obs::pm::diagnose(
+        hardRec, *target.hardened, "ZSNES", sched.token());
+
+    std::string out;
+    out += "=== text report ===\n";
+    out += obs::pm::renderText(rep);
+    out += "=== json report ===\n";
+    out += obs::pm::toJson(rep);
+    out += "\n";
+    return out;
+}
+
+TEST(DiagnosisGolden, MatchesGoldenFile)
+{
+    std::string current = currentGolden();
+
+    if (updateGolden) {
+        std::ofstream out(goldenPath());
+        ASSERT_TRUE(out.is_open()) << goldenPath();
+        out << current;
+        SUCCEED() << "golden file updated";
+        return;
+    }
+
+    std::ifstream in(goldenPath());
+    ASSERT_TRUE(in.is_open())
+        << goldenPath() << " missing; run with --update to create it";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string expected = buf.str();
+
+    std::istringstream cs(current), es(expected);
+    std::string cline, eline;
+    size_t lineno = 0;
+    while (true) {
+        bool cg = bool(std::getline(cs, cline));
+        bool eg = bool(std::getline(es, eline));
+        ++lineno;
+        if (!cg && !eg)
+            break;
+        if (!cg)
+            cline = "<missing line>";
+        if (!eg)
+            eline = "<missing line>";
+        ASSERT_EQ(cline, eline)
+            << "diagnosis.golden line " << lineno
+            << " diverged; if the diagnosis change is intentional, "
+               "re-bless with: ./obs_diagnosis_golden_test --update";
+    }
+    EXPECT_EQ(current, expected);
+}
+
+} // namespace
+} // namespace conair
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--update") {
+            conair::updateGolden = true;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            break;
+        }
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

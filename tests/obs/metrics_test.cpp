@@ -124,6 +124,79 @@ TEST(MetricsRegistry, ClearResetsEverything)
     EXPECT_EQ(reg.histogram("h"), nullptr);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBuckets)
+{
+    Histogram h;
+    h.bounds = {10, 100, 1000};
+    h.counts.assign(4, 0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0); // empty
+    for (uint64_t v = 1; v <= 100; ++v)
+        h.observe(v); // uniform 1..100: 10 in [0,10], 90 in (10,100]
+    // p50 = rank 50 -> 40th of 90 entries in the (10, 100] bucket.
+    double p50 = h.quantile(0.5);
+    EXPECT_GT(p50, 10.0);
+    EXPECT_LE(p50, 100.0);
+    EXPECT_NEAR(p50, 50.0, 10.0);
+    // Quantiles are monotone and accessors agree with quantile().
+    EXPECT_LE(h.p50(), h.p95());
+    EXPECT_LE(h.p95(), h.p99());
+    EXPECT_DOUBLE_EQ(h.p95(), h.quantile(0.95));
+}
+
+TEST(Histogram, QuantileClampsOverflowToObservedMax)
+{
+    Histogram h;
+    h.bounds = {10};
+    h.counts.assign(2, 0);
+    h.observe(5);
+    h.observe(70000); // overflow bucket
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 70000.0);
+    // Interpolation never exceeds the observed max either.
+    Histogram g;
+    g.bounds = {1000};
+    g.counts.assign(2, 0);
+    g.observe(3);
+    EXPECT_LE(g.quantile(0.99), 3.0);
+}
+
+TEST(MetricsRegistry, JsonCarriesQuantiles)
+{
+    MetricsRegistry reg;
+    reg.observe("lat", 42, MetricsRegistry::latencyBucketsUs());
+    std::string j = reg.toJson();
+    EXPECT_NE(j.find("\"p50\""), std::string::npos);
+    EXPECT_NE(j.find("\"p95\""), std::string::npos);
+    EXPECT_NE(j.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusTextExposition)
+{
+    MetricsRegistry reg;
+    reg.add("rollbacks", 3);
+    reg.add("site/assert.foo.3", 2); // '/' splits into a site label
+    reg.observe("recovery_latency_us", 7,
+                MetricsRegistry::latencyBucketsUs());
+    reg.observe("recovery_latency_us", 5000,
+                MetricsRegistry::latencyBucketsUs());
+    std::string t = reg.toPrometheusText();
+
+    EXPECT_NE(t.find("# TYPE rollbacks counter"), std::string::npos);
+    EXPECT_NE(t.find("rollbacks 3"), std::string::npos);
+    EXPECT_NE(t.find("site{site=\"assert.foo.3\"} 2"),
+              std::string::npos);
+    EXPECT_NE(t.find("# TYPE recovery_latency_us histogram"),
+              std::string::npos);
+    EXPECT_NE(t.find("recovery_latency_us_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(t.find("recovery_latency_us_sum 5007"),
+              std::string::npos);
+    EXPECT_NE(t.find("recovery_latency_us_count 2"),
+              std::string::npos);
+    // Cumulative buckets: every le count is <= the +Inf count and
+    // non-decreasing in bound order.
+    EXPECT_EQ(t, reg.toPrometheusText()); // deterministic
+}
+
 TEST(MetricsRegistry, BucketLaddersAreSorted)
 {
     for (const auto &bounds : {MetricsRegistry::latencyBucketsUs(),

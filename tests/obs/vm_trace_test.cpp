@@ -58,6 +58,52 @@ TEST(VmTrace, RecordingDoesNotPerturbExecution)
     EXPECT_GT(traced.stats.rollbacks, 0u);
 }
 
+TEST(VmTrace, DiagnosisModeDoesNotPerturbExecution)
+{
+    // recordSharedAccesses adds a SharedLoad/SharedStore event per
+    // non-stack memory access — by far the chattiest recording mode —
+    // and must still be pure observation: tick-for-tick identical to
+    // the bare run.
+    apps::PreparedApp p =
+        apps::prepareApp(mysqlSpec(), apps::HardenOptions{});
+    vm::RunResult bare = apps::runBuggy(p, 1);
+
+    obs::FlightRecorder rec(65536);
+    obs::MetricsRegistry met;
+    vm::RunResult diag = apps::runBuggy(p, 1, &rec, &met, true);
+
+    EXPECT_EQ(diag.outcome, bare.outcome);
+    EXPECT_EQ(diag.exitCode, bare.exitCode);
+    EXPECT_EQ(diag.clock, bare.clock);
+    EXPECT_EQ(diag.output, bare.output);
+    EXPECT_EQ(diag.stats.steps, bare.stats.steps);
+    EXPECT_EQ(diag.stats.schedTicks, bare.stats.schedTicks);
+    EXPECT_EQ(diag.stats.rollbacks, bare.stats.rollbacks);
+    EXPECT_EQ(diag.stats.checkpointsExecuted,
+              bare.stats.checkpointsExecuted);
+    EXPECT_EQ(diag.stats.recoveries.size(),
+              bare.stats.recoveries.size());
+    // Diagnosis mode actually recorded shared traffic (not vacuous).
+    EXPECT_GT(rec.totalOf(obs::EventKind::SharedLoad), 0u);
+    EXPECT_GT(rec.totalOf(obs::EventKind::SharedStore), 0u);
+    EXPECT_GT(diag.stats.rollbacks, 0u);
+}
+
+TEST(VmTrace, SharedAccessesOffByDefault)
+{
+    // A recorder without recordSharedAccesses sees the recovery story
+    // but zero SharedLoad/SharedStore events — diagnosis mode is
+    // strictly opt-in.
+    apps::PreparedApp p =
+        apps::prepareApp(mysqlSpec(), apps::HardenOptions{});
+    obs::FlightRecorder rec(4096);
+    vm::RunResult r = apps::runBuggy(p, 1, &rec, nullptr);
+    ASSERT_EQ(r.outcome, vm::Outcome::Success);
+    EXPECT_GT(rec.totalOf(obs::EventKind::Rollback), 0u);
+    EXPECT_EQ(rec.totalOf(obs::EventKind::SharedLoad), 0u);
+    EXPECT_EQ(rec.totalOf(obs::EventKind::SharedStore), 0u);
+}
+
 TEST(VmTrace, DisabledModeRecordsNothing)
 {
     // recorder == nullptr is the production default; nothing observable
