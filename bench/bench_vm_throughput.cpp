@@ -210,18 +210,21 @@ main(int argc, char **argv)
     decoded.schedFastPath = true;
     decoded.memHandleCache = true;
 
-    std::printf("=== VM engine throughput: pre-decoded vs reference "
-                "(wall clock) ===\n\n");
+    vm::VmConfig fused = decoded;
+    fused.engine = vm::ExecEngine::Fused;
+
+    std::printf("=== VM engine throughput: fused vs pre-decoded vs "
+                "reference (wall clock) ===\n\n");
 
     Table t({"Workload", "Reference (steps/s)", "Decoded (steps/s)",
-             "Speedup", "Decoded+trace (steps/s)", "Trace cost",
-             "Diag cost"});
+             "Speedup", "Fused (steps/s)", "Fused/Dec",
+             "Decoded+trace (steps/s)", "Trace cost", "Diag cost"});
 
     struct Row
     {
         std::string name;
         bool singleThread;
-        Cell ref, dec, traced, diag;
+        Cell ref, dec, fus, traced, diag;
     };
     std::vector<Row> rows;
 
@@ -238,6 +241,7 @@ main(int argc, char **argv)
         row.singleThread = w.singleThread;
         row.ref = measure(*m, ref, runs);
         row.dec = measure(*m, decoded, runs);
+        row.fus = measure(*m, fused, runs);
         // The tracing-on row: same decoded config, flight recorder
         // attached.  Its distance from the plain decoded row is the
         // *enabled* cost; the decoded row itself carries the
@@ -254,21 +258,25 @@ main(int argc, char **argv)
         row.diag = measure(*m, decoded, runs, &diagRecorder, true);
         if (row.ref.outcome != vm::Outcome::Success ||
             row.dec.outcome != vm::Outcome::Success ||
+            row.fus.outcome != vm::Outcome::Success ||
             row.ref.steps != row.dec.steps ||
+            row.fus.steps != row.dec.steps ||
             row.traced.steps != row.dec.steps ||
             row.diag.steps != row.dec.steps) {
             std::fprintf(stderr,
                          "engine divergence on %s: steps %llu vs %llu "
-                         "(traced %llu, diag %llu)\n",
+                         "(fused %llu, traced %llu, diag %llu)\n",
                          w.name.c_str(),
                          (unsigned long long)row.ref.steps,
                          (unsigned long long)row.dec.steps,
+                         (unsigned long long)row.fus.steps,
                          (unsigned long long)row.traced.steps,
                          (unsigned long long)row.diag.steps);
             return 1;
         }
         rows.push_back(row);
         double speedup = row.dec.stepsPerSec / row.ref.stepsPerSec;
+        double fusedSpeedup = row.fus.stepsPerSec / row.dec.stepsPerSec;
         double traceCost =
             1.0 - row.traced.stepsPerSec / row.dec.stepsPerSec;
         double diagCost =
@@ -276,6 +284,8 @@ main(int argc, char **argv)
         t.row({row.name, fmt("%.0f", row.ref.stepsPerSec),
                fmt("%.0f", row.dec.stepsPerSec),
                fmt("%.2fx", speedup),
+               fmt("%.0f", row.fus.stepsPerSec),
+               fmt("%.2fx", fusedSpeedup),
                fmt("%.0f", row.traced.stepsPerSec),
                fmt("%.1f%%", traceCost * 100),
                fmt("%.1f%%", diagCost * 100)});
@@ -298,6 +308,9 @@ main(int argc, char **argv)
         w.key("decoded_steps_per_sec").value(r.dec.stepsPerSec, "%.0f");
         w.key("speedup")
             .value(r.dec.stepsPerSec / r.ref.stepsPerSec, "%.3f");
+        w.key("fused_steps_per_sec").value(r.fus.stepsPerSec, "%.0f");
+        w.key("fused_speedup")
+            .value(r.fus.stepsPerSec / r.dec.stepsPerSec, "%.3f");
         w.key("decoded_traced_steps_per_sec")
             .value(r.traced.stepsPerSec, "%.0f");
         w.key("trace_overhead")
@@ -318,8 +331,9 @@ main(int argc, char **argv)
     std::printf("\nwrote BENCH_vm.json\n");
 
     // The decoded engine exists to be faster; hold the single-thread
-    // dispatch workloads to the 2x floor (skipped in smoke mode, where
-    // runs are too short to time meaningfully).
+    // dispatch workloads to the 2x floor, and the fused engine to a
+    // further 1.5x over decoded (skipped in smoke mode, where runs are
+    // too short to time meaningfully).
     if (!smoke) {
         for (const Row &r : rows) {
             if (!r.singleThread)
@@ -330,6 +344,14 @@ main(int argc, char **argv)
                              "FAIL: %s speedup %.2fx below the 2x "
                              "floor\n",
                              r.name.c_str(), speedup);
+                return 1;
+            }
+            double fusedSpeedup = r.fus.stepsPerSec / r.dec.stepsPerSec;
+            if (fusedSpeedup < 1.5) {
+                std::fprintf(stderr,
+                             "FAIL: %s fused speedup %.2fx below the "
+                             "1.5x floor\n",
+                             r.name.c_str(), fusedSpeedup);
                 return 1;
             }
         }

@@ -156,6 +156,8 @@ tickDiff(const vm::RunResult &a, const vm::RunResult &b)
                       (long long)b.exitCode);
     if (a.failureTag != b.failureTag)
         return "failure tag differs";
+    if (a.memDigest != b.memDigest)
+        return "final memory digest differs";
     return {};
 }
 
@@ -212,6 +214,16 @@ runOneSchedule(const Target &t, const ScheduleSpec &s,
             out.divergenceMsg = "unhardened: " + d;
         }
     }
+    if (opts.fusedDifferential && !out.diverged) {
+        vm::VmConfig fusedCfg = base;
+        fusedCfg.engine = vm::ExecEngine::Fused;
+        vm::RunResult r = vm::runProgram(*t.plain, fusedCfg);
+        std::string d = tickDiff(u, r);
+        if (!d.empty()) {
+            out.diverged = true;
+            out.divergenceMsg = "unhardened-fused: " + d;
+        }
+    }
 
     if (t.hardened) {
         out.hardenedRan = true;
@@ -247,6 +259,22 @@ runOneSchedule(const Target &t, const ScheduleSpec &s,
             if (!d.empty()) {
                 out.diverged = true;
                 out.divergenceMsg = "hardened: " + d;
+            }
+        }
+        if (opts.fusedDifferential && !out.chaos && !out.diverged) {
+            vm::VmConfig fusedCfg = hardCfg;
+            fusedCfg.engine = vm::ExecEngine::Fused;
+            // Bare like the reference replica: agreement with the
+            // instrumented leg proves both engine identity and
+            // recording passivity in one comparison.
+            fusedCfg.recorder = nullptr;
+            fusedCfg.metrics = nullptr;
+            fusedCfg.recordSharedAccesses = false;
+            vm::RunResult r = vm::runProgram(*t.hardened, fusedCfg);
+            std::string d = tickDiff(h, r);
+            if (!d.empty()) {
+                out.diverged = true;
+                out.divergenceMsg = "hardened-fused: " + d;
             }
         }
     }
@@ -352,7 +380,8 @@ runCampaign(const std::vector<Target> &targets,
         ++tr.schedules;
         ++rep.schedules;
         tr.totalSteps += o.steps;
-        rep.vmRuns += 1 + (opts.differential ? 1 : 0);
+        rep.vmRuns += 1 + (opts.differential ? 1 : 0) +
+                      ((opts.fusedDifferential && !o.diverged) ? 1 : 0);
 
         if (o.unhardenedInconclusive) {
             ++tr.inconclusive;
@@ -381,7 +410,8 @@ runCampaign(const std::vector<Target> &targets,
             if (opts.collectMetrics)
                 tr.policyMetrics[j.policyIdx].second.merge(o.metrics);
             rep.vmRuns +=
-                1 + (opts.differential && !o.chaos && !o.diverged);
+                1 + (opts.differential && !o.chaos && !o.diverged) +
+                (opts.fusedDifferential && !o.chaos && !o.diverged);
             tr.chaosRuns += o.chaos;
             tr.chaosRollbacks += o.chaosRollbacks;
             if (o.hardenedInconclusive) {

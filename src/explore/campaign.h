@@ -97,6 +97,12 @@ struct CampaignOptions
      *  the hardened leg on chaos-free schedules). */
     bool differential = true;
 
+    /** Additionally run a Fused-engine replica of each leg (same
+     *  skip rules as @ref differential plus skipping legs that already
+     *  diverged): the superinstruction tier joins the tick-identity
+     *  oracle.  Off by default — it adds one full run per leg. */
+    bool fusedDifferential = false;
+
     /** Hardened-leg chaos injection (VmConfig::chaosRollbackEveryN)
      *  on even seeds; 0 disables the chaos dimension. */
     uint64_t chaosEveryN = 128;

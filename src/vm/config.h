@@ -27,15 +27,19 @@ enum class SchedPolicy {
 const char *schedPolicyName(SchedPolicy p);
 
 /**
- * Which execution engine interprets the program.  Both are
+ * Which execution engine interprets the program.  All three are
  * deterministic and produce tick-for-tick identical runs (enforced by
- * tests/vm/decode_diff_test.cpp); Decoded is the production engine,
+ * tests/vm/decode_diff_test.cpp and the cross-engine differential
+ * fuzzer in tests/property/); Decoded is the production engine,
  * Reference exists as the differential-testing baseline and for
- * measuring the decode layer's speedup.
+ * measuring the decode layer's speedup, and Fused layers decode-time
+ * superinstruction fusion plus a dense-dispatch burst executor on top
+ * of Decoded (fuse.h, docs/VM_ENGINE.md).
  */
 enum class ExecEngine : uint8_t {
     Decoded,   ///< pre-decoded flat arrays (decode.h), default
     Reference, ///< original IR tree walk (hash per operand resolve)
+    Fused,     ///< Decoded + superinstruction fusion (fuse.h)
 };
 
 /**

@@ -29,6 +29,7 @@
 
 #include "ir/module.h"
 #include "vm/config.h"
+#include "vm/fuse.h"
 #include "vm/regmap.h"
 #include "vm/value.h"
 
@@ -108,6 +109,10 @@ struct DecodedFunction
     std::vector<PhiCopy> phiCopies;
     std::vector<OpRef> extraOps;
     std::vector<RtValue> consts;
+
+    /** Superinstruction overlay (fuse.h); built only when the run uses
+     *  ExecEngine::Fused (DecodedModule::fuseAll), null otherwise. */
+    std::unique_ptr<FusedFunction> fused;
 };
 
 /**
@@ -128,10 +133,18 @@ class DecodedModule
     /** Total decoded instruction records (stats reporting). */
     uint64_t totalInsts() const { return totalInsts_; }
 
+    /** Builds the superinstruction overlay of every function (fused
+     *  engine only; implemented in fuse.cpp). */
+    void fuseAll();
+
+    /** Total two-component superinstructions formed by fuseAll(). */
+    uint64_t totalFusedInsts() const { return totalFused_; }
+
   private:
     std::unordered_map<const ir::Function *,
                        std::unique_ptr<DecodedFunction>> byFn_;
     uint64_t totalInsts_ = 0;
+    uint64_t totalFused_ = 0;
 };
 
 } // namespace conair::vm

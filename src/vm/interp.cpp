@@ -74,7 +74,8 @@ Interp::Interp(const ir::Module &m, VmConfig cfg)
       chaosRng_(cfg.seed ^ 0x5bd1e995u),
       prioRng_(cfg.seed ^ 0xda942042e4dd58b5ull)
 {
-    engineDecoded_ = cfg_.engine == ExecEngine::Decoded;
+    engineDecoded_ = cfg_.engine != ExecEngine::Reference;
+    engineFused_ = cfg_.engine == ExecEngine::Fused;
     rec_ = cfg_.recorder;
     met_ = cfg_.metrics;
     diag_ = rec_ != nullptr && cfg_.recordSharedAccesses;
@@ -137,9 +138,12 @@ Interp::Interp(const ir::Module &m, VmConfig cfg)
 
     // delayRules_ must be complete before decoding: SchedHint records
     // bake pointers into it.
-    if (engineDecoded_)
+    if (engineDecoded_) {
         decoded_ = std::make_unique<DecodedModule>(m, regMaps_, delayRules_,
                                                    delayIndexByHint_);
+        if (engineFused_)
+            decoded_->fuseAll();
+    }
 }
 
 Interp::~Interp() = default;
@@ -152,6 +156,8 @@ RunResult
 Interp::run()
 {
     result_.stats.decodedInsts = decoded_ ? decoded_->totalInsts() : 0;
+    result_.stats.fusedInsts =
+        engineFused_ && decoded_ ? decoded_->totalFusedInsts() : 0;
     result_.stats.hintRulesTracked = hintFires_.size();
 
     const ir::Function *main_fn = module_.findFunction("main");
@@ -218,7 +224,10 @@ Interp::run()
             !schedEvent_ && quantumLeft_ > 0 &&
             t->state == ThreadState::Runnable &&
             result_.stats.schedTicks < nextSchedPointAt_) {
-            runBurst(*t);
+            if (engineFused_)
+                runBurstFused(*t);
+            else
+                runBurst(*t);
             if (result_.stats.steps >= cfg_.maxSteps && running_) {
                 running_ = false;
                 result_.outcome = Outcome::Timeout;
@@ -235,6 +244,7 @@ Interp::run()
             applySchedPoint(*t);
     }
     result_.clock = clock_;
+    result_.memDigest = computeMemDigest();
     return result_;
 }
 
@@ -298,6 +308,488 @@ Interp::runBurst(Thread &t)
         ++result_.stats.fastPathSteps;
         stepThread(t);
     }
+}
+
+//
+// The fused engine's burst (see fuse.h and docs/VM_ENGINE.md).
+//
+
+namespace {
+
+/** refVal without the kRawRef diagnostic: fusion only emits records
+ *  whose operands are registers or pool constants. */
+inline const RtValue &
+fusedRef(const RtValue *regs, const RtValue *consts, OpRef r)
+{
+    return r < kConstRef ? regs[r] : consts[r & ~kConstRef];
+}
+
+/** The trap-free integer ALU kernel: replicates execDecoded's
+ *  arithmetic bit for bit.  SDiv/SRem only reach here with an
+ *  immediate divisor that is neither 0 nor -1 (classifyAlu). */
+inline int64_t
+aluCompute(uint8_t sub, int64_t a, int64_t b)
+{
+    switch (Opcode(sub)) {
+      case Opcode::Add: return int64_t(uint64_t(a) + uint64_t(b));
+      case Opcode::Sub: return int64_t(uint64_t(a) - uint64_t(b));
+      case Opcode::Mul: return int64_t(uint64_t(a) * uint64_t(b));
+      case Opcode::SDiv: return a / b;
+      case Opcode::SRem: return a % b;
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Shl:
+        return int64_t(uint64_t(a) << (uint64_t(b) & 63));
+      case Opcode::Shr: return a >> (uint64_t(b) & 63);
+      default: return 0; // unreachable: classifyAlu's opcode set
+    }
+}
+
+/** The compare kernel, including the Eq/Ne runtime pointer-kind check
+ *  the generic paths perform. */
+inline bool
+cmpCompute(uint8_t sub, const RtValue &a, const RtValue &b)
+{
+    switch (Opcode(sub)) {
+      case Opcode::ICmpEq:
+      case Opcode::ICmpNe: {
+        bool eq = (a.kind == ir::Type::Ptr || b.kind == ir::Type::Ptr)
+                      ? a.p == b.p
+                      : a.i == b.i;
+        return Opcode(sub) == Opcode::ICmpEq ? eq : !eq;
+      }
+      case Opcode::ICmpSlt: return a.i < b.i;
+      case Opcode::ICmpSle: return a.i <= b.i;
+      case Opcode::ICmpSgt: return a.i > b.i;
+      case Opcode::ICmpSge: return a.i >= b.i;
+      default: return false; // unreachable: classify's opcode set
+    }
+}
+
+} // namespace
+
+RtValue *
+Interp::fusedCellFast(Thread &t, Ptr p)
+{
+    // Mirrors cellAtCached's hit paths without counter upkeep (the
+    // memCache counters are engine-internal and excluded from the
+    // differential comparison).  Misses and faults return nullptr so
+    // the caller delegates — population, diagnostics, and failure
+    // reporting stay on the generic path.
+    switch (p.seg) {
+      case Ptr::Seg::Stack:
+        if (t.mem.stack && t.mem.stackId == p.block &&
+            uint64_t(p.offset) < t.mem.stack->size())
+            return &(*t.mem.stack)[p.offset];
+        return nullptr;
+      case Ptr::Seg::Heap:
+        if (t.mem.heap && t.mem.heapId == p.block &&
+            !t.mem.heap->freed &&
+            uint64_t(p.offset) < t.mem.heap->cells.size())
+            return &t.mem.heap->cells[p.offset];
+        return nullptr;
+      case Ptr::Seg::Global:
+        if (p.block < globals_.size() &&
+            uint64_t(p.offset) < globals_[p.block].size())
+            return &globals_[p.block][p.offset];
+        return nullptr;
+      default:
+        return nullptr;
+    }
+}
+
+Interp::FastMem
+Interp::fusedTryLoad(Thread &t, const DecodedInst &di, RtValue *regs,
+                     const RtValue *consts)
+{
+    if (di.a == kRawRef)
+        return FastMem::Slow;
+    const Ptr p = fusedRef(regs, consts, di.a).p;
+    const RtValue *cell = fusedCellFast(t, p);
+    if (!cell)
+        return FastMem::Slow;
+    if (diag_ && p.seg != Ptr::Seg::Stack)
+        return FastMem::Slow; // must record a SharedLoad event
+    const RtValue &c = *cell;
+    const bool intKinds = (c.kind == ir::Type::I64 ||
+                           c.kind == ir::Type::I1) &&
+                          (di.type == ir::Type::I64 ||
+                           di.type == ir::Type::I1);
+    if (c.isUninit() || (c.kind != di.type && !intKinds))
+        return FastMem::Slow; // zero-fill / type-confusion diagnostics
+    RtValue v = c;
+    v.kind = di.type;
+    regs[di.dst] = v;
+    return FastMem::Done;
+}
+
+Interp::FastMem
+Interp::fusedTryStore(Thread &t, const DecodedInst &di, RtValue *regs,
+                      const RtValue *consts)
+{
+    if (di.a == kRawRef || di.b == kRawRef)
+        return FastMem::Slow;
+    const Ptr p = fusedRef(regs, consts, di.b).p;
+    RtValue *cell = fusedCellFast(t, p);
+    if (!cell)
+        return FastMem::Slow;
+    if (p.seg == Ptr::Seg::Stack) {
+        *cell = fusedRef(regs, consts, di.a);
+        return FastMem::Done;
+    }
+    if (diag_)
+        return FastMem::Slow; // must record a SharedStore event
+    *cell = fusedRef(regs, consts, di.a);
+    ++result_.stats.schedTicks;
+    return FastMem::SharedDone;
+}
+
+// Dense dispatch: computed goto on GCC/Clang (one indirect branch per
+// handler, so the BTB learns per-superinstruction successors), dense
+// switch elsewhere.  Both share the handler bodies via VM_CASE/VM_NEXT.
+#if defined(__GNUC__) || defined(__clang__)
+#define CONAIR_COMPUTED_GOTO 1
+#endif
+
+void
+Interp::runBurstFused(Thread &t)
+{
+    // Same contract as runBurst: while this thread keeps its claim on
+    // the CPU the scheduler's per-step work is provably no-op, so the
+    // burst retires instructions back-to-back with identical clock
+    // ticks, step counts, and RNG draws as stepwise scheduling.  The
+    // per-step condition re-check is replaced by a precomputed *step
+    // budget* (the minimum distance to any step-counted boundary); the
+    // conditions that are not step-counted are re-checked exactly where
+    // they can change (after stores, and on leaving the burst for any
+    // frame/scheduler-affecting instruction).
+    const uint64_t next_wake = nextWakeDeadline();
+    const bool wp = cfg_.wpCheckpointInterval > 0;
+    constexpr uint64_t kBudgetCap = uint64_t(1) << 30;
+
+    // Shared across the dispatch labels; assigned, never initialised,
+    // so the gotos cannot bypass an initialisation.
+    const DecodedFunction *dfnp;
+    const DecodedInst *insts;
+    const FusedInst *recs;
+    const RtValue *consts;
+    RtValue *regs;
+    Frame *frp;
+    const FusedInst *fp;
+    uint32_t idx;
+    int64_t budget;
+
+    // Deferred tick accounting: pure register-to-register components
+    // (Alu, Cmp, PtrAdd, inline jumps) charge these locals instead of
+    // the six member counters, and VM_FLUSH() settles them before
+    // anything that can observe clock/steps (delegated handlers, trace
+    // events, the resync gate).  comps counts full per-instruction
+    // charges; phiTicks counts phi copies, which charge clock and
+    // steps only.
+    uint64_t comps = 0;
+    uint64_t phiTicks = 0;
+
+// Settles the deferred charges into the member counters, in the same
+// aggregate as stepwise execution: each component is one runBurst loop
+// body plus stepThread, each phi tick one clock/step pair.
+#define VM_FLUSH()                                                     \
+    do {                                                               \
+        quantumLeft_ -= comps;                                         \
+        hangCheckCountdown_ -= comps;                                  \
+        result_.stats.fastPathSteps += comps;                          \
+        result_.stats.fusedSteps += comps;                             \
+        clock_ += comps + phiTicks;                                    \
+        result_.stats.steps += comps + phiTicks;                       \
+        comps = 0;                                                     \
+        phiTicks = 0;                                                  \
+    } while (0)
+
+// One retired component; settled by the next VM_FLUSH().
+#define VM_CHARGE()                                                    \
+    do {                                                               \
+        ++comps;                                                       \
+        --budget;                                                      \
+    } while (0)
+
+// Applies a fuse-time pre-resolved phi edge (FusedInst::inl0/inl1):
+// the copy list is validated complete, in phi order, and trap-free, so
+// the parallel copy runs without the generic edge scan.  Charges the
+// same one-tick-per-phi accounting as jumpToDecoded (deferred).
+#define VM_FUSED_JUMP(tgt, ebegin)                                     \
+    do {                                                               \
+        const DecodedBlock &db = dfnp->blocks[(tgt)];                  \
+        frp->dPrevBlock = frp->dBlock;                                 \
+        frp->dBlock = (tgt);                                           \
+        frp->dPc = db.first;                                           \
+        const uint32_t n = db.phiCount;                                \
+        if (n) {                                                       \
+            const PhiCopy *pc = dfnp->phiCopies.data() + (ebegin);     \
+            RtValue tmp[kMaxInlinePhi];                                \
+            for (uint32_t k = 0; k < n; ++k)                           \
+                tmp[k] = fusedRef(regs, consts, pc[k].value);          \
+            for (uint32_t k = 0; k < n; ++k)                           \
+                regs[pc[k].dst] = tmp[k];                              \
+            phiTicks += n;                                             \
+            budget -= int64_t(n);                                      \
+        }                                                              \
+    } while (0)
+
+resync:
+    VM_FLUSH(); // pending local charges from a budget-exhausted burst
+    // The exact per-step gate of runBurst.
+    if (!(quantumLeft_ > 0 && running_ && !forceSwitch_ && !schedEvent_ &&
+          !wpPendingRestore_ && t.state == ThreadState::Runnable &&
+          clock_ < next_wake && result_.stats.steps < cfg_.maxSteps &&
+          result_.stats.schedTicks < nextSchedPointAt_ &&
+          (!wp || result_.stats.steps < wpNextSnapshotAt_) &&
+          hangCheckCountdown_ > 1))
+        return;
+    frp = &t.frames.back();
+    dfnp = frp->dfn;
+    if (!dfnp->fused) {
+        runBurst(t); // defensive: overlay missing, burst stepwise
+        return;
+    }
+    insts = dfnp->insts.data();
+    recs = dfnp->fused->recs.data();
+    consts = dfnp->consts.data();
+    regs = frp->regs.data();
+    {
+        // Steps until the nearest step-counted boundary.  Every gate
+        // term is > 0 here, so the budget is at least 1.  Phi copies
+        // charge clock/steps without consuming quantum, so branch
+        // handlers debit the budget by the target's phi count — a
+        // conservative debit only ever ends the inner loop early, and
+        // this resync point re-derives everything from exact state.
+        uint64_t b = quantumLeft_;
+        b = std::min(b, cfg_.maxSteps - result_.stats.steps);
+        b = std::min(b, hangCheckCountdown_ - 1);
+        if (next_wake != UINT64_MAX)
+            b = std::min(b, next_wake - clock_);
+        if (wp)
+            b = std::min(b, wpNextSnapshotAt_ - result_.stats.steps);
+        budget = int64_t(std::min(b, kBudgetCap));
+    }
+
+#ifdef CONAIR_COMPUTED_GOTO
+    static const void *kJump[kNumFusedOps] = {
+        &&L_Solo,   &&L_SoloCont, &&L_Alu,  &&L_Cmp,
+        &&L_CmpBr,  &&L_CondBr,   &&L_Br,   &&L_PtrAdd,
+        &&L_Load,   &&L_Store,    &&L_LoadThenAlu,
+        &&L_AluThenStore,
+    };
+#define VM_NEXT()                                                      \
+    do {                                                               \
+        if (budget <= 0)                                               \
+            goto resync;                                               \
+        idx = frp->dPc;                                                \
+        fp = recs + idx;                                               \
+        goto *kJump[unsigned(fp->op)];                                 \
+    } while (0)
+#define VM_CASE(name) L_##name:
+    VM_NEXT();
+#else
+#define VM_NEXT() continue
+#define VM_CASE(name) case FusedOp::name:
+    for (;;) {
+        if (budget <= 0)
+            goto resync;
+        idx = frp->dPc;
+        fp = recs + idx;
+        switch (fp->op) {
+#endif
+
+    VM_CASE(Solo)
+    {
+        frp->dPc = idx + 1;
+        VM_CHARGE();
+        VM_FLUSH();
+        execDecoded(t, insts[idx]);
+        goto resync; // may have changed frames, state, or scheduler
+    }
+    VM_CASE(SoloCont)
+    {
+        frp->dPc = idx + 1;
+        VM_CHARGE();
+        VM_FLUSH();
+        execDecoded(t, insts[idx]);
+        if (!running_ || wpPendingRestore_)
+            goto resync; // trapping SDiv/SRem and friends
+        VM_NEXT();
+    }
+    VM_CASE(Alu)
+    {
+        frp->dPc = idx + 1;
+        VM_CHARGE();
+        int64_t bv = fp->rc ? fp->imm : regs[fp->b].i;
+        regs[fp->d] =
+            RtValue::ofInt(aluCompute(fp->sub, regs[fp->a].i, bv));
+        VM_NEXT();
+    }
+    VM_CASE(Cmp)
+    {
+        frp->dPc = idx + 1;
+        VM_CHARGE();
+        regs[fp->d] = RtValue::ofBool(
+            cmpCompute(fp->sub, fusedRef(regs, consts, fp->a),
+                       fusedRef(regs, consts, fp->b)));
+        VM_NEXT();
+    }
+    VM_CASE(CmpBr)
+    {
+        frp->dPc = idx + 1;
+        VM_CHARGE();
+        bool c = cmpCompute(fp->sub, fusedRef(regs, consts, fp->a),
+                            fusedRef(regs, consts, fp->b));
+        // The result is architecturally visible (phi copies on the
+        // taken edge may read it), so write it before branching.
+        regs[fp->d] = RtValue::ofBool(c);
+        if (budget <= 0)
+            VM_NEXT(); // out of budget mid-pair: the CondBr record at
+                       // idx+1 picks up after the resync
+        frp->dPc = idx + 2;
+        VM_CHARGE();
+        if (c ? fp->inl0 : fp->inl1) {
+            VM_FUSED_JUMP(c ? fp->t0 : fp->t1, c ? fp->e0 : fp->e1);
+            VM_NEXT();
+        }
+        VM_FLUSH();
+        jumpToDecoded(t, c ? fp->t0 : fp->t1);
+        if (!running_ || wpPendingRestore_)
+            goto resync;
+        budget -= int64_t(dfnp->blocks[frp->dBlock].phiCount);
+        VM_NEXT();
+    }
+    VM_CASE(CondBr)
+    {
+        frp->dPc = idx + 1;
+        VM_CHARGE();
+        const bool c = fusedRef(regs, consts, fp->a).i != 0;
+        if (c ? fp->inl0 : fp->inl1) {
+            VM_FUSED_JUMP(c ? fp->t0 : fp->t1, c ? fp->e0 : fp->e1);
+            VM_NEXT();
+        }
+        VM_FLUSH();
+        jumpToDecoded(t, c ? fp->t0 : fp->t1);
+        if (!running_ || wpPendingRestore_)
+            goto resync;
+        budget -= int64_t(dfnp->blocks[frp->dBlock].phiCount);
+        VM_NEXT();
+    }
+    VM_CASE(Br)
+    {
+        frp->dPc = idx + 1;
+        VM_CHARGE();
+        if (fp->inl0) {
+            VM_FUSED_JUMP(fp->t0, fp->e0);
+            VM_NEXT();
+        }
+        VM_FLUSH();
+        jumpToDecoded(t, fp->t0);
+        if (!running_ || wpPendingRestore_)
+            goto resync;
+        budget -= int64_t(dfnp->blocks[frp->dBlock].phiCount);
+        VM_NEXT();
+    }
+    VM_CASE(PtrAdd)
+    {
+        frp->dPc = idx + 1;
+        VM_CHARGE();
+        RtValue p = fusedRef(regs, consts, fp->a);
+        p.p.offset += fusedRef(regs, consts, fp->b).i;
+        regs[fp->d] = p;
+        VM_NEXT();
+    }
+    VM_CASE(Load)
+    {
+        frp->dPc = idx + 1;
+        VM_CHARGE();
+        if (fusedTryLoad(t, insts[idx], regs, consts) == FastMem::Done)
+            VM_NEXT();
+        VM_FLUSH();
+        doLoadDecoded(t, insts[idx]);
+        if (!running_ || wpPendingRestore_)
+            goto resync;
+        VM_NEXT();
+    }
+    VM_CASE(Store)
+    {
+        frp->dPc = idx + 1;
+        VM_CHARGE();
+        const FastMem fm = fusedTryStore(t, insts[idx], regs, consts);
+        if (fm == FastMem::Done)
+            VM_NEXT();
+        if (fm == FastMem::SharedDone) {
+            if (result_.stats.schedTicks >= nextSchedPointAt_)
+                goto resync; // the store crossed a scheduling point
+            VM_NEXT();
+        }
+        VM_FLUSH();
+        doStoreDecoded(t, insts[idx]);
+        if (!running_ || wpPendingRestore_)
+            goto resync;
+        if (result_.stats.schedTicks >= nextSchedPointAt_)
+            goto resync; // a shared store crossed a scheduling point
+        VM_NEXT();
+    }
+    VM_CASE(LoadThenAlu)
+    {
+        frp->dPc = idx + 1;
+        VM_CHARGE();
+        if (fusedTryLoad(t, insts[idx], regs, consts) != FastMem::Done) {
+            VM_FLUSH();
+            doLoadDecoded(t, insts[idx]);
+            if (!running_ || wpPendingRestore_)
+                goto resync;
+        }
+        if (budget <= 0)
+            VM_NEXT(); // the Alu record at idx+1 resumes the pair
+        frp->dPc = idx + 2;
+        VM_CHARGE();
+        int64_t bv = fp->rc2 ? fp->imm2 : regs[fp->b2].i;
+        regs[fp->d2] =
+            RtValue::ofInt(aluCompute(fp->sub2, regs[fp->a2].i, bv));
+        VM_NEXT();
+    }
+    VM_CASE(AluThenStore)
+    {
+        frp->dPc = idx + 1;
+        VM_CHARGE();
+        int64_t bv = fp->rc ? fp->imm : regs[fp->b].i;
+        regs[fp->d] =
+            RtValue::ofInt(aluCompute(fp->sub, regs[fp->a].i, bv));
+        if (budget <= 0)
+            VM_NEXT(); // the Store record at idx+1 resumes the pair
+        frp->dPc = idx + 2;
+        VM_CHARGE();
+        const FastMem fm =
+            fusedTryStore(t, insts[idx + 1], regs, consts);
+        if (fm == FastMem::Done)
+            VM_NEXT();
+        if (fm == FastMem::SharedDone) {
+            if (result_.stats.schedTicks >= nextSchedPointAt_)
+                goto resync;
+            VM_NEXT();
+        }
+        VM_FLUSH();
+        doStoreDecoded(t, insts[idx + 1]);
+        if (!running_ || wpPendingRestore_)
+            goto resync;
+        if (result_.stats.schedTicks >= nextSchedPointAt_)
+            goto resync;
+        VM_NEXT();
+    }
+
+#ifndef CONAIR_COMPUTED_GOTO
+        }
+    }
+#endif
+#undef VM_CASE
+#undef VM_NEXT
+#undef VM_CHARGE
+#undef VM_FUSED_JUMP
+#undef VM_FLUSH
 }
 
 //
@@ -2146,6 +2638,71 @@ Interp::finish(int64_t exit_code)
     running_ = false;
     result_.outcome = Outcome::Success;
     result_.exitCode = exit_code;
+}
+
+uint64_t
+Interp::computeMemDigest() const
+{
+    // FNV-1a-style fold over the final memory image in a
+    // representation-independent order: globals by index, then heap
+    // blocks and stack slots by ascending id (ids are allocation-order
+    // deterministic, so identical executions visit identical sequences
+    // regardless of unordered_map layout).  Cells hash their kind plus
+    // the kind-appropriate payload only, so an i64 cell with a stale
+    // union-mate never diverges between engines.
+    auto mix = [](uint64_t h, uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+        return h;
+    };
+    auto cell = [&](uint64_t h, const RtValue &v) {
+        h = mix(h, uint64_t(v.kind));
+        switch (v.kind) {
+          case ir::Type::F64: {
+            uint64_t bits;
+            static_assert(sizeof bits == sizeof v.f);
+            std::memcpy(&bits, &v.f, sizeof bits);
+            return mix(h, bits);
+          }
+          case ir::Type::Ptr:
+            h = mix(h, uint64_t(v.p.seg));
+            h = mix(h, v.p.block);
+            return mix(h, uint64_t(v.p.offset));
+          default:
+            return mix(h, uint64_t(v.i));
+        }
+    };
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const auto &g : globals_) {
+        h = mix(h, g.size());
+        for (const RtValue &v : g)
+            h = cell(h, v);
+    }
+    std::vector<uint32_t> ids;
+    ids.reserve(heap_.size());
+    for (const auto &[id, blk] : heap_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (uint32_t id : ids) {
+        const HeapBlock &b = heap_.at(id);
+        h = mix(h, id);
+        h = mix(h, b.freed ? 1 : 0);
+        h = mix(h, b.cells.size());
+        for (const RtValue &v : b.cells)
+            h = cell(h, v);
+    }
+    ids.clear();
+    for (const auto &[id, cells] : stackSlots_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (uint32_t id : ids) {
+        const std::vector<RtValue> &cells = stackSlots_.at(id);
+        h = mix(h, id);
+        h = mix(h, cells.size());
+        for (const RtValue &v : cells)
+            h = cell(h, v);
+    }
+    return h;
 }
 
 RunResult

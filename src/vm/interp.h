@@ -299,6 +299,26 @@ class Interp
      *  scheduler while @p t is the only runnable thread.  Preserves
      *  clock ticks, step counts, and RNG draws exactly. */
     void runBurst(Thread &t);
+    /** The fused engine's burst: dispatches superinstruction records
+     *  (fuse.h) under a precomputed step budget.  Charges identical
+     *  per-instruction accounting to runBurst / stepwise execution. */
+    void runBurstFused(Thread &t);
+
+    /** How a fused fast-path memory attempt ended. */
+    enum class FastMem : uint8_t {
+        Done,       ///< completed; no further bookkeeping
+        SharedDone, ///< completed non-stack store; schedTicks advanced
+        Slow,       ///< not eligible: take the delegated path
+    };
+    /** Cache-hit cell resolution for the fused burst: returns the cell
+     *  only when the per-thread handle cache (or the globals array)
+     *  proves the access in bounds and live; nullptr means "delegate"
+     *  (miss, fault, or cache disabled), never a diagnosed failure. */
+    RtValue *fusedCellFast(Thread &t, Ptr p);
+    FastMem fusedTryLoad(Thread &t, const DecodedInst &di, RtValue *regs,
+                         const RtValue *consts);
+    FastMem fusedTryStore(Thread &t, const DecodedInst &di,
+                          RtValue *regs, const RtValue *consts);
 
     //
     // Whole-program checkpoint baseline (Rx/ASSURE stand-in).
@@ -362,10 +382,13 @@ class Interp
     /** Per-rule fire counts; deliberately NOT part of WpSnapshot. */
     std::vector<uint64_t> hintFires_;
 
-    /** The pre-decoded module (built for both engines; the reference
-     *  engine simply ignores it). */
+    /** The pre-decoded module (built for the Decoded and Fused
+     *  engines; the reference engine simply ignores it). */
     std::unique_ptr<DecodedModule> decoded_;
     bool engineDecoded_ = true;
+    /** ExecEngine::Fused: decoded_ carries the fusion overlay and the
+     *  burst path dispatches superinstructions. */
+    bool engineFused_ = false;
 
     // Memory.
     std::vector<std::vector<RtValue>> globals_;
@@ -406,6 +429,9 @@ class Interp
     uint64_t clock_ = 0;
     bool running_ = true;
     RunResult result_;
+
+    /** RunResult::memDigest of the current memory image (end of run). */
+    uint64_t computeMemDigest() const;
 };
 
 /** Convenience wrapper: one run of @p m under @p cfg. */

@@ -103,6 +103,8 @@ struct RunStats
     uint64_t memCacheHits = 0;   ///< loads/stores served by the handle cache
     uint64_t memCacheMisses = 0;
     uint64_t hintRulesTracked = 0; ///< fire-count slots (== configured rules)
+    uint64_t fusedInsts = 0;     ///< superinstructions formed at decode time
+    uint64_t fusedSteps = 0;     ///< steps retired by the fused dispatcher
     /// @}
 };
 
@@ -115,6 +117,11 @@ struct RunResult
     std::string failureMsg;   ///< human-readable failure description
     std::string failureTag;   ///< tag of the faulting instruction, if any
     uint64_t clock = 0;       ///< final virtual time
+    /** Deterministic hash of the final memory image (globals, then
+     *  heap blocks and stack slots in id order), hashing each cell's
+     *  kind plus its kind-appropriate payload.  Part of the semantic
+     *  state the cross-engine differential oracle compares. */
+    uint64_t memDigest = 0;
     RunStats stats;
 
     bool ok() const { return outcome == Outcome::Success; }

@@ -10,21 +10,18 @@
  * `analysis_golden_test --update`) or an accidental regression.
  *
  * The golden file lives next to this test (GOLDEN_DIR is injected by
- * CMake) so updates are reviewed like any other source change.
+ * CMake) so updates are reviewed like any other source change.  A
+ * mismatch prints a unified diff plus the exact re-bless command
+ * (tests/support/golden_util.h).
  */
 #include <gtest/gtest.h>
 
-#include <cstdio>
-#include <fstream>
-#include <sstream>
-
 #include "apps/harness.h"
 #include "support/str.h"
+#include "tests/support/golden_util.h"
 
 namespace conair::apps {
 namespace {
-
-bool updateGolden = false;
 
 std::string
 goldenPath()
@@ -64,39 +61,9 @@ currentGolden()
 
 TEST(AnalysisGolden, MatchesCheckedInNumbers)
 {
-    std::string current = currentGolden();
-
-    if (updateGolden) {
-        std::ofstream out(goldenPath());
-        ASSERT_TRUE(out) << "cannot write " << goldenPath();
-        out << current;
-        printf("updated %s\n", goldenPath().c_str());
-        return;
-    }
-
-    std::ifstream in(goldenPath());
-    ASSERT_TRUE(in) << "missing golden file " << goldenPath()
-                    << " — run `analysis_golden_test --update`";
-    std::stringstream buf;
-    buf << in.rdbuf();
-    std::string expected = buf.str();
-
-    // Compare per line so a drift names the kernel, not a blob diff.
-    std::istringstream exp(expected), cur(current);
-    std::string eline, cline;
-    unsigned lineNo = 0;
-    while (std::getline(exp, eline)) {
-        ++lineNo;
-        ASSERT_TRUE(std::getline(cur, cline))
-            << "golden has more kernels than the registry (line "
-            << lineNo << ": " << eline << ")";
-        EXPECT_EQ(cline, eline) << "analysis drift at golden line "
-                                << lineNo
-                                << "; re-bless with --update if "
-                                   "intentional";
-    }
-    EXPECT_FALSE(std::getline(cur, cline))
-        << "registry has kernels missing from the golden: " << cline;
+    // Each golden line is one kernel, so the unified diff printed on
+    // a mismatch names the drifted kernel directly.
+    testutil::checkGolden(currentGolden(), goldenPath());
 }
 
 /** The optimizer must actually earn its keep on the golden numbers:
@@ -133,16 +100,5 @@ TEST(AnalysisGolden, OptimizerNeverAddsPoints)
 int
 main(int argc, char **argv)
 {
-    // Strip our flag before gtest sees the argument list.
-    for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--update") {
-            conair::apps::updateGolden = true;
-            for (int j = i; j + 1 < argc; ++j)
-                argv[j] = argv[j + 1];
-            --argc;
-            break;
-        }
-    }
-    ::testing::InitGoogleTest(&argc, argv);
-    return RUN_ALL_TESTS();
+    return conair::testutil::goldenMain(argc, argv);
 }

@@ -10,11 +10,10 @@
  * diagnosis.golden.  Any change to the verdict ladder, pair selection,
  * evidence wording, or either exporter shows up as a diff here.
  *
- * Re-bless after an *intentional* change with:
- *   ./obs_diagnosis_golden_test --update
+ * Re-bless after an *intentional* change with
+ * `obs_diagnosis_golden_test --update`; a mismatch prints a unified
+ * diff plus that exact command (tests/support/golden_util.h).
  */
-#include <fstream>
-#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -23,11 +22,9 @@
 #include "explore/campaign.h"
 #include "obs/postmortem/diagnosis.h"
 #include "obs/trace.h"
+#include "tests/support/golden_util.h"
 
 namespace conair {
-
-bool updateGolden = false;
-
 namespace {
 
 std::string
@@ -75,42 +72,7 @@ currentGolden()
 
 TEST(DiagnosisGolden, MatchesGoldenFile)
 {
-    std::string current = currentGolden();
-
-    if (updateGolden) {
-        std::ofstream out(goldenPath());
-        ASSERT_TRUE(out.is_open()) << goldenPath();
-        out << current;
-        SUCCEED() << "golden file updated";
-        return;
-    }
-
-    std::ifstream in(goldenPath());
-    ASSERT_TRUE(in.is_open())
-        << goldenPath() << " missing; run with --update to create it";
-    std::stringstream buf;
-    buf << in.rdbuf();
-    std::string expected = buf.str();
-
-    std::istringstream cs(current), es(expected);
-    std::string cline, eline;
-    size_t lineno = 0;
-    while (true) {
-        bool cg = bool(std::getline(cs, cline));
-        bool eg = bool(std::getline(es, eline));
-        ++lineno;
-        if (!cg && !eg)
-            break;
-        if (!cg)
-            cline = "<missing line>";
-        if (!eg)
-            eline = "<missing line>";
-        ASSERT_EQ(cline, eline)
-            << "diagnosis.golden line " << lineno
-            << " diverged; if the diagnosis change is intentional, "
-               "re-bless with: ./obs_diagnosis_golden_test --update";
-    }
-    EXPECT_EQ(current, expected);
+    testutil::checkGolden(currentGolden(), goldenPath());
 }
 
 } // namespace
@@ -119,15 +81,5 @@ TEST(DiagnosisGolden, MatchesGoldenFile)
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--update") {
-            conair::updateGolden = true;
-            for (int j = i; j + 1 < argc; ++j)
-                argv[j] = argv[j + 1];
-            --argc;
-            break;
-        }
-    }
-    ::testing::InitGoogleTest(&argc, argv);
-    return RUN_ALL_TESTS();
+    return conair::testutil::goldenMain(argc, argv);
 }

@@ -21,6 +21,8 @@ class Generator
             emitHelper(i);
         if (opts_.withThreads)
             emitWorker();
+        if (opts_.sharedHeap && opts_.withThreads)
+            emitHeapWorker();
         if (opts_.adversarial)
             emitAdversarialWorkers();
         emitMain(helpers);
@@ -168,6 +170,11 @@ class Generator
         line("mutex mx;");
         if (opts_.withPointers)
             line("int* buf;");
+        if (opts_.sharedHeap) {
+            line("int* shbuf;");
+            for (unsigned l = 0; l < heapLocks(); ++l)
+                line(strfmt("mutex hlk%u;", l));
+        }
         if (opts_.adversarial) {
             line("int state_flag = 1;");
             line("int racy_total;");
@@ -197,6 +204,56 @@ class Generator
         line(strfmt("        shared_total = shared_total + i %% %u + 1;",
                     3 + unsigned(rng_.range(5))));
         line("        unlock(mx);");
+        line("    }");
+        line("    return 0;");
+        line("}");
+        line("");
+    }
+
+    unsigned
+    heapLocks() const
+    {
+        unsigned m = opts_.numMutexes;
+        return m < 1 ? 1 : (m > 3 ? 3 : m);
+    }
+
+    /**
+     * A worker over the malloc'd shared buffer.  Every slot maps to a
+     * fixed mutex (slot % numMutexes), so concurrent workers never
+     * update a cell under different locks; the updates are commutative
+     * additions, keeping the final heap deterministic under every
+     * interleaving while exercising heap loads/stores from multiple
+     * threads and several distinct lock objects.
+     */
+    void
+    emitHeapWorker()
+    {
+        unsigned locks = heapLocks();
+        unsigned stride = 1 + unsigned(rng_.range(opts_.arraySize));
+        unsigned delta = 1 + unsigned(rng_.range(4));
+        line("int heapworker(int n) {");
+        line("    for (int i = 0; i < n; i++) {");
+        line(strfmt("        int s = (i * %u) %% %u;", stride,
+                    opts_.arraySize));
+        std::string ind = "        ";
+        for (unsigned l = 0; l < locks; ++l) {
+            bool last = l + 1 == locks;
+            if (!last)
+                line(ind + strfmt("if (s %% %u == %u) {", locks, l));
+            std::string body = last ? ind : ind + "    ";
+            line(body + strfmt("lock(hlk%u);", l));
+            line(body + strfmt("shbuf[s] = shbuf[s] + i %% %u + 1;",
+                               delta));
+            line(body + strfmt("unlock(hlk%u);", l));
+            if (!last) {
+                line(ind + "} else {");
+                ind += "    ";
+            }
+        }
+        for (unsigned l = 1; l < locks; ++l) {
+            ind.resize(ind.size() - 4);
+            line(ind + "}");
+        }
         line("    }");
         line("    return 0;");
         line("}");
@@ -260,9 +317,23 @@ class Generator
     {
         line("int main() {");
         std::vector<std::string> vars;
+        bool heapWorkers = opts_.sharedHeap && opts_.withThreads;
+        if (opts_.sharedHeap) {
+            // Initialise before any worker can observe the buffer.
+            line(strfmt("    shbuf = malloc(%u);", opts_.arraySize));
+            line(strfmt("    for (int i = 0; i < %u; i++) "
+                        "{ shbuf[i] = i * 2; }",
+                        opts_.arraySize));
+        }
         if (opts_.withThreads) {
             line("    int t1 = spawn(worker, 7);");
             line("    int t2 = spawn(worker, 5);");
+        }
+        if (heapWorkers) {
+            line(strfmt("    int h1 = spawn(heapworker, %u);",
+                        4 + unsigned(rng_.range(6))));
+            line(strfmt("    int h2 = spawn(heapworker, %u);",
+                        4 + unsigned(rng_.range(6))));
         }
         if (opts_.adversarial) {
             line(strfmt("    int ta = spawn(closer, %u);", closerIters_));
@@ -295,6 +366,10 @@ class Generator
             line("    join(t1);");
             line("    join(t2);");
         }
+        if (heapWorkers) {
+            line("    join(h1);");
+            line("    join(h2);");
+        }
         if (opts_.adversarial) {
             line("    join(ta);");
             line("    join(tb);");
@@ -317,6 +392,10 @@ class Generator
             line("    digest = digest * 7 + " + v + ";");
         if (opts_.withThreads)
             line("    digest = digest * 13 + shared_total;");
+        if (opts_.sharedHeap)
+            line(strfmt("    for (int i = 0; i < %u; i++) "
+                        "{ digest = digest * 37 + shbuf[i]; }",
+                        opts_.arraySize));
         if (opts_.adversarial)
             line("    digest = digest * 17 + racy_total"
                  " + state_flag;");

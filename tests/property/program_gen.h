@@ -34,6 +34,21 @@ struct GenOptions
     bool withAsserts = true;    ///< always-true asserts (failure sites)
 
     /**
+     * Shared-heap mode: main mallocs a buffer visible to worker
+     * threads, which update its cells commutatively (additions) under
+     * per-slot locks, and main digests the buffer after joining.  Each
+     * slot maps to one fixed mutex (chosen by `slot % numMutexes`), so
+     * every cell is consistently guarded and the final heap state is
+     * interleaving-independent — while the engines get exercised on
+     * multi-threaded heap loads/stores and a variety of lock objects.
+     */
+    bool sharedHeap = false;
+
+    /** Lock variety for sharedHeap: number of heap-guarding mutexes
+     *  (clamped to [1, 3]); only meaningful with sharedHeap. */
+    unsigned numMutexes = 1;
+
+    /**
      * Adversarial mode: emit shared-global updates that genuinely race
      * and assert oracles that fire under the wrong interleaving.
      *  - a closer/observer pair races a transient state flag (the

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Shared machinery for golden-file regression tests.
+ *
+ * Every golden test follows the same protocol: render the artifact,
+ * compare it byte-for-byte against a checked-in file, and offer a
+ * `--update` flag that re-blesses the file instead.  This header
+ * centralises the protocol so a mismatch always reports the same two
+ * things, whichever golden drifted:
+ *
+ *  1. a unified diff (golden -> current) of the drift, hunked with
+ *     context like `diff -u`, so the reviewer sees *what* changed
+ *     without re-running anything;
+ *  2. the exact re-bless command — the test binary's own invocation
+ *     path plus `--update` — ready to copy-paste if the change is
+ *     intentional.
+ *
+ * Usage: call goldenMain() from the test binary's main() (it strips
+ * `--update` before gtest parses the argument list), and checkGolden()
+ * from the test body.
+ */
+#pragma once
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace conair::testutil {
+
+/** Re-bless state shared between goldenMain() and checkGolden(). */
+inline bool &
+goldenUpdateFlag()
+{
+    static bool update = false;
+    return update;
+}
+
+/** The test binary's invocation path (argv[0]), for the re-bless
+ *  command printed on mismatch. */
+inline std::string &
+goldenBinaryPath()
+{
+    static std::string path = "<golden test binary>";
+    return path;
+}
+
+/** The copy-pasteable command that re-blesses this binary's goldens. */
+inline std::string
+reblessCommand()
+{
+    return goldenBinaryPath() + " --update";
+}
+
+inline std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : text) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur + "\n\\ No newline at end of file");
+    return lines;
+}
+
+/**
+ * A unified diff (expected -> current), hunked with @p context lines
+ * like `diff -u`.  Matching prefix/suffix lines are trimmed first;
+ * the middle region gets a minimal line diff (LCS) when it is small
+ * enough, and degrades to one whole-region hunk for huge drifts.
+ * Output is capped at @p maxLines diff lines so a wholesale format
+ * change does not flood the test log.
+ */
+inline std::string
+unifiedDiff(const std::string &expected, const std::string &current,
+            unsigned context = 3, size_t maxLines = 160)
+{
+    std::vector<std::string> e = splitLines(expected);
+    std::vector<std::string> c = splitLines(current);
+
+    // Trim the common prefix and suffix: golden drifts are almost
+    // always local, and this keeps the LCS below cheap.
+    size_t pre = 0;
+    while (pre < e.size() && pre < c.size() && e[pre] == c[pre])
+        ++pre;
+    size_t suf = 0;
+    while (suf < e.size() - pre && suf < c.size() - pre &&
+           e[e.size() - 1 - suf] == c[c.size() - 1 - suf])
+        ++suf;
+    if (e.size() == pre + suf && c.size() == pre + suf)
+        return "";
+
+    // Back off so the hunk builder still has context lines to show.
+    pre -= std::min(pre, size_t(context));
+    suf -= std::min(suf, size_t(context));
+
+    size_t ne = e.size() - pre - suf;
+    size_t nc = c.size() - pre - suf;
+
+    // Edit script over the middle: Keep / Del (expected) / Ins
+    // (current).  Minimal when the DP table is affordable.
+    enum class Op : char { Keep, Del, Ins };
+    std::vector<Op> ops;
+    if (ne * nc <= 1'000'000) {
+        std::vector<std::vector<uint32_t>> lcs(
+            ne + 1, std::vector<uint32_t>(nc + 1, 0));
+        for (size_t i = ne; i-- > 0;)
+            for (size_t j = nc; j-- > 0;)
+                lcs[i][j] = e[pre + i] == c[pre + j]
+                                ? lcs[i + 1][j + 1] + 1
+                                : std::max(lcs[i + 1][j], lcs[i][j + 1]);
+        size_t i = 0, j = 0;
+        while (i < ne || j < nc) {
+            if (i < ne && j < nc && e[pre + i] == c[pre + j]) {
+                ops.push_back(Op::Keep), ++i, ++j;
+            } else if (i < ne &&
+                       (j == nc || lcs[i + 1][j] >= lcs[i][j + 1])) {
+                ops.push_back(Op::Del), ++i;
+            } else {
+                ops.push_back(Op::Ins), ++j;
+            }
+        }
+    } else {
+        ops.assign(ne, Op::Del);
+        ops.insert(ops.end(), nc, Op::Ins);
+    }
+
+    // Group into hunks: a run of more than 2*context Keeps splits.
+    struct Hunk
+    {
+        size_t opBegin, opEnd; ///< range into ops
+        size_t eBegin, cBegin; ///< line offsets into the middle
+    };
+    std::vector<Hunk> hunks;
+    size_t ei = 0, ci = 0, keepRun = 0, opBegin = 0;
+    size_t hunkE = 0, hunkC = 0;
+    bool open = false;
+    for (size_t k = 0; k <= ops.size(); ++k) {
+        bool keep = k < ops.size() && ops[k] == Op::Keep;
+        if (k < ops.size() && !keep) {
+            if (!open) {
+                size_t back = std::min(keepRun, size_t(context));
+                opBegin = k - back;
+                hunkE = ei - back;
+                hunkC = ci - back;
+                open = true;
+            }
+            keepRun = 0;
+        }
+        if (open && (k == ops.size() ||
+                     (keep && keepRun >= 2 * size_t(context)))) {
+            size_t opEnd = k - (keep ? keepRun : 0);
+            opEnd = std::min(opEnd + context, k);
+            hunks.push_back({opBegin, opEnd, hunkE, hunkC});
+            open = false;
+        }
+        if (keep)
+            ++keepRun;
+        if (k < ops.size()) {
+            if (ops[k] != Op::Ins)
+                ++ei;
+            if (ops[k] != Op::Del)
+                ++ci;
+        }
+    }
+
+    std::ostringstream out;
+    out << "--- golden\n+++ current\n";
+    size_t emitted = 0;
+    for (const Hunk &h : hunks) {
+        size_t eCount = 0, cCount = 0;
+        for (size_t k = h.opBegin; k < h.opEnd; ++k) {
+            eCount += ops[k] != Op::Ins;
+            cCount += ops[k] != Op::Del;
+        }
+        out << "@@ -" << pre + h.eBegin + 1 << "," << eCount << " +"
+            << pre + h.cBegin + 1 << "," << cCount << " @@\n";
+        size_t ie = h.eBegin, ic = h.cBegin;
+        for (size_t k = h.opBegin; k < h.opEnd; ++k) {
+            if (emitted++ >= maxLines) {
+                out << "... (diff truncated)\n";
+                return out.str();
+            }
+            switch (ops[k]) {
+              case Op::Keep:
+                out << " " << e[pre + ie] << "\n";
+                ++ie, ++ic;
+                break;
+              case Op::Del:
+                out << "-" << e[pre + ie] << "\n";
+                ++ie;
+                break;
+              case Op::Ins:
+                out << "+" << c[pre + ic] << "\n";
+                ++ic;
+                break;
+            }
+        }
+    }
+    return out.str();
+}
+
+/**
+ * The golden protocol: with `--update` rewrite @p path from
+ * @p current; otherwise compare byte-for-byte and, on mismatch, fail
+ * with the unified diff and the exact re-bless command.
+ */
+inline void
+checkGolden(const std::string &current, const std::string &path)
+{
+    if (goldenUpdateFlag()) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+        out << current;
+        SUCCEED() << "updated " << path;
+        return;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open())
+        << "missing golden file " << path << "\ncreate it with:\n  "
+        << reblessCommand();
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string expected = buf.str();
+
+    if (current == expected)
+        return;
+    ADD_FAILURE() << path << " drifted from the rendered artifact.\n"
+                  << unifiedDiff(expected, current)
+                  << "If the change is intentional, re-bless with:\n  "
+                  << reblessCommand();
+}
+
+/** Drop-in main() for golden test binaries: records argv[0] for the
+ *  re-bless command and strips `--update` before gtest parses args. */
+inline int
+goldenMain(int argc, char **argv)
+{
+    goldenBinaryPath() = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--update") {
+            goldenUpdateFlag() = true;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            break;
+        }
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}
+
+} // namespace conair::testutil

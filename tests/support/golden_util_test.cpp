@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The golden-test diff renderer (tests/support/golden_util.h) is test
+ * infrastructure every golden failure message depends on, so its
+ * hunking behaviour is pinned here: localized drifts become one
+ * context hunk, far-apart drifts become separate hunks, and huge
+ * drifts are truncated instead of flooding the log.
+ */
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/str.h"
+#include "tests/support/golden_util.h"
+
+namespace conair::testutil {
+namespace {
+
+std::string
+lines(std::initializer_list<const char *> ls)
+{
+    std::string out;
+    for (const char *l : ls) {
+        out += l;
+        out += '\n';
+    }
+    return out;
+}
+
+TEST(GoldenDiff, IdenticalTextsDiffEmpty)
+{
+    std::string t = lines({"a", "b", "c"});
+    EXPECT_EQ(unifiedDiff(t, t), "");
+}
+
+TEST(GoldenDiff, SingleChangeGetsOneContextHunk)
+{
+    std::string e = lines({"l1", "l2", "l3", "l4", "l5", "l6", "l7",
+                           "l8", "l9"});
+    std::string c = lines({"l1", "l2", "l3", "l4", "CHANGED", "l6",
+                           "l7", "l8", "l9"});
+    std::string d = unifiedDiff(e, c);
+    EXPECT_NE(d.find("--- golden\n+++ current\n"), std::string::npos)
+        << d;
+    EXPECT_NE(d.find("@@ -2,7 +2,7 @@\n"), std::string::npos) << d;
+    EXPECT_NE(d.find("-l5\n"), std::string::npos) << d;
+    EXPECT_NE(d.find("+CHANGED\n"), std::string::npos) << d;
+    // Context, not noise: untouched far lines stay out of the hunk.
+    EXPECT_EQ(d.find(" l1\n"), std::string::npos) << d;
+    EXPECT_NE(d.find(" l4\n"), std::string::npos) << d;
+}
+
+TEST(GoldenDiff, InsertionAndDeletionRender)
+{
+    std::string e = lines({"a", "b", "c"});
+    std::string ins = lines({"a", "b", "new", "c"});
+    std::string d1 = unifiedDiff(e, ins);
+    EXPECT_NE(d1.find("+new\n"), std::string::npos) << d1;
+    EXPECT_EQ(d1.find("-"), d1.find("--- golden")) << d1; // no del line
+
+    std::string d2 = unifiedDiff(ins, e);
+    EXPECT_NE(d2.find("-new\n"), std::string::npos) << d2;
+}
+
+TEST(GoldenDiff, FarApartChangesSplitIntoTwoHunks)
+{
+    std::string e, c;
+    for (int i = 0; i < 30; ++i) {
+        e += strfmt("line%d\n", i).c_str();
+        c += strfmt("line%d\n", i).c_str();
+    }
+    // Drift line 2 and line 27 — far beyond 2*context apart.
+    std::string e2 = e, c2 = c;
+    c2.replace(c2.find("line2\n"), 6, "DRIFT\n");
+    c2.replace(c2.find("line27\n"), 7, "DRIFT2\n");
+    std::string d = unifiedDiff(e2, c2);
+    size_t first = d.find("@@ -");
+    ASSERT_NE(first, std::string::npos) << d;
+    size_t second = d.find("@@ -", first + 1);
+    EXPECT_NE(second, std::string::npos)
+        << "expected two hunks, got:\n" << d;
+    EXPECT_NE(d.find("+DRIFT\n"), std::string::npos) << d;
+    EXPECT_NE(d.find("+DRIFT2\n"), std::string::npos) << d;
+}
+
+TEST(GoldenDiff, HugeDriftIsTruncated)
+{
+    std::string e, c;
+    for (int i = 0; i < 2000; ++i) {
+        e += strfmt("old%d\n", i).c_str();
+        c += strfmt("new%d\n", i).c_str();
+    }
+    std::string d = unifiedDiff(e, c);
+    EXPECT_NE(d.find("(diff truncated)"), std::string::npos);
+    EXPECT_LT(d.size(), 40'000u);
+}
+
+TEST(GoldenDiff, MissingFinalNewlineIsVisible)
+{
+    std::string e = "a\nb\n";
+    std::string c = "a\nb";
+    std::string d = unifiedDiff(e, c);
+    EXPECT_NE(d.find("No newline at end of file"), std::string::npos)
+        << d;
+}
+
+} // namespace
+} // namespace conair::testutil

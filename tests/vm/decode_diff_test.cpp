@@ -1,12 +1,13 @@
 /**
  * @file
- * Differential testing of the two execution engines.
+ * Differential testing of the three execution engines.
  *
  * The pre-decoded engine (ExecEngine::Decoded, with its scheduler fast
- * path and memory-handle cache) must be *tick-for-tick* identical to
- * the reference tree-walking engine: same outcome, output, failure
- * diagnostics, virtual clock, step counts, and recovery events for
- * every program and seed.  These tests run the bundled example
+ * path and memory-handle cache) and the superinstruction engine
+ * (ExecEngine::Fused) must be *tick-for-tick* identical to the
+ * reference tree-walking engine: same outcome, output, failure
+ * diagnostics, virtual clock, step counts, final-memory digest, and
+ * recovery events for every program and seed.  These tests run the bundled example
  * programs and the whole Table 2 application registry (hardened and
  * unhardened, clean and failure-forcing schedules, plus the
  * whole-program-checkpoint and chaos modes) under both engines and
@@ -45,6 +46,7 @@ expectSameRun(const RunResult &a, const RunResult &b,
     EXPECT_EQ(a.failureMsg, b.failureMsg) << ctx;
     EXPECT_EQ(a.failureTag, b.failureTag) << ctx;
     EXPECT_EQ(a.clock, b.clock) << ctx;
+    EXPECT_EQ(a.memDigest, b.memDigest) << ctx;
 
     const RunStats &s = a.stats;
     const RunStats &t = b.stats;
@@ -89,12 +91,18 @@ engineVariants(VmConfig base)
     ref.schedFastPath = false;
     VmConfig ref_burst = base;
     ref_burst.engine = ExecEngine::Reference;
+    VmConfig fused = base;
+    fused.engine = ExecEngine::Fused;
+    VmConfig fused_no_burst = fused;
+    fused_no_burst.schedFastPath = false;
 
     return {{"decoded", base},
             {"decoded/no-burst", no_burst},
             {"decoded/no-memcache", no_cache},
             {"reference", ref},
-            {"reference/burst", ref_burst}};
+            {"reference/burst", ref_burst},
+            {"fused", fused},
+            {"fused/no-burst", fused_no_burst}};
 }
 
 void
