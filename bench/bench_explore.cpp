@@ -55,6 +55,22 @@
  *                 campaign mode: flush-on-abort — when the campaign
  *                 oracle trips (divergence / unrecovered), dump the
  *                 instrumented legs' trace and a diagnosis into DIR
+ *   --replay LOG  the O(1) repro path: re-execute a recorded replay
+ *                 log (no schedule search) and differentially check
+ *                 the run against the recorded fingerprint; exit 0
+ *                 iff the replay is faithful.  Combines with
+ *                 --engine decoded|reference|fused (cross-engine
+ *                 replay; default: the recording's engine),
+ *                 --timeline (time-travel interleaving timeline),
+ *                 --diagnose, and --trace FILE.
+ *   --record-replay FILE
+ *                 (--repro only) record the unhardened leg
+ *                 replay-grade, strictly verify it, and save it as
+ *                 FILE; with --minimize, ddmin-minimise the switch
+ *                 list first.  See docs/OBSERVABILITY.md.
+ *   --replay-dir DIR
+ *                 campaign mode: where the per-kernel minimised
+ *                 replay logs go (default: replay-logs)
  */
 #include "bench/bench_util.h"
 
@@ -63,9 +79,13 @@
 
 #include "explore/campaign.h"
 #include "obs/postmortem/diagnosis.h"
+#include "obs/replay/minimize.h"
+#include "obs/replay/replay_export.h"
+#include "obs/replay/replay_run.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "support/json.h"
+#include "vm/interp.h"
 
 using namespace conair;
 using namespace conair::apps;
@@ -176,20 +196,46 @@ traceSchedule(const Target &target, const ScheduleSpec &s,
     }
 
     // Trace-vs-stats cross-check: per-kind totals survive wraparound,
-    // so they must equal the hardened leg's RunStats counters exactly.
-    uint64_t trRollbacks =
-        hardenedRec.totalOf(obs::EventKind::Rollback);
-    uint64_t trCheckpoints =
-        hardenedRec.totalOf(obs::EventKind::Checkpoint);
-    bool ok = trRollbacks == o.hardenedRollbacks &&
-              trCheckpoints == o.hardenedCheckpoints;
-    std::printf("trace totals vs RunStats: rollbacks %llu/%llu, "
-                "checkpoints %llu/%llu -> %s\n",
-                (unsigned long long)trRollbacks,
-                (unsigned long long)o.hardenedRollbacks,
-                (unsigned long long)trCheckpoints,
-                (unsigned long long)o.hardenedCheckpoints,
-                ok ? "match" : "MISMATCH");
+    // so EVERY recovery-relevant event total must equal the hardened
+    // leg's RunStats counter exactly — and a mismatch names the
+    // counter that diverged instead of hiding behind two of them.
+    const vm::RunStats &st = o.hardenedStats;
+    const struct
+    {
+        obs::EventKind kind;
+        uint64_t stat;
+    } checks[] = {
+        {obs::EventKind::Rollback, st.rollbacks},
+        {obs::EventKind::Checkpoint, st.checkpointsExecuted},
+        {obs::EventKind::CompensationFree, st.compensationFrees},
+        {obs::EventKind::CompensationUnlock, st.compensationUnlocks},
+        {obs::EventKind::Backoff, st.backoffs},
+        {obs::EventKind::ChaosRollback, st.chaosRollbacks},
+        // The recorder also logs the main thread's birth, so spawn
+        // events run one ahead of the threadsSpawned counter.
+        {obs::EventKind::ThreadSpawn, st.threadsSpawned + 1},
+        {obs::EventKind::RecoveryDone, st.recoveries.size()},
+    };
+    bool ok = true;
+    for (const auto &c : checks) {
+        uint64_t traced = hardenedRec.totalOf(c.kind);
+        if (traced != c.stat) {
+            std::printf("trace totals vs RunStats: %s DIVERGED "
+                        "(trace %llu, stats %llu)\n",
+                        obs::eventKindName(c.kind),
+                        (unsigned long long)traced,
+                        (unsigned long long)c.stat);
+            ok = false;
+        }
+    }
+    if (ok)
+        std::printf("trace totals vs RunStats: all %zu event kinds "
+                    "match (rollbacks %llu, checkpoints %llu, "
+                    "recoveries %zu)\n",
+                    std::size(checks),
+                    (unsigned long long)st.rollbacks,
+                    (unsigned long long)st.checkpointsExecuted,
+                    st.recoveries.size());
     return ok;
 }
 
@@ -228,10 +274,85 @@ diagnoseSchedule(const Target &target, const ScheduleSpec &s,
     return !rep.episodes.empty();
 }
 
+/** The campaign base config for (target, spec) — mirrors
+ *  explore::runOneSchedule's unhardened leg. */
+vm::VmConfig
+campaignBaseConfig(const Target &target, const ScheduleSpec &s,
+                   const CampaignOptions &opts)
+{
+    vm::VmConfig cfg;
+    s.applyTo(cfg);
+    cfg.pctHorizon = target.horizon;
+    cfg.quantum = target.quantum;
+    cfg.maxSteps = opts.maxSteps;
+    cfg.maxRetries = opts.maxRetries;
+    return cfg;
+}
+
+/**
+ * --repro --record-replay: record the unhardened leg of (target,
+ * schedule) replay-grade, optionally ddmin-minimise, verify, and save.
+ */
+int
+recordReplayLog(const Target &target, const ScheduleSpec &s,
+                const CampaignOptions &opts, const std::string &appName,
+                const std::string &path, bool minimize)
+{
+    vm::VmConfig cfg = campaignBaseConfig(target, s, opts);
+    obs::FlightRecorder rec(4096, obs::RecorderMode::Grow);
+    cfg.recorder = &rec;
+    cfg.recordSharedAccesses = true;
+    vm::RunResult r = vm::runProgram(*target.plain, cfg);
+    cfg.recorder = nullptr;
+    cfg.recordSharedAccesses = false;
+
+    obs::replay::ReplayLog log;
+    std::string err;
+    if (!obs::replay::buildReplayLog(appName, s.token(), cfg, rec, r,
+                                     log, err)) {
+        std::fprintf(stderr, "record failed: %s\n", err.c_str());
+        return 1;
+    }
+    if (minimize) {
+        obs::replay::MinimizeOptions mo;
+        obs::replay::MinimizeResult res =
+            obs::replay::minimizeReplayLog(*target.plain, log, mo);
+        if (res.ok) {
+            std::printf("minimised: %zu -> %zu switches (%llu "
+                        "replay probes)\n",
+                        res.originalSwitches, res.minimizedSwitches,
+                        (unsigned long long)res.probes);
+            log = res.minimized;
+        } else {
+            std::fprintf(stderr, "minimisation skipped: %s\n",
+                         res.err.c_str());
+        }
+    }
+
+    // Never hand out an unverified log: one strict replay must match.
+    obs::replay::ReplayRun check =
+        obs::replay::replayLog(*target.plain, log, log.engine);
+    if (!check.faithful) {
+        std::fprintf(stderr, "recorded log failed verification: %s\n",
+                     check.mismatch.c_str());
+        return 1;
+    }
+    if (!obs::replay::saveReplayLog(path, log, err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 1;
+    }
+    std::printf("wrote %s (%zu switches, %zu lock acquisitions, "
+                "outcome %s)\n",
+                path.c_str(), log.switches.size(), log.locks.size(),
+                log.outcome.c_str());
+    return 0;
+}
+
 int
 runRepro(const std::string &appName, const std::string &token,
          const std::string &tracePath, const std::string &metricsPath,
-         bool timeline, bool diagnose, const std::string &diagJsonPath)
+         bool timeline, bool diagnose, const std::string &diagJsonPath,
+         const std::string &recordReplayPath, bool minimize)
 {
     const AppSpec *spec = findApp(appName);
     if (!spec) {
@@ -239,9 +360,9 @@ runRepro(const std::string &appName, const std::string &token,
         return 2;
     }
     ScheduleSpec s;
-    if (!parseScheduleToken(token, s)) {
-        std::fprintf(stderr, "bad schedule token '%s'\n",
-                     token.c_str());
+    std::string tokErr;
+    if (!parseScheduleToken(token, s, tokErr)) {
+        std::fprintf(stderr, "%s\n", tokErr.c_str());
         return 2;
     }
     CampaignApp app = prepareCampaignApp(*spec);
@@ -278,7 +399,99 @@ runRepro(const std::string &appName, const std::string &token,
     if (diagnose)
         diagOk = diagnoseSchedule(target, s, opts, appName,
                                   diagJsonPath);
-    return o.diverged || !traceOk || !diagOk ? 1 : 0;
+    bool recordOk = true;
+    if (!recordReplayPath.empty())
+        recordOk = recordReplayLog(target, s, opts, appName,
+                                   recordReplayPath, minimize) == 0;
+    return o.diverged || !traceOk || !diagOk || !recordOk ? 1 : 0;
+}
+
+/**
+ * --replay LOG: the O(1) repro path.  Loads a replay log, re-executes
+ * it under @p engineArg (default: the engine it was recorded under),
+ * and reports the faithfulness verdict — exit 0 iff the replay is
+ * fingerprint-identical to the recording.
+ */
+int
+runReplay(const std::string &path, const std::string &engineArg,
+          bool timeline, bool diagnose, const std::string &tracePath)
+{
+    obs::replay::ReplayLog log;
+    std::string err;
+    if (!obs::replay::loadReplayLog(path, log, err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 2;
+    }
+    const AppSpec *spec = findApp(log.program);
+    if (!spec) {
+        std::fprintf(stderr, "replay log names unknown app '%s'\n",
+                     log.program.c_str());
+        return 2;
+    }
+    vm::ExecEngine engine = log.engine;
+    if (!engineArg.empty() &&
+        !obs::replay::engineFromName(engineArg, engine)) {
+        std::fprintf(stderr, "unknown engine '%s' "
+                             "(decoded|reference|fused)\n",
+                     engineArg.c_str());
+        return 2;
+    }
+    CampaignApp app = prepareCampaignApp(*spec);
+    Target target = campaignTarget(app);
+
+    std::printf("=== replay %s ===\n", path.c_str());
+    std::printf("%s %s: recorded under %s, replaying under %s "
+                "(%zu switches, %zu lock acquisitions)\n",
+                log.program.c_str(),
+                log.scheduleToken.empty() ? "(no token)"
+                                          : log.scheduleToken.c_str(),
+                obs::replay::engineName(log.engine),
+                obs::replay::engineName(engine), log.switches.size(),
+                log.locks.size());
+    std::printf("recorded fingerprint: %s%s%s exit %lld clock %llu "
+                "steps %llu memDigest %016llx\n",
+                log.outcome.c_str(),
+                log.failureTag.empty() ? "" : " @ ",
+                log.failureTag.c_str(), (long long)log.exitCode,
+                (unsigned long long)log.finalClock,
+                (unsigned long long)log.finalSteps,
+                (unsigned long long)log.memDigest);
+
+    // Replay with every referee armed: the re-recording feeds the
+    // lock-order check, the optional trace artifact, and the optional
+    // diagnosis.
+    obs::FlightRecorder rec(4096, obs::RecorderMode::Grow);
+    obs::replay::ReplayInstruments ins;
+    ins.recorder = &rec;
+    ins.recordSharedAccesses = diagnose || log.accessCount > 0;
+    ins.checkLockOrder = true;
+    obs::replay::ReplayRun rr =
+        obs::replay::replayLog(*target.plain, log, engine, &ins);
+
+    if (rr.faithful)
+        std::printf("replay FAITHFUL: fingerprint, lock order%s match "
+                    "the recording\n",
+                    log.accessCount > 0 ? ", and access digest" : "");
+    else
+        std::printf("replay DIVERGED: %s\n", rr.mismatch.c_str());
+
+    if (diagnose) {
+        obs::pm::RecoveryReport rep = obs::pm::diagnose(
+            rec, *target.plain, log.program, log.scheduleToken);
+        std::printf("%s", obs::pm::renderText(rep).c_str());
+    }
+    if (timeline)
+        std::printf("--- replay timeline (time travel) ---\n%s",
+                    obs::replay::replayTimeline(log).c_str());
+    if (!tracePath.empty()) {
+        std::vector<obs::TraceProcess> procs = {
+            {&rec, log.program + " replay " + log.scheduleToken, 1},
+        };
+        if (!writeFile(tracePath, obs::chromeTraceJson(procs)))
+            return 1;
+        std::printf("wrote %s\n", tracePath.c_str());
+    }
+    return rr.faithful ? 0 : 1;
 }
 
 /** --diagnose [APP] TOKEN standalone mode (APP defaults to ZSNES). */
@@ -292,9 +505,9 @@ runDiagnose(const std::string &appName, const std::string &token,
         return 2;
     }
     ScheduleSpec s;
-    if (!parseScheduleToken(token, s)) {
-        std::fprintf(stderr, "bad schedule token '%s'\n",
-                     token.c_str());
+    std::string tokErr;
+    if (!parseScheduleToken(token, s, tokErr)) {
+        std::fprintf(stderr, "%s\n", tokErr.c_str());
         return 2;
     }
     CampaignApp app = prepareCampaignApp(*spec);
@@ -329,6 +542,19 @@ main(int argc, char **argv)
     const std::string diagJsonPath =
         argString(argc, argv, "--diagnose-json", "");
 
+    if (hasFlag(argc, argv, "--replay")) {
+        const std::string path = argString(argc, argv, "--replay", "");
+        if (path.empty() || path[0] == '-') {
+            std::fprintf(stderr,
+                         "usage: bench_explore --replay LOG "
+                         "[--engine decoded|reference|fused] "
+                         "[--timeline] [--diagnose] [--trace F]\n");
+            return 2;
+        }
+        return runReplay(path, argString(argc, argv, "--engine", ""),
+                         timeline, diagnose, tracePath);
+    }
+
     if (hasFlag(argc, argv, "--repro")) {
         // --repro APP TOKEN: the two operands follow the flag.
         const char *app = nullptr, *tok = nullptr;
@@ -341,11 +567,14 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: bench_explore --repro APP TOKEN "
                          "[--trace F] [--metrics F] [--timeline] "
-                         "[--diagnose] [--diagnose-json F]\n");
+                         "[--diagnose] [--diagnose-json F] "
+                         "[--record-replay F [--minimize]]\n");
             return 2;
         }
         return runRepro(app, tok, tracePath, metricsPath, timeline,
-                        diagnose, diagJsonPath);
+                        diagnose, diagJsonPath,
+                        argString(argc, argv, "--record-replay", ""),
+                        hasFlag(argc, argv, "--minimize"));
     }
 
     if (diagnose) {
@@ -409,6 +638,10 @@ main(int argc, char **argv)
     // after aggregation, outside the worker pool.
     opts.diagnoseFailures = true;
     opts.abortArtifactDir = argString(argc, argv, "--abort-dir", "");
+    // Every rediscovered kernel failure leaves a ddmin-minimised,
+    // strictly-verified replay log behind — the O(1) repro corpus.
+    opts.replayLogDir =
+        argString(argc, argv, "--replay-dir", "replay-logs");
     std::string policyList = argString(argc, argv, "--policies", "");
     if (!policyList.empty()) {
         opts.policies.clear();
@@ -537,6 +770,20 @@ main(int argc, char **argv)
                 w.value(p);
             w.endArray();
         }
+        if (tr.hasReplayLog || !tr.replayError.empty()) {
+            w.key("replay_log").beginObject();
+            if (tr.hasReplayLog) {
+                w.key("path").value(tr.replayLogPath);
+                w.key("switches").value(tr.replayOriginalSwitches);
+                w.key("minimized_switches")
+                    .value(tr.replayMinimizedSwitches);
+                w.key("cross_engine_verified")
+                    .value(tr.replayCrossEngineVerified);
+            }
+            if (!tr.replayError.empty())
+                w.key("error").value(tr.replayError);
+            w.endObject();
+        }
         w.endObject();
     }
     w.endArray();
@@ -563,6 +810,24 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "FAIL: trace totals mismatch RunStats\n");
         rc = 1;
+    }
+    if (!opts.replayLogDir.empty()) {
+        for (const TargetReport &tr : rep.targets) {
+            if (tr.foundFailure && !tr.hasReplayLog) {
+                std::fprintf(stderr,
+                             "FAIL: %s: no replay log for first "
+                             "failure (%s)\n",
+                             tr.name.c_str(), tr.replayError.c_str());
+                rc = 1;
+            }
+            if (tr.hasReplayLog && !tr.replayCrossEngineVerified) {
+                std::fprintf(stderr,
+                             "FAIL: %s: replay log did not verify "
+                             "under the Fused engine\n",
+                             tr.name.c_str());
+                rc = 1;
+            }
+        }
     }
     if (!smoke) {
         for (const TargetReport &tr : rep.targets)

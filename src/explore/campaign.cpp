@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -10,6 +11,7 @@
 #include <thread>
 
 #include "ir/module.h"
+#include "obs/replay/minimize.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "support/str.h"
@@ -43,9 +45,36 @@ ScheduleSpec::token() const
     return strfmt("%s:s%llu", name, (unsigned long long)seed);
 }
 
+namespace {
+
+/** Strict digits-only u64 parse: no sign, no whitespace, no trailing
+ *  junk, and overflow is an error — a mistyped seed must never wrap
+ *  into a silently different schedule. */
 bool
-parseScheduleToken(const std::string &tok, ScheduleSpec &out)
+parseTokenNumber(const std::string &s, uint64_t &out)
 {
+    if (s.empty() || s[0] < '0' || s[0] > '9')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno == ERANGE || !end || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+bool
+parseScheduleToken(const std::string &tok, ScheduleSpec &out,
+                   std::string &err)
+{
+    auto fail = [&](const std::string &what) {
+        err = "bad schedule token '" + tok + "': " + what;
+        return false;
+    };
+
     std::vector<std::string> parts;
     std::string cur;
     for (char c : tok + ":") {
@@ -56,48 +85,54 @@ parseScheduleToken(const std::string &tok, ScheduleSpec &out)
             cur += c;
         }
     }
-    if (parts.empty())
-        return false;
 
     ScheduleSpec s;
-    size_t next = 1;
-    if (parts[0] == "pct")
-        s.policy = vm::SchedPolicy::Pct;
-    else if (parts[0] == "pb")
-        s.policy = vm::SchedPolicy::PreemptBound;
-    else if (parts[0] == "random")
-        s.policy = vm::SchedPolicy::Random;
-    else if (parts[0] == "rr")
-        s.policy = vm::SchedPolicy::RoundRobin;
-    else
-        return false;
+    if (!vm::schedPolicyFromName(parts[0], s.policy))
+        return fail("unknown policy '" + parts[0] +
+                    "' (want rr, random, pct, or pb)");
 
     s.depth = 0;
-    bool sawSeed = false;
-    for (; next < parts.size(); ++next) {
+    bool sawSeed = false, sawDepth = false;
+    for (size_t next = 1; next < parts.size(); ++next) {
         const std::string &p = parts[next];
-        if (p.size() < 2)
-            return false;
-        char *end = nullptr;
-        unsigned long long v = std::strtoull(p.c_str() + 1, &end, 10);
-        if (!end || *end != '\0')
-            return false;
-        if (p[0] == 'd')
+        if (p.size() < 2 || (p[0] != 'd' && p[0] != 's'))
+            return fail("field '" + p + "' is not dN or sN");
+        uint64_t v;
+        if (!parseTokenNumber(p.substr(1), v))
+            return fail("field '" + p +
+                        "' is not a valid number (digits only, no "
+                        "overflow)");
+        if (p[0] == 'd') {
+            if (sawDepth)
+                return fail("duplicate depth field '" + p + "'");
+            if (v > UINT32_MAX)
+                return fail("depth " + p.substr(1) + " out of range");
             s.depth = uint32_t(v);
-        else if (p[0] == 's') {
+            sawDepth = true;
+        } else {
+            if (sawSeed)
+                return fail("duplicate seed field '" + p + "'");
             s.seed = v;
             sawSeed = true;
-        } else
-            return false;
+        }
     }
     if (!sawSeed)
-        return false;
+        return fail("missing seed field sN");
     if ((s.policy == vm::SchedPolicy::Pct ||
          s.policy == vm::SchedPolicy::PreemptBound) &&
         s.depth == 0)
-        return false;
+        return fail(std::string(vm::schedPolicyName(s.policy)) +
+                    " needs a depth field dN >= 1");
     out = s;
+    err.clear();
     return true;
+}
+
+bool
+parseScheduleToken(const std::string &tok, ScheduleSpec &out)
+{
+    std::string err;
+    return parseScheduleToken(tok, out, err);
 }
 
 std::string
@@ -161,6 +196,25 @@ tickDiff(const vm::RunResult &a, const vm::RunResult &b)
     return {};
 }
 
+/** The exact VmConfig a campaign cell runs under.  The replay-corpus
+ *  pass snapshots this same config into the recorded log, so replays
+ *  reconstruct the run from the log alone — keep the two in sync by
+ *  construction. */
+vm::VmConfig
+makeBaseConfig(const Target &t, const ScheduleSpec &s,
+               const CampaignOptions &opts)
+{
+    vm::VmConfig base;
+    s.applyTo(base);
+    base.pctHorizon = t.horizon;
+    base.quantum = t.quantum;
+    base.maxSteps = opts.maxSteps;
+    base.maxRetries = opts.maxRetries;
+    // No DelayRules: the campaign's whole point is finding the buggy
+    // interleavings without the hand-scripted trigger sleeps.
+    return base;
+}
+
 } // namespace
 
 uint64_t
@@ -183,14 +237,7 @@ runOneSchedule(const Target &t, const ScheduleSpec &s,
     out.spec = s;
     out.ran = true;
 
-    vm::VmConfig base;
-    s.applyTo(base);
-    base.pctHorizon = t.horizon;
-    base.quantum = t.quantum;
-    base.maxSteps = opts.maxSteps;
-    base.maxRetries = opts.maxRetries;
-    // No DelayRules: the campaign's whole point is finding the buggy
-    // interleavings without the hand-scripted trigger sleeps.
+    vm::VmConfig base = makeBaseConfig(t, s, opts);
 
     vm::VmConfig plainCfg = base;
     if (ins) {
@@ -244,6 +291,7 @@ runOneSchedule(const Target &t, const ScheduleSpec &s,
         out.chaosRollbacks = h.stats.chaosRollbacks;
         out.hardenedRollbacks = h.stats.rollbacks;
         out.hardenedCheckpoints = h.stats.checkpointsExecuted;
+        out.hardenedStats = h.stats;
 
         if (opts.differential && !out.chaos && !out.diverged) {
             vm::VmConfig refCfg = hardCfg;
@@ -526,6 +574,63 @@ runCampaign(const std::vector<Target> &targets,
                 flush(stem + "_diagnosis.txt",
                       obs::pm::renderText(diag));
             }
+        }
+    }
+
+    // Replay corpus: re-record each first failing schedule with a
+    // replay-grade (Grow — never drops) recorder, ddmin-minimise it,
+    // and save the verified log.  Outside the worker pool like the
+    // diagnosis pass, so aggregates stay worker-independent.
+    if (!opts.replayLogDir.empty()) {
+        for (size_t ti = 0; ti < targets.size(); ++ti) {
+            TargetReport &tr = rep.targets[ti];
+            const Target &t = targets[ti];
+            if (!tr.foundFailure)
+                continue;
+
+            vm::VmConfig cfg =
+                makeBaseConfig(t, tr.firstFailure, opts);
+            obs::FlightRecorder rec(4096, obs::RecorderMode::Grow);
+            cfg.recorder = &rec;
+            cfg.recordSharedAccesses = true;
+            vm::RunResult r = vm::runProgram(*t.plain, cfg);
+            cfg.recorder = nullptr;
+            cfg.recordSharedAccesses = false;
+
+            obs::replay::ReplayLog log;
+            if (!obs::replay::buildReplayLog(
+                    t.name, tr.firstFailure.token(), cfg, rec, r, log,
+                    tr.replayError))
+                continue;
+
+            obs::replay::MinimizeOptions mo;
+            mo.preserveVerdict = true;
+            obs::replay::MinimizeResult res =
+                obs::replay::minimizeReplayLog(*t.plain, log, mo);
+            // A failure that only reproduces under the exact recorded
+            // schedule still gets its (unminimised) verified log.
+            const obs::replay::ReplayLog &final_ =
+                res.ok ? res.minimized : log;
+            tr.replayOriginalSwitches = log.switches.size();
+            tr.replayMinimizedSwitches = final_.switches.size();
+
+            // Cross-engine leg of the faithfulness contract: the log
+            // must replay under the Fused tier too.
+            tr.replayCrossEngineVerified =
+                obs::replay::replayLog(*t.plain, final_,
+                                       vm::ExecEngine::Fused)
+                    .faithful;
+
+            std::filesystem::create_directories(opts.replayLogDir);
+            std::string path =
+                opts.replayLogDir + "/" + t.name + ".replay";
+            if (!obs::replay::saveReplayLog(path, final_,
+                                            tr.replayError))
+                continue;
+            tr.replayLogPath = path;
+            tr.hasReplayLog = true;
+            if (!res.ok)
+                tr.replayError = res.err;
         }
     }
 

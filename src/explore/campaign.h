@@ -137,6 +137,17 @@ struct CampaignOptions
      * debuggable after the campaign exits.  Empty = off.
      */
     std::string abortArtifactDir;
+
+    /**
+     * Replay corpus: after aggregation, re-record every target's first
+     * failing schedule replay-grade (Grow recorder, diagnosis mode),
+     * ddmin-minimise the switch list with the failure and diagnosis
+     * verdict preserved, strictly verify the minimised log, and save
+     * it as DIR/<kernel>.replay — the O(1) repro artifact behind
+     * `bench_explore --replay`.  Runs outside the worker pool like the
+     * diagnosis pass.  Empty = off.
+     */
+    std::string replayLogDir;
 };
 
 /** Everything one explored schedule produced. */
@@ -166,6 +177,11 @@ struct ScheduleOutcome
      *  validation (--repro --trace cross-checks event totals). */
     uint64_t hardenedRollbacks = 0;
     uint64_t hardenedCheckpoints = 0;
+
+    /** Full hardened-leg RunStats: the --repro --trace cross-check
+     *  compares EVERY per-kind event total against these, not just the
+     *  two counters above. */
+    vm::RunStats hardenedStats;
 
     /** Hardened-leg metrics (populated when opts.collectMetrics). */
     obs::MetricsRegistry metrics;
@@ -247,6 +263,21 @@ struct TargetReport
 
     /** Files written by flush-on-abort for this target. */
     std::vector<std::string> abortArtifacts;
+
+    /**
+     * @name Replay corpus (only when CampaignOptions::replayLogDir and
+     * foundFailure): the ddmin-minimised replay log of firstFailure.
+     * @{
+     */
+    bool hasReplayLog = false;
+    std::string replayLogPath;            ///< DIR/<kernel>.replay
+    uint64_t replayOriginalSwitches = 0;  ///< before minimisation
+    uint64_t replayMinimizedSwitches = 0; ///< after minimisation
+    /** The minimised log also replayed faithfully under the Fused
+     *  engine (record-under-Decoded, replay-under-Fused oracle). */
+    bool replayCrossEngineVerified = false;
+    std::string replayError; ///< non-empty when the pass failed
+    /** @} */
 };
 
 /** Whole-campaign result. */

@@ -33,8 +33,18 @@ struct ScheduleSpec
     bool operator==(const ScheduleSpec &) const = default;
 };
 
-/** Parses a token produced by ScheduleSpec::token(); returns false on
- *  malformed input. */
+/**
+ * Parses a token produced by ScheduleSpec::token(); returns false with
+ * a one-line @p err on malformed input.  The numeric fields are parsed
+ * strictly: digits only (no sign, no whitespace, no trailing junk),
+ * overflow is rejected rather than silently wrapped, and d/s fields
+ * may appear at most once — so a mistyped repro token fails loudly
+ * instead of quietly exploring a different schedule.
+ */
+bool parseScheduleToken(const std::string &tok, ScheduleSpec &out,
+                        std::string &err);
+
+/** Error-message-free convenience overload. */
 bool parseScheduleToken(const std::string &tok, ScheduleSpec &out);
 
 /** The one-line repro command printed for a divergent schedule. */

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Replay-based ddmin minimisation of failing schedules.
+ *
+ * A recorded failure often carries hundreds of scheduler switches of
+ * which only a handful matter (typically the one preemption inside the
+ * buggy window).  minimizeReplayLog() shrinks the switch list with
+ * delta debugging: candidate subsets are evaluated by *tolerant*
+ * replay (inapplicable switches are skipped, a blocked thread falls
+ * back to the lowest runnable id), and a candidate survives when the
+ * recorded failure — outcome + failure tag, and optionally the
+ * postmortem diagnosis verdict — is preserved.
+ *
+ * Because a tolerant replay of a reduced switch list is itself a fully
+ * deterministic run, the minimised schedule is then *re-recorded*
+ * (RecorderMode::Grow) into a fresh exact ReplayLog with its own
+ * fingerprint, and that log is verified by one strict replay before it
+ * is returned.  The output therefore carries the same faithfulness
+ * contract as any recording — `bench_explore --replay` on a minimised
+ * log is still an O(1), differentially-checked repro.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/replay/replay_run.h"
+
+namespace conair::obs::replay {
+
+/** Knobs for minimizeReplayLog(). */
+struct MinimizeOptions
+{
+    /** Engine used for candidate evaluation, re-recording, and the
+     *  final strict verification. */
+    vm::ExecEngine engine = vm::ExecEngine::Decoded;
+
+    /** Additionally require the postmortem diagnosis verdict
+     *  (obs::pm::RecoveryReport::primary) to survive minimisation.
+     *  Costs a diagnosis-mode replay per candidate. */
+    bool preserveVerdict = false;
+
+    /** Safety valve on tolerant-replay probes (0 = unlimited). */
+    uint64_t maxProbes = 0;
+};
+
+/** The minimisation result. */
+struct MinimizeResult
+{
+    bool ok = false;
+    std::string err; ///< one-line reason when !ok
+
+    /** Re-recorded exact log of the minimised schedule (strictly
+     *  verified); valid only when ok. */
+    ReplayLog minimized;
+
+    size_t originalSwitches = 0;
+    size_t minimizedSwitches = 0;
+    uint64_t probes = 0; ///< tolerant replays evaluated
+
+    /** Diagnosis verdict preserved across minimisation ("" when
+     *  verdict preservation was off or no verdict was diagnosed). */
+    std::string verdict;
+};
+
+/**
+ * ddmin over @p log's switch list.  @p m must be the module the log
+ * was recorded from.  Fails (ok = false) when the baseline tolerant
+ * replay of the full switch list does not reproduce the recorded
+ * outcome + failure tag — a minimisation of a non-reproducing log
+ * would shrink towards noise.
+ */
+MinimizeResult minimizeReplayLog(const ir::Module &m,
+                                 const ReplayLog &log,
+                                 const MinimizeOptions &opts = {});
+
+} // namespace conair::obs::replay

@@ -1,0 +1,70 @@
+#include "obs/replay/replay_export.h"
+
+#include <algorithm>
+
+#include "support/str.h"
+
+namespace conair::obs::replay {
+
+std::string
+replayTimeline(const ReplayLog &log)
+{
+    std::string o;
+    o += strfmt("replay timeline: %s",
+                log.program.empty() ? "(unnamed)" : log.program.c_str());
+    if (!log.scheduleToken.empty())
+        o += strfmt("  [token %s]", log.scheduleToken.c_str());
+    o += strfmt("  engine=%s\n", engineName(log.engine));
+    o += strfmt("config: policy=%s depth=%u quantum=%llu seed=%llu "
+                "appseed=%llu\n",
+                vm::schedPolicyName(log.policy), log.depth,
+                (unsigned long long)log.quantum,
+                (unsigned long long)log.seed,
+                (unsigned long long)log.appSeed);
+    o += strfmt("fingerprint: outcome=%s", log.outcome.c_str());
+    if (!log.failureTag.empty())
+        o += strfmt(" tag=%s", log.failureTag.c_str());
+    o += strfmt(" exit=%lld steps=%llu clock=%llu schedTicks=%llu "
+                "memDigest=%016llx\n",
+                (long long)log.exitCode,
+                (unsigned long long)log.finalSteps,
+                (unsigned long long)log.finalClock,
+                (unsigned long long)log.schedTicks,
+                (unsigned long long)log.memDigest);
+    o += strfmt("interleaving: %zu switches, %zu lock acquisitions",
+                log.switches.size(), log.locks.size());
+    if (log.accessCount > 0)
+        o += strfmt(", %llu shared accesses (digest %016llx)",
+                    (unsigned long long)log.accessCount,
+                    (unsigned long long)log.accessDigest);
+    o += "\n";
+
+    // Merge switches and lock acquisitions chronologically by step.
+    // A switch at step s is the scheduling decision *before* step s
+    // executes, so it sorts ahead of a lock acquired at the same step.
+    size_t si = 0, li = 0;
+    while (si < log.switches.size() || li < log.locks.size()) {
+        const bool takeSwitch =
+            si < log.switches.size() &&
+            (li >= log.locks.size() ||
+             log.switches[si].step <= log.locks[li].step);
+        if (takeSwitch) {
+            const auto &s = log.switches[si++];
+            o += strfmt("  step %10llu  switch -> T%u\n",
+                        (unsigned long long)s.step, s.tid);
+        } else {
+            const auto &l = log.locks[li++];
+            o += strfmt("  step %10llu  T%u acquires mutex block %llu\n",
+                        (unsigned long long)l.step, l.tid,
+                        (unsigned long long)l.block);
+        }
+    }
+    o += strfmt("  step %10llu  end: %s",
+                (unsigned long long)log.finalSteps, log.outcome.c_str());
+    if (!log.failureTag.empty())
+        o += strfmt(" (%s)", log.failureTag.c_str());
+    o += "\n";
+    return o;
+}
+
+} // namespace conair::obs::replay

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Replay-sourced "time-travel" timeline: a human-readable rendering of
+ * a ReplayLog's interleaving, usable without re-running anything.
+ *
+ * Where obs::recoveryTimeline() renders what a FlightRecorder happened
+ * to retain (post-wraparound), replayTimeline() renders the replay
+ * log itself — the exact, complete switch + lock-order history that
+ * strict replay will follow, step-addressed so any position in the run
+ * can be named ("the bug needs the switch to T2 at step 417").  The
+ * output is deterministic byte-for-byte for a given log.
+ */
+#pragma once
+
+#include <string>
+
+#include "obs/replay/replay_log.h"
+
+namespace conair::obs::replay {
+
+/** One line per scheduler switch and lock acquisition, chronological
+ *  by step, framed by the config snapshot and run fingerprint. */
+std::string replayTimeline(const ReplayLog &log);
+
+} // namespace conair::obs::replay

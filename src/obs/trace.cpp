@@ -28,8 +28,9 @@ eventKindName(EventKind k)
     return "unknown";
 }
 
-FlightRecorder::FlightRecorder(size_t perThreadCapacity)
-    : cap_(std::max<size_t>(perThreadCapacity, 1))
+FlightRecorder::FlightRecorder(size_t perThreadCapacity,
+                               RecorderMode mode)
+    : cap_(std::max<size_t>(perThreadCapacity, 1)), mode_(mode)
 {
 }
 
@@ -52,7 +53,7 @@ FlightRecorder::record(uint32_t tid, EventKind kind, uint64_t clock,
     ev.kind = kind;
     ev.tag = std::move(tag);
 
-    if (r.buf.size() < cap_) {
+    if (r.buf.size() < cap_ || mode_ == RecorderMode::Grow) {
         r.buf.push_back(std::move(ev));
     } else {
         r.buf[r.next] = std::move(ev);

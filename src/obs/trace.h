@@ -141,13 +141,33 @@ struct TraceEvent
     bool operator==(const TraceEvent &) const = default;
 };
 
+/**
+ * How a full per-thread buffer behaves.
+ *
+ * Ring (the default) keeps the newest `capacity` events per thread and
+ * overwrites older ones — bounded memory, suited to always-on
+ * observability, but the retained stream is a *suffix*.  Grow never
+ * drops: the buffer extends past the capacity hint, so dropped() stays
+ * zero for every thread.  Replay-grade recording requires Grow (or a
+ * ring that provably never wrapped): building a ReplayLog from a
+ * wrapped recorder hard-errors with the drop count, because a replay
+ * reconstructed from a truncated prefix would silently diverge from
+ * the episode it claims to reproduce (src/obs/replay/).
+ */
+enum class RecorderMode : uint8_t {
+    Ring, ///< fixed capacity, newest events win
+    Grow, ///< capacity is an initial reservation; never drops
+};
+
 /** Per-thread ring buffers + per-kind totals. */
 class FlightRecorder
 {
   public:
-    /** @p perThreadCapacity = events retained per thread (newest win);
-     *  clamped to >= 1. */
-    explicit FlightRecorder(size_t perThreadCapacity = 4096);
+    /** @p perThreadCapacity = events retained per thread (newest win;
+     *  clamped to >= 1).  Under RecorderMode::Grow it is only the
+     *  initial reservation — the buffer grows instead of wrapping. */
+    explicit FlightRecorder(size_t perThreadCapacity = 4096,
+                            RecorderMode mode = RecorderMode::Ring);
 
     void record(uint32_t tid, EventKind kind, uint64_t clock,
                 uint64_t step, uint64_t a = 0, uint64_t b = 0,
@@ -180,6 +200,8 @@ class FlightRecorder
 
     size_t capacity() const { return cap_; }
 
+    RecorderMode mode() const { return mode_; }
+
     /** Forgets all events and totals (capacity is kept). */
     void clear();
 
@@ -192,6 +214,7 @@ class FlightRecorder
     };
 
     size_t cap_;
+    RecorderMode mode_ = RecorderMode::Ring;
     uint64_t nextSeq_ = 0;
     std::vector<Ring> rings_; ///< indexed by thread id
     uint64_t kindTotals_[kEventKindCount] = {};

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +26,10 @@ enum class SchedPolicy {
 };
 
 const char *schedPolicyName(SchedPolicy p);
+
+/** Inverse of schedPolicyName ("rr", "random", "pct", "pb"); returns
+ *  false when @p name is not a policy name. */
+bool schedPolicyFromName(const std::string &name, SchedPolicy &out);
 
 /**
  * Which execution engine interprets the program.  All three are
@@ -62,6 +67,52 @@ struct DelayRule
      * survive their rollbacks).
      */
     uint64_t maxFires = 0;
+
+    bool operator==(const DelayRule &) const = default;
+};
+
+/**
+ * A recorded thread interleaving the scheduler reproduces verbatim.
+ *
+ * Replay rests on one structural fact: pickThread() is the VM's only
+ * interleaving choice point.  Everything else that varies between runs
+ * — per-thread decision RNG streams, the app-visible rand(), sleep and
+ * wake timing, PCT priorities — is a deterministic function of the
+ * seeds plus the order threads execute in.  So a run is pinned exactly
+ * by the sequence of scheduler switches: (global step count, thread
+ * chosen).  The interpreter consumes this list instead of consulting a
+ * policy: no quantum expiry, no scheduling-point sampling, no scheduler
+ * RNG draws — the recorded thread runs until the next recorded switch
+ * step.
+ *
+ * The obs/replay subsystem (ReplayLog) records, serialises, minimises
+ * and verifies these schedules; this struct is just the part the VM
+ * consumes, kept here so the VM does not depend on the log format.
+ */
+struct ReplaySchedule
+{
+    struct Switch
+    {
+        uint64_t step; ///< RunStats::steps at the scheduling decision
+        uint32_t tid;  ///< thread handed the CPU
+
+        bool operator==(const Switch &) const = default;
+    };
+
+    /** Switch list in execution order; steps strictly increase. */
+    std::vector<Switch> switches;
+
+    /**
+     * Tolerant mode: a switch that is inapplicable at its recorded
+     * step (the named thread does not exist or is not runnable) is
+     * skipped, and when the current thread cannot continue the lowest
+     * runnable id runs — instead of declaring divergence.  ddmin
+     * minimisation evaluates candidate subsets this way, since
+     * removing switches legitimately changes the downstream execution.
+     * Exact replay (the repro path) leaves this false: any divergence
+     * hard-fails the run with RunResult::replayDivergence set.
+     */
+    bool tolerant = false;
 };
 
 /** All the knobs for one VM run. */
@@ -230,6 +281,17 @@ struct VmConfig
     bool recordSharedAccesses = false;
 
     /** @} */
+
+    /**
+     * Deterministic replay (src/obs/replay/): when set, the scheduler
+     * ignores @ref policy / @ref quantum / the exploration knobs and
+     * drives the run through the recorded switch list instead — no
+     * search, no scheduler RNG draws.  The pointed-to schedule is
+     * borrowed and must outlive the run.  See ReplaySchedule for the
+     * sufficiency argument and docs/OBSERVABILITY.md for the
+     * faithfulness contract.
+     */
+    const ReplaySchedule *replay = nullptr;
 };
 
 } // namespace conair::vm

@@ -48,6 +48,22 @@ schedPolicyName(SchedPolicy p)
     return "?";
 }
 
+bool
+schedPolicyFromName(const std::string &name, SchedPolicy &out)
+{
+    if (name == "rr")
+        out = SchedPolicy::RoundRobin;
+    else if (name == "random")
+        out = SchedPolicy::Random;
+    else if (name == "pct")
+        out = SchedPolicy::Pct;
+    else if (name == "pb")
+        out = SchedPolicy::PreemptBound;
+    else
+        return false;
+    return true;
+}
+
 const char *
 outcomeName(Outcome o)
 {
@@ -80,6 +96,14 @@ Interp::Interp(const ir::Module &m, VmConfig cfg)
     met_ = cfg_.metrics;
     diag_ = rec_ != nullptr && cfg_.recordSharedAccesses;
 
+    // Replay mode: the recorded switch list *is* the schedule, so the
+    // exploration machinery stays dormant — no scheduling points are
+    // sampled (nextSchedPointAt_ stays UINT64_MAX) and the cursor
+    // starts at the first recorded switch.
+    if (cfg_.replay) {
+        if (!cfg_.replay->switches.empty())
+            replayNextSwitchAt_ = cfg_.replay->switches[0].step;
+    } else
     // Exploration policies: sample the priority-change / forced-
     // preemption points up front from a dedicated split stream, so the
     // schedule is a pure function of (seed, depth/bound, horizon).
@@ -223,7 +247,8 @@ Interp::run()
         if (canBurst && running_ && !wpPendingRestore_ && !forceSwitch_ &&
             !schedEvent_ && quantumLeft_ > 0 &&
             t->state == ThreadState::Runnable &&
-            result_.stats.schedTicks < nextSchedPointAt_) {
+            result_.stats.schedTicks < nextSchedPointAt_ &&
+            result_.stats.steps < replayNextSwitchAt_) {
             if (engineFused_)
                 runBurstFused(*t);
             else
@@ -301,6 +326,7 @@ Interp::runBurst(Thread &t)
            t.state == ThreadState::Runnable && clock_ < next_wake &&
            result_.stats.steps < cfg_.maxSteps &&
            result_.stats.schedTicks < nextSchedPointAt_ &&
+           result_.stats.steps < replayNextSwitchAt_ &&
            (!wp || result_.stats.steps < wpNextSnapshotAt_) &&
            hangCheckCountdown_ > 1) {
         --quantumLeft_;
@@ -542,6 +568,7 @@ resync:
           !wpPendingRestore_ && t.state == ThreadState::Runnable &&
           clock_ < next_wake && result_.stats.steps < cfg_.maxSteps &&
           result_.stats.schedTicks < nextSchedPointAt_ &&
+          result_.stats.steps < replayNextSwitchAt_ &&
           (!wp || result_.stats.steps < wpNextSnapshotAt_) &&
           hangCheckCountdown_ > 1))
         return;
@@ -569,6 +596,8 @@ resync:
             b = std::min(b, next_wake - clock_);
         if (wp)
             b = std::min(b, wpNextSnapshotAt_ - result_.stats.steps);
+        if (replayNextSwitchAt_ != UINT64_MAX)
+            b = std::min(b, replayNextSwitchAt_ - result_.stats.steps);
         budget = int64_t(std::min(b, kBudgetCap));
     }
 
@@ -2319,6 +2348,10 @@ Interp::execConAir(Thread &t, const Instruction &inst,
 uint64_t
 Interp::newQuantum()
 {
+    // Replay: the recorded switch list preempts, never the quantum —
+    // and the scheduler RNG must not be drawn (Random would).
+    if (cfg_.replay)
+        return uint64_t(1) << 62;
     switch (cfg_.policy) {
       case SchedPolicy::RoundRobin:
         return std::max<uint64_t>(cfg_.quantum, 1);
@@ -2388,6 +2421,8 @@ Interp::applySchedPoint(Thread &t)
 Interp::Thread *
 Interp::pickThread()
 {
+    if (cfg_.replay)
+        return pickThreadReplay();
     const bool sched_event = schedEvent_;
     schedEvent_ = false;
     // Fast path: the current thread keeps the CPU (no RNG, no scan).
@@ -2447,6 +2482,133 @@ Interp::pickThread()
     currentTid_ = chosen;
     quantumLeft_ = newQuantum() - 1;
     return threads_[chosen].get();
+}
+
+void
+Interp::replayDiverge(const std::string &msg)
+{
+    if (!running_)
+        return;
+    running_ = false;
+    result_.outcome = Outcome::Trap;
+    result_.failureMsg = "replay divergence: " + msg;
+    result_.replayDivergence = msg;
+}
+
+Interp::Thread *
+Interp::pickThreadReplay()
+{
+    // Scheduling events carry no information in replay mode: their
+    // effect on the original run is already baked into the recorded
+    // switch list.
+    schedEvent_ = false;
+    const bool tolerant = cfg_.replay->tolerant;
+    const auto &sw = cfg_.replay->switches;
+
+    while (replayNext_ < sw.size() &&
+           result_.stats.steps >= sw[replayNext_].step) {
+        const ReplaySchedule::Switch &s = sw[replayNext_];
+        if (result_.stats.steps > s.step) {
+            // The decision step was overrun: the execution no longer
+            // matches the recording (both burst paths stop exactly at
+            // replayNextSwitchAt_, so a faithful replay never lands
+            // here).
+            if (tolerant) {
+                ++replayNext_;
+                continue;
+            }
+            replayDiverge(strfmt(
+                "switch #%zu (thread %u at step %llu) was overrun "
+                "(now at step %llu)",
+                replayNext_, s.tid, (unsigned long long)s.step,
+                (unsigned long long)result_.stats.steps));
+            return nullptr;
+        }
+        Thread *target =
+            s.tid < threads_.size() ? threads_[s.tid].get() : nullptr;
+        if (target && target->state == ThreadState::Runnable) {
+            // Re-recording a replay (minimisation produces its exact
+            // log this way) emits the same SchedSwitch stream the
+            // original scheduler did: changes of thread only.
+            if (rec_ && s.tid != currentTid_) {
+                uint64_t runnable = 0;
+                for (const auto &th : threads_)
+                    runnable += th->state == ThreadState::Runnable;
+                rec_->record(s.tid, obs::EventKind::SchedSwitch, clock_,
+                             result_.stats.steps, currentTid_,
+                             runnable);
+            }
+            currentTid_ = s.tid;
+            quantumLeft_ = newQuantum() - 1;
+            ++replayNext_;
+            break;
+        }
+        // Due, but the thread cannot run.  When *nothing* is runnable
+        // this is the sleeper-wake shape: the original scheduler took
+        // this decision after the clock jumped to the next wake
+        // deadline.  Leave the switch unconsumed and let the caller
+        // advance sleepers; the retry consumes it.
+        bool anyRunnable = false;
+        for (const auto &th : threads_)
+            anyRunnable |= th->state == ThreadState::Runnable;
+        if (!anyRunnable) {
+            replayNextSwitchAt_ = s.step;
+            forceSwitch_ = false;
+            return nullptr;
+        }
+        if (tolerant) {
+            ++replayNext_;
+            continue;
+        }
+        replayDiverge(strfmt(
+            "switch #%zu: thread %u is not runnable at step %llu",
+            replayNext_, s.tid,
+            (unsigned long long)result_.stats.steps));
+        return nullptr;
+    }
+    replayNextSwitchAt_ =
+        replayNext_ < sw.size() ? sw[replayNext_].step : UINT64_MAX;
+    forceSwitch_ = false;
+
+    Thread *cur = currentTid_ < threads_.size()
+                      ? threads_[currentTid_].get()
+                      : nullptr;
+    if (cur && cur->state == ThreadState::Runnable)
+        return cur;
+
+    // The current thread cannot continue and no switch is due.  In a
+    // faithful replay nothing is runnable here — the recording would
+    // contain a switch otherwise — so wait for sleepers (or report the
+    // same hang the original run hit).
+    Thread *lowest = nullptr;
+    for (const auto &th : threads_)
+        if (th->state == ThreadState::Runnable) {
+            lowest = th.get();
+            break;
+        }
+    if (!lowest)
+        return nullptr;
+    if (tolerant) {
+        // Deterministic fallback for perturbed schedules: lowest
+        // runnable id runs until the next applicable switch.
+        if (rec_ && lowest->id != currentTid_) {
+            uint64_t runnable = 0;
+            for (const auto &th : threads_)
+                runnable += th->state == ThreadState::Runnable;
+            rec_->record(lowest->id, obs::EventKind::SchedSwitch,
+                         clock_, result_.stats.steps, currentTid_,
+                         runnable);
+        }
+        currentTid_ = lowest->id;
+        quantumLeft_ = newQuantum() - 1;
+        return lowest;
+    }
+    replayDiverge(strfmt(
+        "thread %u cannot continue at step %llu and no switch is "
+        "recorded (thread %u is runnable)",
+        currentTid_, (unsigned long long)result_.stats.steps,
+        lowest->id));
+    return nullptr;
 }
 
 void

@@ -284,6 +284,18 @@ class Interp
     //
 
     Thread *pickThread();
+    /**
+     * Replay-mode scheduling (cfg_.replay set): consumes the recorded
+     * switch list instead of consulting a policy.  Keeps the current
+     * thread until the next recorded switch step, then hands the CPU
+     * to the recorded thread.  Strict mode treats any inapplicable
+     * switch as divergence (replayDiverge); tolerant mode skips it and
+     * falls back to the lowest runnable id.
+     */
+    Thread *pickThreadReplay();
+    /** Ends a strict replay with Outcome::Trap and
+     *  RunResult::replayDivergence = @p msg. */
+    void replayDiverge(const std::string &msg);
     void wakeDue();
     bool advanceSleepers();
     uint64_t newQuantum();
@@ -373,6 +385,16 @@ class Interp
     std::vector<uint64_t> schedPoints_;
     size_t schedPointNext_ = 0;
     uint64_t nextSchedPointAt_ = UINT64_MAX;
+
+    /**
+     * Replay cursor (cfg_.replay set): index of the next unconsumed
+     * recorded switch, and its step count (UINT64_MAX once the list is
+     * exhausted).  Both burst paths stop at replayNextSwitchAt_ the
+     * same way they stop at nextSchedPointAt_, so pickThreadReplay is
+     * consulted exactly at every recorded decision step.
+     */
+    size_t replayNext_ = 0;
+    uint64_t replayNextSwitchAt_ = UINT64_MAX;
 
     /** Configured delay rules, densely indexed; the hot path and the
      *  fire counters use the index, never a map (a SchedHint without a

@@ -124,6 +124,16 @@ struct RunResult
     uint64_t memDigest = 0;
     RunStats stats;
 
+    /**
+     * Exact-replay divergence report (VmConfig::replay, non-tolerant):
+     * non-empty when the run could not follow the recorded switch list
+     * — a recorded thread was not runnable at its step, or a switch
+     * step was overrun.  The run ends immediately with Outcome::Trap;
+     * a faithful replay always leaves this empty.  Tolerant replay
+     * (ddmin candidate evaluation) never sets it.
+     */
+    std::string replayDivergence;
+
     bool ok() const { return outcome == Outcome::Success; }
 };
 
