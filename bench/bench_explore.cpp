@@ -71,6 +71,25 @@
  *   --replay-dir DIR
  *                 campaign mode: where the per-kernel minimised
  *                 replay logs go (default: replay-logs)
+ *   --fix [APP] [TOKEN]
+ *                 synthesize a fix for APP (default ZSNES) from a
+ *                 postmortem diagnosis and prove it regression-free:
+ *                 the recorded failing schedule is ddmin-minimised and
+ *                 replayed against the patched build (failure gone),
+ *                 the full campaign matrix re-runs on the patch
+ *                 (0 failing / 0 deadlocked / 0 divergent), and the
+ *                 clean-run overhead must stay within bound.  With
+ *                 TOKEN the failure comes from that campaign schedule;
+ *                 without it the kernel's scripted failure-forcing
+ *                 schedule is probed over seeds 1..8.  Exit 0 iff the
+ *                 patch validated.  See docs/FIXING.md.
+ *   --fix-json FILE
+ *                 also write the patch + validation report as JSON
+ *
+ * Campaign mode additionally runs the fix pass on every kernel whose
+ * failure it rediscovered and diagnosed; the per-kernel result lands
+ * in BENCH_explore.json as kernels[].fix, and outside smoke mode a
+ * kernel whose patch fails validation fails the bench.
  */
 #include "bench/bench_util.h"
 
@@ -78,6 +97,9 @@
 #include <thread>
 
 #include "explore/campaign.h"
+#include "fix/fix.h"
+#include "fix/report.h"
+#include "fix/validate.h"
 #include "obs/postmortem/diagnosis.h"
 #include "obs/replay/minimize.h"
 #include "obs/replay/replay_export.h"
@@ -494,6 +516,68 @@ runReplay(const std::string &path, const std::string &engineArg,
     return rr.faithful ? 0 : 1;
 }
 
+/**
+ * Shared strict operand scanner for the modes that take "[APP] [TOKEN]"
+ * after a flag (--diagnose, --fix).  Every non-flag operand after the
+ * flag is classified exactly once: a string the *strict*
+ * parseScheduleToken accepts is the schedule token; otherwise it must
+ * name a registered kernel.  Anything else is a one-line error naming
+ * both failed interpretations — no positional guessing.
+ */
+struct AppTokenArgs
+{
+    bool ok = false;
+    std::string app;   ///< kernel name (default already applied)
+    std::string token; ///< strict schedule token ("" when absent)
+    std::string error; ///< one-line parse error when !ok
+};
+
+AppTokenArgs
+parseAppTokenOperands(int argc, char **argv, const char *flag,
+                      const char *defaultApp)
+{
+    AppTokenArgs out;
+    out.app = defaultApp;
+    out.ok = true;
+    int at = -1;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            at = i;
+    if (at < 0)
+        return out;
+    bool appSet = false;
+    for (int i = at + 1; i < argc && argv[i][0] != '-'; ++i) {
+        ScheduleSpec s;
+        std::string tokErr;
+        if (parseScheduleToken(argv[i], s, tokErr)) {
+            if (!out.token.empty()) {
+                out.ok = false;
+                out.error = std::string(flag) +
+                            ": two schedule tokens ('" + out.token +
+                            "' and '" + argv[i] + "')";
+                return out;
+            }
+            out.token = argv[i];
+        } else if (findApp(argv[i])) {
+            if (appSet) {
+                out.ok = false;
+                out.error = std::string(flag) + ": two kernels ('" +
+                            out.app + "' and '" + argv[i] + "')";
+                return out;
+            }
+            out.app = argv[i];
+            appSet = true;
+        } else {
+            out.ok = false;
+            out.error = std::string(flag) + ": '" + argv[i] +
+                        "' is neither a schedule token (" + tokErr +
+                        ") nor a known kernel";
+            return out;
+        }
+    }
+    return out;
+}
+
 /** --diagnose [APP] TOKEN standalone mode (APP defaults to ZSNES). */
 int
 runDiagnose(const std::string &appName, const std::string &token,
@@ -516,6 +600,161 @@ runDiagnose(const std::string &appName, const std::string &token,
                             jsonPath)
                ? 0
                : 1;
+}
+
+/**
+ * --fix [APP] [TOKEN]: the whole closed loop for one kernel —
+ * diagnose a failing run, synthesize a fix from the diagnosis,
+ * ddmin-minimise the failing schedule, and validate the patch
+ * (minimized replay + campaign matrix + clean-run overhead).
+ */
+int
+runFix(const std::string &appName, const std::string &token,
+       const std::string &jsonPath, unsigned seeds, unsigned workers)
+{
+    const AppSpec *spec = findApp(appName);
+    if (!spec) {
+        std::fprintf(stderr, "unknown app '%s'\n", appName.c_str());
+        return 2;
+    }
+    CampaignApp app = prepareCampaignApp(*spec);
+    Target target = campaignTarget(app);
+    CampaignOptions opts;
+
+    // Step 1: record one failing run of the unhardened build in
+    // diagnosis + replay grade (Grow ring, shared accesses on).
+    auto rec = std::make_unique<obs::FlightRecorder>(
+        4096, obs::RecorderMode::Grow);
+    vm::VmConfig cfg;
+    vm::RunResult fail;
+    std::string schedToken;
+    bool gotFailure = false;
+    if (!token.empty()) {
+        ScheduleSpec s;
+        std::string tokErr;
+        if (!parseScheduleToken(token, s, tokErr)) {
+            std::fprintf(stderr, "%s\n", tokErr.c_str());
+            return 2;
+        }
+        cfg = campaignBaseConfig(target, s, opts);
+        cfg.recorder = rec.get();
+        cfg.recordSharedAccesses = true;
+        fail = vm::runProgram(*target.plain, cfg);
+        cfg.recorder = nullptr;
+        cfg.recordSharedAccesses = false;
+        schedToken = token;
+        gotFailure = !runIsCorrect(*spec, fail);
+        if (!gotFailure) {
+            std::fprintf(stderr,
+                         "%s %s: schedule does not fail (%s) — "
+                         "nothing to fix\n",
+                         appName.c_str(), token.c_str(),
+                         vm::outcomeName(fail.outcome));
+            return 1;
+        }
+    } else {
+        // No token: probe the kernel's scripted failure-forcing
+        // schedule (the hand-tuned delay rules) over a few seeds.
+        for (uint64_t seed = 1; seed <= 8 && !gotFailure; ++seed) {
+            rec = std::make_unique<obs::FlightRecorder>(
+                4096, obs::RecorderMode::Grow);
+            cfg = spec->buggyConfig;
+            cfg.seed = seed;
+            cfg.recorder = rec.get();
+            cfg.recordSharedAccesses = true;
+            fail = vm::runProgram(*target.plain, cfg);
+            cfg.recorder = nullptr;
+            cfg.recordSharedAccesses = false;
+            gotFailure = !runIsCorrect(*spec, fail);
+        }
+        if (!gotFailure) {
+            std::fprintf(stderr,
+                         "%s: scripted buggy schedule never failed "
+                         "over seeds 1..8 — nothing to fix\n",
+                         appName.c_str());
+            return 1;
+        }
+    }
+    std::printf("recorded failing run: %s%s%s (%llu steps)\n",
+                vm::outcomeName(fail.outcome),
+                fail.failureTag.empty() ? "" : " @ ",
+                fail.failureTag.c_str(),
+                (unsigned long long)fail.stats.steps);
+
+    // Step 2: postmortem diagnosis.  Prefer the hardened leg under
+    // the same schedule: recovery retries until the enabling write
+    // lands, so the racing partner is *in* the trace — the unhardened
+    // leg dies at the failure site before the partner ever runs (the
+    // diagnoseSchedule() leg-selection rule).
+    obs::FlightRecorder hardRec(4096, obs::RecorderMode::Grow);
+    {
+        vm::VmConfig hcfg = cfg;
+        hcfg.recorder = &hardRec;
+        hcfg.recordSharedAccesses = true;
+        vm::runProgram(*target.hardened, hcfg);
+    }
+    bool useHard =
+        hardRec.totalOf(obs::EventKind::RecoveryDone) > 0 ||
+        hardRec.totalOf(obs::EventKind::FailureSite) > 0;
+    obs::pm::RecoveryReport rep = obs::pm::diagnose(
+        useHard ? hardRec : *rec,
+        useHard ? *target.hardened : *target.plain, appName,
+        schedToken);
+    if (rep.episodes.empty()) {
+        std::fprintf(stderr, "%s: diagnosis produced no episodes\n",
+                     appName.c_str());
+        return 1;
+    }
+    std::printf("diagnosis: %s on '%s'\n",
+                obs::pm::verdictName(rep.primary()->verdict),
+                rep.primary()->variable.c_str());
+
+    // Step 3: replay log of the failing run, ddmin-minimised — the
+    // "exact buggy interleaving" obligation of the validator.
+    obs::replay::ReplayLog log;
+    const obs::replay::ReplayLog *logp = nullptr;
+    std::string err;
+    if (obs::replay::buildReplayLog(appName, schedToken, cfg, *rec,
+                                    fail, log, err)) {
+        obs::replay::MinimizeResult mres =
+            obs::replay::minimizeReplayLog(*target.plain, log, {});
+        if (mres.ok) {
+            std::printf("minimised failing schedule: %zu -> %zu "
+                        "switches\n",
+                        mres.originalSwitches, mres.minimizedSwitches);
+            log = mres.minimized;
+        }
+        logp = &log;
+    } else {
+        std::fprintf(stderr, "replay log skipped: %s\n", err.c_str());
+    }
+
+    // Step 4: synthesize, then prove the patch regression-free.
+    fix::FixPlan plan = fix::synthesizeFix(*target.plain, rep);
+    if (!plan.ok) {
+        std::printf("%s", fix::renderPatchText(plan).c_str());
+        if (!jsonPath.empty() &&
+            writeFile(jsonPath, fix::patchToJson(plan) + "\n"))
+            std::printf("wrote %s\n", jsonPath.c_str());
+        return 1;
+    }
+    fix::ValidationOptions vopts;
+    vopts.campaign.seedsPerPolicy = seeds;
+    vopts.campaign.workers = workers;
+    vopts.cleanConfig = spec->cleanConfig;
+    std::printf("validating: %s replay + %zu-policy x %u-seed "
+                "campaign + overhead bound...\n",
+                logp ? "minimized" : "(no)",
+                vopts.campaign.policies.size(), seeds);
+    fix::ValidationResult val =
+        fix::validatePatch(*plan.patched, target, logp, vopts);
+    std::printf("%s", fix::renderPatchText(plan, &val).c_str());
+    if (!jsonPath.empty()) {
+        if (!writeFile(jsonPath, fix::patchToJson(plan, &val) + "\n"))
+            return 1;
+        std::printf("wrote %s\n", jsonPath.c_str());
+    }
+    return val.ok() ? 0 : 1;
 }
 
 void
@@ -577,23 +816,34 @@ main(int argc, char **argv)
                         hasFlag(argc, argv, "--minimize"));
     }
 
+    if (hasFlag(argc, argv, "--fix")) {
+        // --fix [APP] [TOKEN]: strict operand classification shared
+        // with --diagnose; the default kernel is ZSNES.
+        AppTokenArgs fa =
+            parseAppTokenOperands(argc, argv, "--fix", "ZSNES");
+        if (!fa.ok) {
+            std::fprintf(stderr, "%s\n", fa.error.c_str());
+            std::fprintf(stderr, "usage: bench_explore --fix [APP] "
+                                 "[TOKEN] [--fix-json F] [--seeds N] "
+                                 "[--workers N]\n");
+            return 2;
+        }
+        return runFix(fa.app, fa.token,
+                      argString(argc, argv, "--fix-json", ""),
+                      argUnsigned(argc, argv, "--seeds", 40),
+                      argUnsigned(argc, argv, "--workers", 4));
+    }
+
     if (diagnose) {
-        // --diagnose [APP] TOKEN: one or two operands follow the flag;
-        // a lone operand that parses as a schedule token runs against
-        // the default kernel (ZSNES, the paper's running example).
-        const char *a1 = nullptr, *a2 = nullptr;
-        for (int i = 1; i < argc; ++i)
-            if (std::strcmp(argv[i], "--diagnose") == 0) {
-                if (i + 1 < argc && argv[i + 1][0] != '-')
-                    a1 = argv[i + 1];
-                if (i + 2 < argc && argv[i + 2][0] != '-')
-                    a2 = argv[i + 2];
-            }
-        ScheduleSpec probe;
-        if (a1 && a2)
-            return runDiagnose(a1, a2, diagJsonPath);
-        if (a1 && parseScheduleToken(a1, probe))
-            return runDiagnose("ZSNES", a1, diagJsonPath);
+        // --diagnose [APP] TOKEN: strict operand classification (a
+        // lone schedule token runs against ZSNES, the paper's running
+        // example); a token is required.
+        AppTokenArgs da =
+            parseAppTokenOperands(argc, argv, "--diagnose", "ZSNES");
+        if (da.ok && !da.token.empty())
+            return runDiagnose(da.app, da.token, diagJsonPath);
+        if (!da.ok)
+            std::fprintf(stderr, "%s\n", da.error.c_str());
         std::fprintf(stderr, "usage: bench_explore --diagnose [APP] "
                              "TOKEN [--diagnose-json F]\n");
         return 2;
@@ -689,6 +939,65 @@ main(int argc, char **argv)
             std::printf("--trace: no failing schedule to trace\n");
     }
 
+    // Fix-synthesis pass: every kernel whose failure the campaign
+    // rediscovered and diagnosed gets a synthesized patch, validated
+    // in place (minimized replay + campaign re-run on the patched
+    // build + overhead bound).  Results land in kernels[].fix.
+    std::printf("\n=== fix synthesis ===\n");
+    for (size_t ti = 0; ti < rep.targets.size(); ++ti) {
+        TargetReport &tr = rep.targets[ti];
+        if (!tr.foundFailure || !tr.hasDiagnosis)
+            continue;
+        tr.fix.attempted = true;
+        fix::FixPlan plan =
+            fix::synthesizeFix(*targets[ti].plain, tr.diagnosis);
+        tr.fix.synthesized = plan.ok;
+        tr.fix.strategy = fix::strategyName(plan.strategy);
+        tr.fix.verdict = obs::pm::verdictName(plan.verdict);
+        tr.fix.variable = plan.variable;
+        tr.fix.mutexName = plan.mutexName;
+        tr.fix.usedExistingMutex = plan.usedExistingMutex;
+        tr.fix.edits = plan.edits.size();
+        tr.fix.error = plan.error;
+        if (!plan.ok) {
+            std::printf("%s", fix::renderPatchText(plan).c_str());
+            continue;
+        }
+        obs::replay::ReplayLog log;
+        const obs::replay::ReplayLog *logp = nullptr;
+        std::string lerr;
+        if (tr.hasReplayLog &&
+            obs::replay::loadReplayLog(tr.replayLogPath, log, lerr))
+            logp = &log;
+        fix::ValidationOptions vopts;
+        vopts.campaign = opts;
+        // Smoke mode stops the *search* after one failure; the
+        // validation campaign must not stop early (it expects zero
+        // failures), so just trim its seed budget instead.
+        vopts.campaign.stopAfterFailures = 0;
+        if (smoke)
+            vopts.campaign.seedsPerPolicy =
+                std::min(opts.seedsPerPolicy, 12u);
+        vopts.cleanConfig = prepared[ti].spec->cleanConfig;
+        fix::ValidationResult val =
+            fix::validatePatch(*plan.patched, targets[ti], logp,
+                               vopts);
+        tr.fix.replayChecked = val.replayChecked;
+        tr.fix.replayFailureGone = val.replayFailureGone;
+        tr.fix.campaignRan = val.campaignRan;
+        tr.fix.patchedSchedules = val.schedules;
+        tr.fix.patchedFailing = val.failing;
+        tr.fix.patchedDeadlocks = val.deadlocks;
+        tr.fix.patchedDivergences = val.divergences;
+        tr.fix.patchedInconclusive = val.inconclusive;
+        tr.fix.overhead = val.overhead;
+        tr.fix.overheadOk = val.overheadOk;
+        tr.fix.validated = val.ok();
+        if (!val.ok() && tr.fix.error.empty())
+            tr.fix.error = val.error;
+        std::printf("%s", fix::renderPatchText(plan, &val).c_str());
+    }
+
     // Parallel speedup: a fixed sub-campaign, 1 worker vs N.  The
     // measurement is honest about the host: with fewer hardware
     // threads than workers (CI containers are often single-core) the
@@ -745,6 +1054,7 @@ main(int argc, char **argv)
         w.key("schedules").value(tr.schedules);
         w.key("skipped").value(tr.skipped);
         w.key("failing_schedules").value(tr.failingSchedules);
+        w.key("deadlock_schedules").value(tr.deadlockSchedules);
         w.key("inconclusive").value(tr.inconclusive);
         w.key("distinct_failure_tags")
             .value(uint64_t(tr.failureTags.size()));
@@ -782,6 +1092,34 @@ main(int argc, char **argv)
             }
             if (!tr.replayError.empty())
                 w.key("error").value(tr.replayError);
+            w.endObject();
+        }
+        if (tr.fix.attempted) {
+            w.key("fix").beginObject();
+            w.key("synthesized").value(tr.fix.synthesized);
+            w.key("strategy").value(tr.fix.strategy);
+            w.key("verdict").value(tr.fix.verdict);
+            w.key("variable").value(tr.fix.variable);
+            w.key("mutex").value(tr.fix.mutexName);
+            w.key("used_existing_mutex")
+                .value(tr.fix.usedExistingMutex);
+            w.key("edits").value(tr.fix.edits);
+            w.key("replay_checked").value(tr.fix.replayChecked);
+            w.key("replay_failure_gone")
+                .value(tr.fix.replayFailureGone);
+            w.key("campaign_ran").value(tr.fix.campaignRan);
+            w.key("patched_schedules").value(tr.fix.patchedSchedules);
+            w.key("patched_failing").value(tr.fix.patchedFailing);
+            w.key("patched_deadlocks").value(tr.fix.patchedDeadlocks);
+            w.key("patched_divergences")
+                .value(tr.fix.patchedDivergences);
+            w.key("patched_inconclusive")
+                .value(tr.fix.patchedInconclusive);
+            w.key("overhead").value(tr.fix.overhead, "%.4f");
+            w.key("overhead_ok").value(tr.fix.overheadOk);
+            w.key("validated").value(tr.fix.validated);
+            if (!tr.fix.error.empty())
+                w.key("error").value(tr.fix.error);
             w.endObject();
         }
         w.endObject();
@@ -835,6 +1173,15 @@ main(int argc, char **argv)
                 std::fprintf(stderr,
                              "FAIL: %s: no failing schedule found\n",
                              tr.name.c_str());
+                rc = 1;
+            }
+        // Close-the-loop gate: every rediscovered failure must end in
+        // a synthesized, fully validated patch.
+        for (const TargetReport &tr : rep.targets)
+            if (tr.fix.attempted && !tr.fix.validated) {
+                std::fprintf(stderr,
+                             "FAIL: %s: fix not validated (%s)\n",
+                             tr.name.c_str(), tr.fix.error.c_str());
                 rc = 1;
             }
     }

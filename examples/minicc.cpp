@@ -8,6 +8,13 @@
  *   minicc [options] --app NAME
  *     --conair             harden with survival-mode ConAir
  *     --fix TAG            harden only the site TAG (repeatable)
+ *     --fix                (bare, with --app) synthesize a *source
+ *                          fix* instead of hardening: diagnose one
+ *                          scripted failing run postmortem, derive
+ *                          the verdict-matched patch (wait loop /
+ *                          lock guard / lock reorder), and print the
+ *                          patch report; --print-ir adds the patched
+ *                          module.  See docs/FIXING.md.
  *     --no-interproc       disable §4.3 inter-procedural recovery
  *     --no-optimize        disable the §4.2 optimizer
  *     --print-ir           dump the (possibly transformed) MiniIR
@@ -31,6 +38,7 @@
  *   minicc --conair --delay 1:5000 examples/data/racy_counter.mc
  *   minicc --app MySQL1 --trace trace.json --timeline
  *   minicc --app ZSNES --diagnose
+ *   minicc --app ZSNES --fix --print-ir
  */
 #include <cstdio>
 #include <cstring>
@@ -40,6 +48,8 @@
 
 #include "apps/harness.h"
 #include "conair/driver.h"
+#include "fix/fix.h"
+#include "fix/report.h"
 #include "frontend/compile.h"
 #include "ir/printer.h"
 #include "obs/metrics.h"
@@ -56,7 +66,7 @@ void
 usage()
 {
     std::fprintf(stderr,
-                 "usage: minicc [--conair] [--fix TAG] [--print-ir] "
+                 "usage: minicc [--conair] [--fix [TAG]] [--print-ir] "
                  "[--report]\n"
                  "              [--seed N] [--quantum N] "
                  "[--delay HINT:TICKS]\n"
@@ -89,7 +99,7 @@ main(int argc, char **argv)
 {
     std::string path, appName, tracePath, metricsPath;
     bool conair = false, print_ir = false, report = false;
-    bool timeline = false, diagnose = false;
+    bool timeline = false, diagnose = false, fixSynth = false;
     ca::ConAirOptions copts;
     vm::VmConfig cfg;
     cfg.seed = 1;
@@ -106,9 +116,16 @@ main(int argc, char **argv)
         if (arg == "--conair") {
             conair = true;
         } else if (arg == "--fix") {
-            conair = true;
-            copts.mode = ca::Mode::Fix;
-            copts.fixTags.push_back(next());
+            // "--fix TAG" is ConAir's targeted hardening; a bare
+            // "--fix" (next arg absent or a flag) asks for fix
+            // *synthesis* — only meaningful with --app.
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                conair = true;
+                copts.mode = ca::Mode::Fix;
+                copts.fixTags.push_back(next());
+            } else {
+                fixSynth = true;
+            }
         } else if (arg == "--no-interproc") {
             copts.interproc = false;
         } else if (arg == "--no-optimize") {
@@ -173,6 +190,55 @@ main(int argc, char **argv)
                 std::fprintf(stderr, " %s", a.name.c_str());
             std::fprintf(stderr, ")\n");
             return 2;
+        }
+        if (fixSynth) {
+            // Bare --fix: the repair loop's front half — record one
+            // scripted failing run, diagnose it postmortem (preferring
+            // the hardened leg, whose recovery retries let the racing
+            // partner land in the trace), synthesize the patch.
+            apps::CampaignApp capp = apps::prepareCampaignApp(*spec);
+            auto plainRec = std::make_unique<obs::FlightRecorder>(
+                4096, obs::RecorderMode::Grow);
+            vm::VmConfig bcfg;
+            vm::RunResult fail;
+            bool gotFailure = false;
+            for (uint64_t seed = 1; seed <= 8 && !gotFailure;
+                 ++seed) {
+                plainRec = std::make_unique<obs::FlightRecorder>(
+                    4096, obs::RecorderMode::Grow);
+                bcfg = spec->buggyConfig;
+                bcfg.seed = seed;
+                bcfg.recorder = plainRec.get();
+                bcfg.recordSharedAccesses = true;
+                fail = vm::runProgram(*capp.plain.module, bcfg);
+                gotFailure = !apps::runIsCorrect(*spec, fail);
+            }
+            if (!gotFailure) {
+                std::fprintf(stderr,
+                             "minicc: %s: scripted buggy schedule "
+                             "never failed (seeds 1..8) — nothing to "
+                             "fix\n",
+                             appName.c_str());
+                return 1;
+            }
+            obs::FlightRecorder hardRec(4096,
+                                        obs::RecorderMode::Grow);
+            bcfg.recorder = &hardRec;
+            vm::runProgram(*capp.hardened.module, bcfg);
+            bool useHard =
+                hardRec.totalOf(obs::EventKind::RecoveryDone) > 0 ||
+                hardRec.totalOf(obs::EventKind::FailureSite) > 0;
+            obs::pm::RecoveryReport rep = obs::pm::diagnose(
+                useHard ? hardRec : *plainRec,
+                useHard ? *capp.hardened.module : *capp.plain.module,
+                appName);
+            fix::FixPlan plan =
+                fix::synthesizeFix(*capp.plain.module, rep);
+            std::printf("%s", fix::renderPatchText(plan).c_str());
+            if (print_ir && plan.ok)
+                std::printf("%s",
+                            ir::printModule(*plan.patched).c_str());
+            return plan.ok ? 0 : 1;
         }
         apps::PreparedApp p =
             apps::prepareApp(*spec, apps::HardenOptions{});

@@ -74,4 +74,24 @@ isPotentialSegfaultSite(const Instruction *inst)
     return classifyAddress(addressOf(inst)) == AddrRoot::PointerVar;
 }
 
+const ir::Global *
+rootGlobal(const Value *addr)
+{
+    while (addr && addr->kind() == ValueKind::Instruction) {
+        auto *inst = static_cast<const Instruction *>(addr);
+        if (inst->opcode() != Opcode::PtrAdd)
+            return nullptr;
+        addr = inst->operand(0);
+    }
+    if (addr && addr->kind() == ValueKind::GlobalAddr)
+        return static_cast<const ir::GlobalAddr *>(addr)->global();
+    return nullptr;
+}
+
+bool
+accessesGlobal(const Instruction *inst, const ir::Global *g)
+{
+    return isMemAccess(inst) && rootGlobal(addressOf(inst)) == g;
+}
+
 } // namespace conair::analysis

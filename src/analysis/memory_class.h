@@ -46,4 +46,16 @@ bool isSharedRead(const ir::Instruction *inst);
  */
 bool isPotentialSegfaultSite(const ir::Instruction *inst);
 
+/**
+ * Traces @p addr through PtrAdd chains to the Global it directly
+ * addresses, or nullptr when the root is not a GlobalAddr (stack slot,
+ * pointer variable, null).  The shared root of the postmortem engine's
+ * racy-pair naming and fix synthesis' access matching: both must agree
+ * on which accesses touch a diagnosed global.
+ */
+const ir::Global *rootGlobal(const ir::Value *addr);
+
+/** True when @p inst is a Load/Store whose address roots at @p g. */
+bool accessesGlobal(const ir::Instruction *inst, const ir::Global *g);
+
 } // namespace conair::analysis

@@ -435,6 +435,8 @@ runCampaign(const std::vector<Target> &targets,
             ++tr.inconclusive;
         } else if (!o.unhardenedCorrect) {
             ++tr.failingSchedules;
+            if (o.unhardened == vm::Outcome::Hang)
+                ++tr.deadlockSchedules;
             if (!o.unhardenedTag.empty())
                 tags[j.target].insert(o.unhardenedTag);
             else

@@ -206,6 +206,48 @@ struct ScheduleInstruments
     bool recordSharedAccesses = false;
 };
 
+/**
+ * Outcome of the fix-synthesis pass over one target (src/fix/): the
+ * patch synthesized from the first failing schedule's diagnosis plus
+ * its automated proof obligations (minimized-replay check, full
+ * campaign re-run on the patched build, clean-run overhead bound).
+ * The campaign engine itself never synthesizes fixes — bench_explore
+ * runs the pass after runCampaign() and fills this in, so the struct
+ * lives here header-only to keep conair_explore free of a fix-library
+ * dependency while `kernels[].fix` still rides in the TargetReport.
+ */
+struct FixSummary
+{
+    bool attempted = false;   ///< the pass ran for this target
+    bool synthesized = false; ///< a verifier-clean patch was produced
+    std::string strategy;     ///< "wait-for-value", "lock-guard", ...
+    std::string verdict;      ///< diagnosis verdict the fix targets
+    std::string variable;     ///< racing global the fix protects
+    std::string mutexName;    ///< lock used/introduced ("" for waits)
+    bool usedExistingMutex = false;
+    uint64_t edits = 0;       ///< patch-report edit count
+    std::string error;        ///< non-empty when synthesis failed
+
+    /** Minimized-replay obligation: the kernel's .replay log no longer
+     *  reproduces the failure on the patched build. */
+    bool replayChecked = false;
+    bool replayFailureGone = false;
+
+    /** Campaign obligation: full matrix re-run on the patched build. */
+    bool campaignRan = false;
+    uint64_t patchedSchedules = 0;
+    uint64_t patchedFailing = 0;
+    uint64_t patchedDeadlocks = 0;
+    uint64_t patchedDivergences = 0;
+    uint64_t patchedInconclusive = 0;
+
+    /** Clean-run step overhead of patched vs. baseline. */
+    double overhead = 0;
+    bool overheadOk = false;
+
+    bool validated = false; ///< every obligation above passed
+};
+
 /** Per-target aggregation. */
 struct TargetReport
 {
@@ -216,6 +258,10 @@ struct TargetReport
 
     // Oracle 1: failing schedules of the unhardened program.
     uint64_t failingSchedules = 0;
+    /** Failing schedules whose unhardened outcome was Hang — the
+     *  deadlock slice of failingSchedules.  The fix validator requires
+     *  this to stay zero on patched builds ("no new deadlocks"). */
+    uint64_t deadlockSchedules = 0;
     uint64_t inconclusive = 0;
     std::vector<std::string> failureTags; ///< distinct, sorted
     bool foundFailure = false;
@@ -278,6 +324,10 @@ struct TargetReport
     bool replayCrossEngineVerified = false;
     std::string replayError; ///< non-empty when the pass failed
     /** @} */
+
+    /** Fix-synthesis pass results (filled by bench_explore after the
+     *  campaign, never by runCampaign itself — see FixSummary). */
+    FixSummary fix;
 };
 
 /** Whole-campaign result. */

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Automated fix synthesis from postmortem diagnoses (src/fix/).
+ *
+ * ConAir recovers from concurrency failures without fixing them; the
+ * postmortem engine (src/obs/postmortem/) then reconstructs *why* a
+ * failure fired — the racy global, the conflicting access pair, the
+ * switch window, and a bug-pattern verdict.  This engine closes the
+ * remaining gap: it consumes that diagnosis and synthesizes a minimal
+ * source-level fix as a verifier-clean IR-to-IR transform over a clone
+ * of the unhardened module, one strategy per verdict:
+ *
+ *  - OrderViolation -> WaitForValue: every read of the racy global in
+ *    a non-publishing function is guarded by a wait loop that sleeps
+ *    (virtual time, so the enabling writer is guaranteed to run) until
+ *    the global has left its initial value — the flag/pointer-publish
+ *    idiom the paper's order bugs (ZSNES, HTTrack, MozillaXP, ...)
+ *    all follow;
+ *  - AtomicityViolation / LostUpdate -> LockGuard: the broken
+ *    read-modify-write / check-then-act spans are enclosed in a mutex,
+ *    preferring the existing lock that already guards most accesses of
+ *    the global (lockset affinity) and minting a fresh one only when
+ *    no access is ever protected;
+ *  - Deadlock -> LockOrder: the inverted nested acquisition is
+ *    normalized to the canonical (declaration) order by hoisting the
+ *    inner lock in front of the outer one — critical-section
+ *    coarsening, never a narrowing.
+ *
+ * Synthesis never trusts itself: the patched module must re-verify
+ * (ir::verifyModule), lock-order fixes re-run the lockset analysis to
+ * prove all nestings canonical, and the companion validator
+ * (fix/validate.h) proves the patch regression-free dynamically —
+ * minimized-replay check, full campaign matrix re-run, clean-run
+ * overhead bound.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/postmortem/diagnosis.h"
+
+namespace conair::ir {
+class Module;
+}
+
+namespace conair::fix {
+
+/** The fix strategies, one per diagnosable bug pattern. */
+enum class Strategy : uint8_t {
+    None,         ///< no fix synthesized
+    WaitForValue, ///< order violation: wait until the global is published
+    LockGuard,    ///< atomicity violation / lost update: mutex the span
+    LockOrder,    ///< deadlock: normalize nested acquisition order
+};
+
+/** Stable lowercase name ("wait-for-value", "lock-guard", ...). */
+const char *strategyName(Strategy s);
+
+/** One edit the patch applied, for the human/JSON patch report. */
+struct PatchEdit
+{
+    std::string kind;     ///< "wait-loop", "lock-span", "wrap-function",
+                          ///< "reorder-locks", "add-mutex"
+    std::string function; ///< enclosing function ("" for module-level)
+    std::string detail;   ///< one-line description
+};
+
+/** A synthesized fix: the patched module plus its provenance. */
+struct FixPlan
+{
+    bool ok = false;
+    std::string error; ///< one-line reason when !ok
+
+    Strategy strategy = Strategy::None;
+    obs::pm::Verdict verdict = obs::pm::Verdict::Unknown;
+    std::string program;   ///< kernel the diagnosis came from
+    std::string variable;  ///< racy global the fix protects ("" for
+                           ///< pure lock-order fixes)
+    std::string mutexName; ///< mutex used/minted ("" for wait fixes)
+    bool usedExistingMutex = false;
+
+    std::vector<PatchEdit> edits;
+
+    /** The patched module (verifier-clean); null when !ok. */
+    std::unique_ptr<ir::Module> patched;
+};
+
+/**
+ * Synthesizes a fix for @p report's primary diagnosis against
+ * @p original — the *unhardened* module the diagnosis was computed
+ * from.  @p original is cloned, never mutated.  Fails (ok = false,
+ * one-line error) when the report carries no usable diagnosis, the
+ * verdict has no strategy, the strategy's preconditions do not hold,
+ * or the patched module does not re-verify.
+ */
+FixPlan synthesizeFix(const ir::Module &original,
+                      const obs::pm::RecoveryReport &report);
+
+} // namespace conair::fix

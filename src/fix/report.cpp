@@ -1,0 +1,127 @@
+#include "fix/report.h"
+
+#include <cstdio>
+
+#include "support/json.h"
+
+namespace conair::fix {
+
+namespace {
+
+std::string
+fmtOverhead(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+renderPatchText(const FixPlan &plan, const ValidationResult *val)
+{
+    std::string out;
+    out += "=== fix synthesis: " + plan.program + " ===\n";
+    out += "verdict:   " + std::string(verdictName(plan.verdict)) + "\n";
+    out += "strategy:  " + std::string(strategyName(plan.strategy)) +
+           "\n";
+    if (!plan.variable.empty())
+        out += "variable:  " + plan.variable + "\n";
+    if (!plan.mutexName.empty())
+        out += "mutex:     " + plan.mutexName +
+               (plan.usedExistingMutex ? " (existing)" : " (fresh)") +
+               "\n";
+    if (!plan.ok) {
+        out += "result:    FAILED: " + plan.error + "\n";
+        return out;
+    }
+    out += "result:    patch synthesized (" +
+           std::to_string(plan.edits.size()) + " edit" +
+           (plan.edits.size() == 1 ? "" : "s") + ")\n";
+    for (const PatchEdit &e : plan.edits) {
+        out += "  [" + e.kind + "]";
+        if (!e.function.empty())
+            out += " " + e.function + ":";
+        out += " " + e.detail + "\n";
+    }
+    if (val) {
+        out += "--- validation ---\n";
+        if (val->replayChecked)
+            out += std::string("minimized replay:  ") +
+                   (val->replayFailureGone ? "failure gone"
+                                           : "STILL FAILING") +
+                   " (" + val->replayDetail + ")\n";
+        if (val->campaignRan) {
+            out += "campaign:          " +
+                   std::to_string(val->schedules) + " schedules, " +
+                   std::to_string(val->failing) + " failing, " +
+                   std::to_string(val->deadlocks) + " deadlocked, " +
+                   std::to_string(val->divergences) + " divergent, " +
+                   std::to_string(val->inconclusive) +
+                   " inconclusive\n";
+        }
+        if (val->overheadChecked)
+            out += "clean overhead:    " + fmtOverhead(val->overhead) +
+                   "x (" + (val->overheadOk ? "ok" : "OVER BOUND") +
+                   ")\n";
+        out += std::string("verdict:           ") +
+               (val->ok() ? "VALIDATED" : "NOT VALIDATED") + "\n";
+        if (!val->ok() && !val->error.empty())
+            out += "reason:            " + val->error + "\n";
+    }
+    return out;
+}
+
+void
+writePatchJson(JsonWriter &w, const FixPlan &plan,
+               const ValidationResult *val)
+{
+    w.beginObject();
+    w.key("program").value(plan.program);
+    w.key("ok").value(plan.ok);
+    w.key("verdict").value(verdictName(plan.verdict));
+    w.key("strategy").value(strategyName(plan.strategy));
+    w.key("variable").value(plan.variable);
+    w.key("mutex").value(plan.mutexName);
+    w.key("usedExistingMutex").value(plan.usedExistingMutex);
+    w.key("error").value(plan.error);
+    w.key("edits").beginArray();
+    for (const PatchEdit &e : plan.edits) {
+        w.beginObject();
+        w.key("kind").value(e.kind);
+        w.key("function").value(e.function);
+        w.key("detail").value(e.detail);
+        w.endObject();
+    }
+    w.endArray();
+    if (val) {
+        w.key("validation").beginObject();
+        w.key("ok").value(val->ok());
+        w.key("replayChecked").value(val->replayChecked);
+        w.key("replayFailureGone").value(val->replayFailureGone);
+        w.key("replayDetail").value(val->replayDetail);
+        w.key("campaignRan").value(val->campaignRan);
+        w.key("schedules").value(val->schedules);
+        w.key("failing").value(val->failing);
+        w.key("deadlocks").value(val->deadlocks);
+        w.key("divergences").value(val->divergences);
+        w.key("inconclusive").value(val->inconclusive);
+        w.key("overhead").value(val->overhead, "%.4f");
+        w.key("overheadOk").value(val->overheadOk);
+        w.key("error").value(val->error);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+std::string
+patchToJson(const FixPlan &plan, const ValidationResult *val,
+            int indent)
+{
+    JsonWriter w(indent);
+    writePatchJson(w, plan, val);
+    return w.str();
+}
+
+} // namespace conair::fix

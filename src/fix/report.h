@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Patch reports: the human-readable and JSON renderings of a
+ * synthesized fix and (optionally) its validation evidence.  Both
+ * renderings are deterministic — the golden test pins the ZSNES report
+ * byte for byte.
+ */
+#pragma once
+
+#include <string>
+
+#include "fix/fix.h"
+#include "fix/validate.h"
+
+namespace conair {
+class JsonWriter;
+}
+
+namespace conair::fix {
+
+/** Human-readable patch report (strategy, rationale, edit list, and —
+ *  when @p val is non-null — the validation evidence). */
+std::string renderPatchText(const FixPlan &plan,
+                            const ValidationResult *val = nullptr);
+
+/** Serialises the plan (+ optional validation) into an open writer
+ *  position as one JSON object; the caller owns the document. */
+void writePatchJson(JsonWriter &w, const FixPlan &plan,
+                    const ValidationResult *val = nullptr);
+
+/** A standalone pretty-printed JSON document. */
+std::string patchToJson(const FixPlan &plan,
+                        const ValidationResult *val = nullptr,
+                        int indent = 2);
+
+} // namespace conair::fix

@@ -1,0 +1,114 @@
+#include "fix/validate.h"
+
+#include "obs/replay/replay_run.h"
+#include "vm/interp.h"
+
+namespace conair::fix {
+
+namespace {
+
+bool
+meetsExpectations(const explore::Target &t, const vm::RunResult &r)
+{
+    if (r.outcome != vm::Outcome::Success)
+        return false;
+    if (t.checkOutput && r.output != t.expectedOutput)
+        return false;
+    return r.exitCode == t.expectedExit;
+}
+
+} // namespace
+
+ValidationResult
+validatePatch(const ir::Module &patched, const explore::Target &baseline,
+              const obs::replay::ReplayLog *minimizedLog,
+              const ValidationOptions &opts)
+{
+    ValidationResult res;
+
+    // Obligation 1: the minimized failing schedule, replayed tolerantly
+    // (the patch changed the instruction stream, so recorded switch
+    // steps land best-effort), must end correct on the patched build.
+    if (minimizedLog) {
+        res.replayChecked = true;
+        vm::RunResult r = obs::replay::replayTolerant(
+            patched, *minimizedLog, minimizedLog->switches,
+            minimizedLog->engine);
+        res.replayFailureGone = meetsExpectations(baseline, r);
+        res.replayDetail = vm::outcomeName(r.outcome);
+        if (!r.failureTag.empty())
+            res.replayDetail += " (" + r.failureTag + ")";
+        else if (r.outcome == vm::Outcome::Success &&
+                 !res.replayFailureGone)
+            res.replayDetail += " (wrong output)";
+        if (!res.replayFailureGone)
+            res.error = "minimized replay still fails on the patched "
+                        "build: " +
+                        res.replayDetail;
+    }
+
+    // Obligation 3 first: a livelocked patch would otherwise burn the
+    // whole campaign budget before being caught.
+    {
+        vm::RunResult base = vm::runProgram(*baseline.plain,
+                                            opts.cleanConfig);
+        vm::RunResult fixed = vm::runProgram(patched, opts.cleanConfig);
+        res.overheadChecked = true;
+        if (base.outcome != vm::Outcome::Success) {
+            res.error = "baseline clean run did not succeed";
+            return res;
+        }
+        if (!meetsExpectations(baseline, fixed)) {
+            res.overheadOk = false;
+            if (res.error.empty())
+                res.error = "patched clean run did not succeed: " +
+                            std::string(vm::outcomeName(fixed.outcome));
+            return res;
+        }
+        res.overhead = base.stats.steps == 0
+                           ? 0.0
+                           : double(fixed.stats.steps) /
+                                 double(base.stats.steps);
+        res.overheadOk = res.overhead <= opts.maxOverhead;
+        if (!res.overheadOk && res.error.empty())
+            res.error = "patched clean-run overhead exceeds bound";
+    }
+
+    // Obligation 2: full campaign matrix on the patched build, all
+    // differential oracles armed, nothing allowed to fail.
+    explore::Target t = baseline;
+    t.plain = &patched;
+    t.hardened = nullptr;
+    t.mustRecover = false;
+    t.horizon = explore::calibrateHorizon(patched,
+                                          opts.campaign.maxSteps);
+
+    explore::CampaignOptions copts = opts.campaign;
+    copts.differential = true;
+    copts.fusedDifferential = true;
+    copts.stopAfterFailures = 0;
+    copts.collectMetrics = false;
+    copts.diagnoseFailures = false;
+    copts.abortArtifactDir.clear();
+    copts.replayLogDir.clear();
+
+    explore::CampaignReport rep = explore::runCampaign({t}, copts);
+    const explore::TargetReport &tr = rep.targets[0];
+    res.campaignRan = true;
+    res.schedules = tr.schedules;
+    res.failing = tr.failingSchedules;
+    res.deadlocks = tr.deadlockSchedules;
+    res.divergences = tr.divergences;
+    res.inconclusive = tr.inconclusive;
+    if (res.error.empty()) {
+        if (res.failing > 0)
+            res.error = "patched build still fails under exploration";
+        else if (res.deadlocks > 0)
+            res.error = "patched build deadlocks under exploration";
+        else if (res.divergences > 0)
+            res.error = "patched build diverges across engines";
+    }
+    return res;
+}
+
+} // namespace conair::fix

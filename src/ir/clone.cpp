@@ -1,0 +1,20 @@
+#include "ir/clone.h"
+
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "support/diag.h"
+
+namespace conair::ir {
+
+std::unique_ptr<Module>
+cloneModule(const Module &m)
+{
+    DiagEngine diags;
+    std::unique_ptr<Module> copy = parseModule(printModule(m), diags);
+    if (!copy)
+        fatal("cloneModule: printed module failed to re-parse");
+    copy->setName(m.name());
+    return copy;
+}
+
+} // namespace conair::ir

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Deep module cloning.  Transforms that must not touch the original
+ * program (fix synthesis patches a copy and leaves the diagnosed build
+ * intact) clone through the printer/parser round trip, which the
+ * property tests pin as lossless — globals, initialisers, tags, block
+ * structure, and instruction payloads all survive.
+ */
+#pragma once
+
+#include <memory>
+
+#include "ir/module.h"
+
+namespace conair::ir {
+
+/** Deep-copies @p m.  fatal() if the printed form fails to re-parse
+ *  (an IR printer/parser bug, not an input error). */
+std::unique_ptr<Module> cloneModule(const Module &m);
+
+} // namespace conair::ir

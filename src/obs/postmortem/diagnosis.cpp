@@ -24,6 +24,20 @@ verdictName(Verdict v)
 }
 
 bool
+verdictFromName(const std::string &name, Verdict &out)
+{
+    for (Verdict v :
+         {Verdict::AtomicityViolation, Verdict::OrderViolation,
+          Verdict::LostUpdate, Verdict::Deadlock, Verdict::Unknown}) {
+        if (name == verdictName(v)) {
+            out = v;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
 verdictMatchesRootCause(Verdict v, const std::string &rootCause)
 {
     if (rootCause == "deadlock")
@@ -80,21 +94,6 @@ findInstByTag(const ir::Module &m, const std::string &tag)
             for (const auto &inst : bb->insts())
                 if (inst->tag() == tag)
                     return inst.get();
-    return nullptr;
-}
-
-/** Traces an address expression through PtrAdd chains to a global. */
-const ir::Global *
-globalRootOf(const ir::Value *addr)
-{
-    while (addr && addr->kind() == ir::ValueKind::Instruction) {
-        const auto *inst = static_cast<const ir::Instruction *>(addr);
-        if (inst->opcode() != ir::Opcode::PtrAdd)
-            return nullptr;
-        addr = inst->operand(0);
-    }
-    if (addr && addr->kind() == ir::ValueKind::GlobalAddr)
-        return static_cast<const ir::GlobalAddr *>(addr)->global();
     return nullptr;
 }
 
@@ -282,7 +281,7 @@ sliceCandidates(const ir::Module &m, const ir::Instruction *siteInst,
     for (const ir::Instruction *inst : slice.insts) {
         if (inst->opcode() != ir::Opcode::Load)
             continue;
-        if (const ir::Global *g = globalRootOf(inst->operand(0)))
+        if (const ir::Global *g = analysis::rootGlobal(inst->operand(0)))
             out.push_back(g->id());
     }
     std::sort(out.begin(), out.end());
@@ -364,7 +363,7 @@ diagnoseDeadlock(const TraceIndex &ix, const ir::Module &m,
     // dynamically from the thread's last block event.
     const ir::Global *mutexGlobal =
         siteInst && siteInst->numOperands() > 0
-            ? globalRootOf(siteInst->operand(0))
+            ? analysis::rootGlobal(siteInst->operand(0))
             : nullptr;
     uint64_t mutexBlock = UINT64_MAX;
     if (mutexGlobal)

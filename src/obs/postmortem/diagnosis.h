@@ -56,6 +56,11 @@ enum class Verdict : uint8_t {
 
 const char *verdictName(Verdict v);
 
+/** Inverse of verdictName ("lost-update" -> Verdict::LostUpdate);
+ *  returns false on an unrecognised name.  Round-trip is test-pinned
+ *  for every enumerator. */
+bool verdictFromName(const std::string &name, Verdict &out);
+
 /**
  * True when @p v is consistent with a Table 2 root-cause label as
  * printed by apps::rootCauseName ("A Vio.", "O Vio.", "A/O Vio.",

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Quick end-to-end validation of synthesized fixes on two kernels —
+ * one wait-for-value (ZSNES) and one existing-mutex lock-guard
+ * (MySQL1).  A trimmed campaign matrix keeps this in the quick label;
+ * the 250-seed sweep over all ten kernels is fix_validate_test.cpp.
+ */
+#include <gtest/gtest.h>
+
+#include "fix/fix.h"
+#include "fix/validate.h"
+#include "tests/fix/fix_test_util.h"
+
+namespace conair::fixtest {
+namespace {
+
+class FixValidateQuick : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FixValidateQuick, PatchMeetsEveryObligation)
+{
+    ScriptedFailure sf;
+    std::string err;
+    ASSERT_TRUE(
+        recordScriptedFailure(GetParam(), /*wantLog=*/true, sf, err))
+        << err;
+    fix::FixPlan plan = fix::synthesizeFix(*sf.target.plain, sf.report);
+    ASSERT_TRUE(plan.ok) << plan.error;
+
+    fix::ValidationOptions vopts;
+    vopts.campaign.seedsPerPolicy = 5;
+    vopts.campaign.workers = 4;
+    vopts.campaign.maxSteps = 2'000'000;
+    vopts.cleanConfig = sf.app.spec->cleanConfig;
+    fix::ValidationResult val =
+        fix::validatePatch(*plan.patched, sf.target, &sf.log, vopts);
+
+    EXPECT_TRUE(val.ok()) << val.error;
+    // Obligation 1: the minimised failing schedule is gone.
+    EXPECT_TRUE(val.replayChecked);
+    EXPECT_TRUE(val.replayFailureGone) << val.replayDetail;
+    // Obligation 2: nothing fails anywhere in the matrix, on any
+    // engine, and no deadlock was traded in.
+    EXPECT_TRUE(val.campaignRan);
+    EXPECT_GT(val.schedules, 0u);
+    EXPECT_EQ(val.failing, 0u);
+    EXPECT_EQ(val.deadlocks, 0u);
+    EXPECT_EQ(val.divergences, 0u);
+    // Obligation 3: the patch is not a livelock in disguise.
+    EXPECT_TRUE(val.overheadChecked);
+    EXPECT_TRUE(val.overheadOk);
+    EXPECT_LE(val.overhead, 1.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoKernels, FixValidateQuick,
+                         ::testing::Values("ZSNES", "MySQL1"),
+                         [](const auto &info) { return info.param; });
+
+TEST(FixValidateQuick2, UnpatchedBuildFailsValidation)
+{
+    // Control experiment: validating the *original* module against
+    // itself must trip the campaign obligation — the failing schedule
+    // still fails — proving the validator can actually say no.
+    ScriptedFailure sf;
+    std::string err;
+    ASSERT_TRUE(
+        recordScriptedFailure("ZSNES", /*wantLog=*/true, sf, err))
+        << err;
+    fix::ValidationOptions vopts;
+    vopts.campaign.seedsPerPolicy = 5;
+    vopts.campaign.workers = 4;
+    vopts.campaign.maxSteps = 2'000'000;
+    vopts.cleanConfig = sf.app.spec->cleanConfig;
+    fix::ValidationResult val =
+        fix::validatePatch(*sf.target.plain, sf.target, &sf.log, vopts);
+    EXPECT_FALSE(val.ok());
+    EXPECT_FALSE(val.replayFailureGone);
+}
+
+} // namespace
+} // namespace conair::fixtest

@@ -10,6 +10,8 @@
  * "A/O Vio." / deadlock).  This pins the whole chain: VM shared-access
  * events -> trace indexing -> backward-slice join -> verdict ladder.
  */
+#include <set>
+
 #include <gtest/gtest.h>
 
 #include "apps/harness.h"
@@ -162,6 +164,65 @@ TEST(Postmortem, VerdictTaxonomyMapping)
     EXPECT_FALSE(
         verdictMatchesRootCause(Verdict::Deadlock, "A/O Vio."));
     EXPECT_FALSE(verdictMatchesRootCause(Verdict::Unknown, "A Vio."));
+}
+
+TEST(Postmortem, VerdictNamesRoundTripExhaustively)
+{
+    using obs::pm::verdictFromName;
+    using obs::pm::verdictName;
+    const Verdict all[] = {
+        Verdict::AtomicityViolation, Verdict::OrderViolation,
+        Verdict::LostUpdate, Verdict::Deadlock, Verdict::Unknown};
+    // name -> verdict -> name is the identity for every enumerator,
+    // and all five names are distinct.
+    std::set<std::string> names;
+    for (Verdict v : all) {
+        std::string name = verdictName(v);
+        EXPECT_TRUE(names.insert(name).second)
+            << "duplicate verdict name " << name;
+        Verdict back = Verdict::Unknown;
+        ASSERT_TRUE(verdictFromName(name, back)) << name;
+        EXPECT_EQ(back, v) << name;
+    }
+    // Unrecognised names are rejected and leave the out-param alone.
+    Verdict out = Verdict::Deadlock;
+    EXPECT_FALSE(verdictFromName("", out));
+    EXPECT_FALSE(verdictFromName("race-condition", out));
+    EXPECT_FALSE(verdictFromName("Lost-Update", out)); // case-sensitive
+    EXPECT_EQ(out, Verdict::Deadlock);
+}
+
+TEST(Postmortem, VerdictTaxonomyTruthTableIsExhaustive)
+{
+    using obs::pm::verdictMatchesRootCause;
+    // Every (verdict, Table 2 root-cause label) cell, spelled out: the
+    // compatibility relation is part of the fix engine's dispatch
+    // contract, so no cell may drift silently.
+    struct Row
+    {
+        Verdict v;
+        bool deadlock, aVio, oVio, aoVio;
+    };
+    const Row table[] = {
+        {Verdict::AtomicityViolation, false, true, false, true},
+        {Verdict::OrderViolation, false, false, true, true},
+        {Verdict::LostUpdate, false, true, false, true},
+        {Verdict::Deadlock, true, false, false, false},
+        {Verdict::Unknown, false, false, false, false},
+    };
+    for (const Row &r : table) {
+        EXPECT_EQ(verdictMatchesRootCause(r.v, "deadlock"), r.deadlock)
+            << obs::pm::verdictName(r.v);
+        EXPECT_EQ(verdictMatchesRootCause(r.v, "A Vio."), r.aVio)
+            << obs::pm::verdictName(r.v);
+        EXPECT_EQ(verdictMatchesRootCause(r.v, "O Vio."), r.oVio)
+            << obs::pm::verdictName(r.v);
+        EXPECT_EQ(verdictMatchesRootCause(r.v, "A/O Vio."), r.aoVio)
+            << obs::pm::verdictName(r.v);
+        // Unknown labels match nothing.
+        EXPECT_FALSE(verdictMatchesRootCause(r.v, "B Vio."));
+        EXPECT_FALSE(verdictMatchesRootCause(r.v, ""));
+    }
 }
 
 TEST(Postmortem, PackedCellAddressRoundTrips)
