@@ -85,6 +85,18 @@
  *                 patch validated.  See docs/FIXING.md.
  *   --fix-json FILE
  *                 also write the patch + validation report as JSON
+ *   --serve PORT  campaign mode: serve live telemetry on
+ *                 127.0.0.1:PORT for the duration of the run —
+ *                 GET /metrics (Prometheus text exposition),
+ *                 GET /status (live campaign JSON), GET /coverage
+ *                 (interleaving-coverage edge dump).  PORT 0 binds an
+ *                 ephemeral port (printed, and written to
+ *                 --serve-port-file when given).  Serving is
+ *                 observational only; see docs/OBSERVABILITY.md,
+ *                 "Live telemetry endpoints".
+ *   --serve-port-file FILE
+ *                 write the bound telemetry port to FILE (CI uses
+ *                 this with --serve 0)
  *
  * Campaign mode additionally runs the fix pass on every kernel whose
  * failure it rediscovered and diagnosed; the per-kernel result lands
@@ -93,20 +105,26 @@
  */
 #include "bench/bench_util.h"
 
+#include <atomic>
+#include <chrono>
 #include <fstream>
 #include <thread>
 
 #include "explore/campaign.h"
+#include "explore/telemetry.h"
 #include "fix/fix.h"
 #include "fix/report.h"
 #include "fix/validate.h"
+#include "obs/coverage/coverage.h"
 #include "obs/postmortem/diagnosis.h"
+#include "obs/serve/http_server.h"
 #include "obs/replay/minimize.h"
 #include "obs/replay/replay_export.h"
 #include "obs/replay/replay_run.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "support/json.h"
+#include "support/str.h"
 #include "vm/interp.h"
 
 using namespace conair;
@@ -175,11 +193,24 @@ traceSchedule(const Target &target, const ScheduleSpec &s,
               const std::string &tracePath,
               const std::string &metricsPath, bool timeline)
 {
-    obs::FlightRecorder unhardenedRec(8192);
-    obs::FlightRecorder hardenedRec(8192);
+    // Diagnosis-grade recording (shared accesses on): the coverage
+    // fold below needs the access sites, and the campaign's coverage
+    // legs record the same way — so the cross-checked edge set here is
+    // the edge set the campaign counted.  Grown capacity to match.
+    obs::FlightRecorder unhardenedRec(65536);
+    obs::FlightRecorder hardenedRec(65536);
     ScheduleInstruments ins{&unhardenedRec, &hardenedRec};
+    ins.recordSharedAccesses = true;
     opts.collectMetrics = true;
     ScheduleOutcome o = runOneSchedule(target, s, opts, &ins);
+
+    // Fold the unhardened leg's interleaving coverage and annotate the
+    // recorder with it, so the trace artifact and timeline carry the
+    // coverage-novel / coverage-snapshot events (folding is post-run;
+    // it never touches execution).
+    obs::cov::CoverageFold cov = obs::cov::foldCoverage(unhardenedRec);
+    obs::cov::annotateRecorder(unhardenedRec, cov.edges,
+                               cov.edges.size());
 
     if (!tracePath.empty()) {
         std::vector<obs::TraceProcess> procs = {
@@ -258,6 +289,36 @@ traceSchedule(const Target &target, const ScheduleSpec &s,
                     (unsigned long long)st.rollbacks,
                     (unsigned long long)st.checkpointsExecuted,
                     st.recoveries.size());
+
+    // Coverage cross-check, same spirit: re-fold the trace
+    // independently (annotation events are skipped by the folder, so
+    // the annotated recorder re-folds to the same set) and feed a
+    // fresh CoverageMap — the map's novel-insert delta and digest must
+    // both equal the fold's, and a mismatch names which one diverged.
+    obs::cov::CoverageFold refold =
+        obs::cov::foldCoverage(unhardenedRec);
+    obs::cov::CoverageMap covMap(1024);
+    uint64_t mapDelta = covMap.insertAll(refold.edges);
+    if (mapDelta != refold.edges.size()) {
+        std::printf("coverage cross-check: coverage-edges DIVERGED "
+                    "(map delta %llu, trace fold %zu)\n",
+                    (unsigned long long)mapDelta, refold.edges.size());
+        ok = false;
+    }
+    if (covMap.digest() != obs::cov::coverageDigest(refold.edges)) {
+        std::printf("coverage cross-check: coverage-digest DIVERGED "
+                    "(map %016llx, trace fold %016llx)\n",
+                    (unsigned long long)covMap.digest(),
+                    (unsigned long long)obs::cov::coverageDigest(
+                        refold.edges));
+        ok = false;
+    }
+    if (mapDelta == refold.edges.size() &&
+        covMap.digest() == obs::cov::coverageDigest(refold.edges))
+        std::printf("coverage cross-check: trace fold == map delta "
+                    "(%zu distinct edges, digest %016llx)\n",
+                    refold.edges.size(),
+                    (unsigned long long)covMap.digest());
     return ok;
 }
 
@@ -854,6 +915,10 @@ main(int argc, char **argv)
     unsigned seeds =
         argUnsigned(argc, argv, "--seeds", smoke ? 40 : 250);
     unsigned workers = argUnsigned(argc, argv, "--workers", 4);
+    const bool serve = hasFlag(argc, argv, "--serve");
+    const unsigned servePort = argUnsigned(argc, argv, "--serve", 0);
+    const std::string servePortFile =
+        argString(argc, argv, "--serve-port-file", "");
 
     std::vector<std::string> names =
         splitList(argString(argc, argv, "--apps", ""));
@@ -908,6 +973,54 @@ main(int argc, char **argv)
         // CI cares about the oracle plumbing, not exhaustiveness.
         opts.stopAfterFailures = 1;
         opts.maxSteps = 2'000'000;
+    }
+    // Interleaving coverage is always folded in campaign mode: the
+    // kernels[].coverage aggregates below (and the full-mode gate on
+    // them) want nonzero distinct-edge counts for every kernel.
+    opts.collectCoverage = true;
+
+    // --serve: embedded telemetry endpoints for the campaign's
+    // lifetime.  The telemetry sink is observational only — workers
+    // publish into it, readers snapshot out of it, and the
+    // deterministic report never touches it.
+    CampaignTelemetry telemetry;
+    obs::serve::HttpServer server;
+    if (serve) {
+        server.route("/metrics", [&telemetry] {
+            obs::serve::HttpResponse r;
+            r.contentType =
+                "text/plain; version=0.0.4; charset=utf-8";
+            r.body = telemetry.prometheusText();
+            return r;
+        });
+        server.route("/status", [&telemetry] {
+            obs::serve::HttpResponse r;
+            r.contentType = "application/json";
+            r.body = telemetry.statusJson() + "\n";
+            return r;
+        });
+        server.route("/coverage", [&telemetry] {
+            obs::serve::HttpResponse r;
+            r.contentType = "application/json";
+            r.body = telemetry.coverageJson() + "\n";
+            return r;
+        });
+        std::string err;
+        if (servePort > 65535 ||
+            !server.start(uint16_t(servePort), err)) {
+            std::fprintf(stderr, "--serve: %s\n",
+                         servePort > 65535 ? "port out of range"
+                                           : err.c_str());
+            return 2;
+        }
+        std::printf("serving telemetry on 127.0.0.1:%u "
+                    "(/metrics /status /coverage)\n",
+                    unsigned(server.port()));
+        if (!servePortFile.empty() &&
+            !writeFile(servePortFile,
+                       std::to_string(server.port()) + "\n"))
+            return 2;
+        opts.telemetry = &telemetry;
     }
 
     std::printf("campaign: %zu kernels x %zu policies x %u seeds, "
@@ -975,6 +1088,10 @@ main(int argc, char **argv)
         // validation campaign must not stop early (it expects zero
         // failures), so just trim its seed budget instead.
         vopts.campaign.stopAfterFailures = 0;
+        // The validation re-run is a sub-campaign: keep it out of the
+        // live /status counters and skip its coverage folds.
+        vopts.campaign.telemetry = nullptr;
+        vopts.campaign.collectCoverage = false;
         if (smoke)
             vopts.campaign.seedsPerPolicy =
                 std::min(opts.seedsPerPolicy, 12u);
@@ -1010,6 +1127,9 @@ main(int argc, char **argv)
         sopts.seedsPerPolicy = smoke ? 6 : 25;
         sopts.policies = {{vm::SchedPolicy::Pct, 3}};
         sopts.stopAfterFailures = 0;
+        // A timing measurement: no live telemetry, no coverage folds.
+        sopts.telemetry = nullptr;
+        sopts.collectCoverage = false;
         std::vector<Target> sub(targets.begin(),
                                 targets.begin() +
                                     std::min<size_t>(targets.size(), 2));
@@ -1024,6 +1144,63 @@ main(int argc, char **argv)
         std::printf("parallel speedup (%u workers vs 1): %.2fx "
                     "(%.1f -> %.1f sched/s, %u hardware threads)\n\n",
                     workers, speedup, base_sps, par_sps, hw);
+    }
+
+    // Scrape-pressure guard: the same fixed sub-campaign bare, then
+    // with 64 threads hammering /metrics throughout — the workers'
+    // schedules/sec should not care (the handlers only read snapshots).
+    // Informational, not exit-gated: on an oversubscribed CI box the
+    // scrapers and workers time-slice the same cores, so the ratio is
+    // recorded (with hw_threads) rather than asserted.
+    bool guardRan = false;
+    double guard_bare_sps = 0, guard_load_sps = 0, guard_ratio = 0;
+    uint64_t guard_scrapes = 0;
+    if (serve) {
+        CampaignOptions gopts = opts;
+        gopts.seedsPerPolicy = smoke ? 6 : 25;
+        gopts.policies = {{vm::SchedPolicy::Pct, 3}};
+        gopts.stopAfterFailures = 0;
+        gopts.telemetry = nullptr;
+        gopts.collectCoverage = false;
+        std::vector<Target> sub(targets.begin(),
+                                targets.begin() +
+                                    std::min<size_t>(targets.size(), 2));
+        CampaignReport bare = runCampaign(sub, gopts);
+
+        std::atomic<bool> stopScrape{false};
+        std::atomic<uint64_t> scrapes{0};
+        std::vector<std::thread> scrapers;
+        scrapers.reserve(64);
+        for (int i = 0; i < 64; ++i)
+            scrapers.emplace_back([&] {
+                while (!stopScrape.load(std::memory_order_relaxed)) {
+                    int status = 0;
+                    std::string body, err;
+                    if (obs::serve::httpGet(server.port(), "/metrics",
+                                            status, body, err) &&
+                        status == 200)
+                        scrapes.fetch_add(1,
+                                          std::memory_order_relaxed);
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                }
+            });
+        CampaignReport loaded = runCampaign(sub, gopts);
+        stopScrape.store(true);
+        for (auto &th : scrapers)
+            th.join();
+
+        guardRan = true;
+        guard_bare_sps = bare.schedulesPerSec;
+        guard_load_sps = loaded.schedulesPerSec;
+        guard_scrapes = scrapes.load();
+        if (guard_bare_sps > 0)
+            guard_ratio = guard_load_sps / guard_bare_sps;
+        std::printf("serve guard: %.1f sched/s bare vs %.1f under 64 "
+                    "concurrent /metrics scrapers (%.2fx, %llu "
+                    "scrapes)\n\n",
+                    guard_bare_sps, guard_load_sps, guard_ratio,
+                    (unsigned long long)guard_scrapes);
     }
 
     // BENCH_explore.json.
@@ -1047,6 +1224,15 @@ main(int argc, char **argv)
     w.key("parallel_sched_per_sec").value(par_sps, "%.1f");
     w.key("speedup").value(speedup, "%.2f");
     w.endObject();
+    if (guardRan) {
+        w.key("serve_guard").beginObject();
+        w.key("scrapers").value(64);
+        w.key("scrapes").value(guard_scrapes);
+        w.key("bare_sched_per_sec").value(guard_bare_sps, "%.1f");
+        w.key("loaded_sched_per_sec").value(guard_load_sps, "%.1f");
+        w.key("ratio").value(guard_ratio, "%.2f");
+        w.endObject();
+    }
     w.key("kernels").beginArray();
     for (const TargetReport &tr : rep.targets) {
         w.beginObject();
@@ -1068,6 +1254,27 @@ main(int argc, char **argv)
         w.key("hardened_inconclusive").value(tr.hardenedInconclusive);
         w.key("chaos_runs").value(tr.chaosRuns);
         w.key("chaos_rollbacks").value(tr.chaosRollbacks);
+        if (tr.hasCoverage) {
+            w.key("coverage").beginObject();
+            w.key("distinct_edges").value(tr.coverageDistinctEdges);
+            w.key("novel_schedules").value(tr.coverageNovelSchedules);
+            w.key("novelty_rate")
+                .value(tr.coverageNoveltyRate, "%.4f");
+            w.key("edges_at_first_failure")
+                .value(tr.coverageEdgesAtFirstFailure);
+            w.key("digest").value(
+                strfmt("%016llx",
+                       (unsigned long long)tr.coverageDigest));
+            w.key("growth").beginArray();
+            for (const auto &[sched, edges] : tr.coverageGrowth) {
+                w.beginArray();
+                w.value(sched);
+                w.value(edges);
+                w.endArray();
+            }
+            w.endArray();
+            w.endObject();
+        }
         writeMetricsJson(w, tr);
         if (tr.hasDiagnosis) {
             w.key("diagnosis_leg").value(tr.diagnosisLeg);
@@ -1175,6 +1382,17 @@ main(int argc, char **argv)
                              tr.name.c_str());
                 rc = 1;
             }
+        // Every kernel's schedules must have exercised at least one
+        // interleaving edge — an all-zero map means the coverage
+        // plumbing broke, not that the kernel is boring.
+        for (const TargetReport &tr : rep.targets)
+            if (tr.hasCoverage && tr.coverageDistinctEdges == 0) {
+                std::fprintf(stderr,
+                             "FAIL: %s: zero distinct coverage "
+                             "edges\n",
+                             tr.name.c_str());
+                rc = 1;
+            }
         // Close-the-loop gate: every rediscovered failure must end in
         // a synthesized, fully validated patch.
         for (const TargetReport &tr : rep.targets)
@@ -1184,6 +1402,13 @@ main(int argc, char **argv)
                              tr.name.c_str(), tr.fix.error.c_str());
                 rc = 1;
             }
+    }
+    if (serve) {
+        std::printf("telemetry server: %llu requests served, %llu "
+                    "bad\n",
+                    (unsigned long long)server.requestsServed(),
+                    (unsigned long long)server.badRequests());
+        server.stop();
     }
     return rc;
 }

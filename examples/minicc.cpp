@@ -33,6 +33,14 @@
  *     --diagnose           run in diagnosis recording mode and print a
  *                          postmortem root-cause report (racy pair,
  *                          interleaving diagram, verdict) to stderr
+ *     --serve PORT         after the run, expose its telemetry on
+ *                          127.0.0.1:PORT — GET /metrics (Prometheus
+ *                          text), /status (run summary JSON),
+ *                          /coverage (interleaving-coverage edge dump)
+ *                          — then shut down after --serve-seconds.
+ *                          PORT 0 binds an ephemeral port (printed to
+ *                          stderr).  Implies diagnosis-grade recording.
+ *     --serve-seconds N    how long --serve stays up (default 5)
  *
  * Example (examples/data/racy_counter.mc ships with the repo):
  *   minicc --conair --delay 1:5000 examples/data/racy_counter.mc
@@ -40,11 +48,13 @@
  *   minicc --app ZSNES --diagnose
  *   minicc --app ZSNES --fix --print-ir
  */
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "apps/harness.h"
 #include "conair/driver.h"
@@ -52,10 +62,14 @@
 #include "fix/report.h"
 #include "frontend/compile.h"
 #include "ir/printer.h"
+#include "obs/coverage/coverage.h"
 #include "obs/metrics.h"
 #include "obs/postmortem/diagnosis.h"
+#include "obs/serve/http_server.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
+#include "support/json.h"
+#include "support/str.h"
 #include "vm/interp.h"
 
 using namespace conair;
@@ -74,6 +88,7 @@ usage()
                  "[--max-steps N]\n"
                  "              [--trace FILE] [--metrics FILE] "
                  "[--timeline] [--diagnose]\n"
+                 "              [--serve PORT [--serve-seconds N]]\n"
                  "              file.mc | --app NAME\n");
 }
 
@@ -92,6 +107,112 @@ writeArtifact(const std::string &path, const std::string &content,
     return true;
 }
 
+/**
+ * --serve: post-run telemetry exposition.  The run is already done —
+ * the handlers render snapshots of its recorder fold and metrics
+ * registry, so serving cannot perturb anything.  Blocks for
+ * @p seconds, then shuts the server down.
+ */
+int
+serveRunTelemetry(unsigned port, unsigned seconds,
+                  const std::string &name, const vm::RunResult &run,
+                  const obs::FlightRecorder &recorder,
+                  const obs::MetricsRegistry &metrics)
+{
+    obs::cov::CoverageFold cov = obs::cov::foldCoverage(recorder);
+
+    std::string prom = metrics.toPrometheusText();
+    auto gauge = [&prom](const char *n, const char *help, uint64_t v) {
+        prom += strfmt("# HELP %s %s\n# TYPE %s gauge\n%s %llu\n", n,
+                       help, n, n, (unsigned long long)v);
+    };
+    gauge("conair_run_steps", "Instructions the run executed.",
+          run.stats.steps);
+    gauge("conair_run_rollbacks", "ConAir rollbacks during the run.",
+          run.stats.rollbacks);
+    gauge("conair_coverage_distinct_edges",
+          "Distinct interleaving-coverage edges in the run's trace.",
+          cov.edges.size());
+
+    JsonWriter sw(2);
+    sw.beginObject();
+    sw.key("run").beginObject();
+    sw.key("program").value(name);
+    sw.key("outcome").value(vm::outcomeName(run.outcome));
+    sw.key("exit_code").value(int64_t(run.exitCode));
+    sw.key("steps").value(run.stats.steps);
+    sw.key("clock").value(run.clock);
+    sw.key("rollbacks").value(run.stats.rollbacks);
+    sw.key("recoveries").value(uint64_t(run.stats.recoveries.size()));
+    sw.endObject();
+    sw.key("coverage").beginObject();
+    sw.key("distinct_edges").value(uint64_t(cov.edges.size()));
+    sw.key("by_kind").beginObject();
+    for (size_t k = 0; k < obs::cov::kEdgeKindCount; ++k)
+        sw.key(obs::cov::edgeKindName(obs::cov::EdgeKind(k)))
+            .value(cov.perKind[k]);
+    sw.endObject();
+    sw.endObject();
+    sw.endObject();
+    std::string status = sw.str() + "\n";
+
+    JsonWriter cw(2);
+    cw.beginObject();
+    cw.key("distinct_edges").value(uint64_t(cov.edges.size()));
+    cw.key("digest").value(
+        strfmt("%016llx",
+               (unsigned long long)obs::cov::coverageDigest(cov.edges)));
+    cw.key("edges").beginArray();
+    for (const obs::cov::Edge &e : cov.edges) {
+        cw.beginObject();
+        cw.key("key").value(
+            strfmt("%016llx", (unsigned long long)e.key));
+        cw.key("kind").value(obs::cov::edgeKindName(e.kind));
+        cw.key("from").value(
+            strfmt("%016llx", (unsigned long long)e.from));
+        cw.key("to").value(strfmt("%016llx", (unsigned long long)e.to));
+        cw.endObject();
+    }
+    cw.endArray();
+    cw.endObject();
+    std::string coverage = cw.str() + "\n";
+
+    obs::serve::HttpServer server;
+    server.route("/metrics", [prom] {
+        obs::serve::HttpResponse r;
+        r.contentType = "text/plain; version=0.0.4; charset=utf-8";
+        r.body = prom;
+        return r;
+    });
+    server.route("/status", [status] {
+        obs::serve::HttpResponse r;
+        r.contentType = "application/json";
+        r.body = status;
+        return r;
+    });
+    server.route("/coverage", [coverage] {
+        obs::serve::HttpResponse r;
+        r.contentType = "application/json";
+        r.body = coverage;
+        return r;
+    });
+    std::string err;
+    if (port > 65535 || !server.start(uint16_t(port), err)) {
+        std::fprintf(stderr, "minicc: --serve: %s\n",
+                     port > 65535 ? "port out of range" : err.c_str());
+        return 2;
+    }
+    std::fprintf(stderr,
+                 "; serving run telemetry on 127.0.0.1:%u for %u "
+                 "second(s) (/metrics /status /coverage)\n",
+                 unsigned(server.port()), seconds);
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    server.stop();
+    std::fprintf(stderr, "; telemetry server: %llu requests served\n",
+                 (unsigned long long)server.requestsServed());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -100,6 +221,8 @@ main(int argc, char **argv)
     std::string path, appName, tracePath, metricsPath;
     bool conair = false, print_ir = false, report = false;
     bool timeline = false, diagnose = false, fixSynth = false;
+    bool serve = false;
+    unsigned servePort = 0, serveSeconds = 5;
     ca::ConAirOptions copts;
     vm::VmConfig cfg;
     cfg.seed = 1;
@@ -150,6 +273,12 @@ main(int argc, char **argv)
             timeline = true;
         } else if (arg == "--diagnose") {
             diagnose = true;
+        } else if (arg == "--serve") {
+            serve = true;
+            servePort = unsigned(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--serve-seconds") {
+            serveSeconds =
+                unsigned(std::strtoul(next(), nullptr, 10));
         } else if (arg == "--delay") {
             std::string spec = next();
             size_t colon = spec.find(':');
@@ -174,10 +303,13 @@ main(int argc, char **argv)
 
     // Shared observability hooks for both run paths.  Diagnosis mode
     // needs a deep ring: shared accesses are ~1 event per sched tick.
-    obs::FlightRecorder recorder(diagnose ? 65536 : 8192);
+    // --serve records diagnosis-grade too — shared accesses are the
+    // interleaving-coverage sites its /coverage endpoint folds.
+    const bool recordShared = diagnose || serve;
+    obs::FlightRecorder recorder(recordShared ? 65536 : 8192);
     obs::MetricsRegistry metrics;
     const bool observe = !tracePath.empty() || !metricsPath.empty() ||
-                         timeline || diagnose;
+                         timeline || diagnose || serve;
 
     if (!appName.empty()) {
         // Bundled bug kernel under its failure-forcing schedule, with
@@ -244,7 +376,7 @@ main(int argc, char **argv)
             apps::prepareApp(*spec, apps::HardenOptions{});
         vm::RunResult run =
             apps::runBuggy(p, cfg.seed, observe ? &recorder : nullptr,
-                           observe ? &metrics : nullptr, diagnose);
+                           observe ? &metrics : nullptr, recordShared);
         std::fputs(run.output.c_str(), stdout);
         std::fprintf(stderr,
                      "; %s: %s, %llu rollback(s), %zu recovery "
@@ -269,6 +401,10 @@ main(int argc, char **argv)
         if (!metricsPath.empty() &&
             !writeArtifact(metricsPath, metrics.toJson() + "\n",
                            "metrics"))
+            return 2;
+        if (serve &&
+            serveRunTelemetry(servePort, serveSeconds, appName, run,
+                              recorder, metrics) != 0)
             return 2;
         return run.outcome == vm::Outcome::Success
                    ? int(run.exitCode & 0xff)
@@ -312,7 +448,7 @@ main(int argc, char **argv)
     if (observe) {
         cfg.recorder = &recorder;
         cfg.metrics = &metrics;
-        cfg.recordSharedAccesses = diagnose;
+        cfg.recordSharedAccesses = recordShared;
     }
     vm::RunResult run = vm::runProgram(*module, cfg);
     std::fputs(run.output.c_str(), stdout);
@@ -330,6 +466,9 @@ main(int argc, char **argv)
         return 2;
     if (!metricsPath.empty() &&
         !writeArtifact(metricsPath, metrics.toJson() + "\n", "metrics"))
+        return 2;
+    if (serve && serveRunTelemetry(servePort, serveSeconds, path, run,
+                                   recorder, metrics) != 0)
         return 2;
     if (run.outcome != vm::Outcome::Success) {
         std::fprintf(stderr, "minicc: %s: %s\n",

@@ -7,9 +7,11 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <set>
 #include <thread>
 
+#include "explore/telemetry.h"
 #include "ir/module.h"
 #include "obs/replay/minimize.h"
 #include "obs/trace.h"
@@ -244,7 +246,23 @@ runOneSchedule(const Target &t, const ScheduleSpec &s,
         plainCfg.recorder = ins->unhardened;
         plainCfg.recordSharedAccesses = ins->recordSharedAccesses;
     }
+    // Coverage rides on a private ring recorder when the caller didn't
+    // attach one of its own, in diagnosis recording mode: shared
+    // loads/stores are the interleaving sites (lock-free kernels emit
+    // nothing else between switches).  The Reference/Fused replicas
+    // below run bare either way, so their tick identity against this
+    // leg keeps proving — on every single schedule — that recording
+    // (and hence coverage collection) is passive.
+    std::optional<obs::FlightRecorder> covRec;
+    if (opts.collectCoverage && !plainCfg.recorder) {
+        covRec.emplace(8192);
+        plainCfg.recorder = &*covRec;
+        plainCfg.recordSharedAccesses = true;
+    }
     vm::RunResult u = vm::runProgram(*t.plain, plainCfg);
+    if (opts.collectCoverage && plainCfg.recorder)
+        out.coverage =
+            obs::cov::foldCoverage(*plainCfg.recorder).edges;
     out.unhardened = u.outcome;
     out.unhardenedCorrect = correctRun(t, u);
     out.unhardenedInconclusive = u.outcome == vm::Outcome::Timeout;
@@ -370,7 +388,11 @@ runCampaign(const std::vector<Target> &targets,
     std::vector<std::atomic<uint64_t>> failCount(targets.size());
     std::atomic<size_t> next{0};
 
-    auto work = [&] {
+    unsigned workers = std::max(1u, opts.workers);
+    if (opts.telemetry)
+        opts.telemetry->beginCampaign(jobs.size(), workers);
+
+    auto work = [&](unsigned worker) {
         for (;;) {
             size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size())
@@ -380,6 +402,8 @@ runCampaign(const std::vector<Target> &targets,
                 failCount[j.target].load(std::memory_order_relaxed) >=
                     opts.stopAfterFailures) {
                 results[i].spec = j.spec; // ran stays false
+                if (opts.telemetry)
+                    opts.telemetry->noteSchedule(worker, results[i]);
                 continue;
             }
             results[i] =
@@ -387,18 +411,21 @@ runCampaign(const std::vector<Target> &targets,
             if (isFailingSchedule(results[i]))
                 failCount[j.target].fetch_add(
                     1, std::memory_order_relaxed);
+            // Live telemetry only — the deterministic report below
+            // still aggregates from `results` in matrix order.
+            if (opts.telemetry)
+                opts.telemetry->noteSchedule(worker, results[i]);
         }
     };
 
-    unsigned workers = std::max(1u, opts.workers);
     auto t0 = std::chrono::steady_clock::now();
     if (workers == 1 || jobs.size() <= 1) {
-        work();
+        work(0);
     } else {
         std::vector<std::thread> pool;
         pool.reserve(workers);
         for (unsigned w = 0; w < workers; ++w)
-            pool.emplace_back(work);
+            pool.emplace_back(work, w);
         for (auto &th : pool)
             th.join();
     }
@@ -409,6 +436,10 @@ runCampaign(const std::vector<Target> &targets,
     CampaignReport rep;
     rep.targets.resize(targets.size());
     std::vector<std::set<std::string>> tags(targets.size());
+    // Distinct interleaving-edge keys per target, accumulated in
+    // matrix order — std::set iterates sorted, which is exactly the
+    // order coverageDigest() wants.
+    std::vector<std::set<uint64_t>> covKeys(targets.size());
     for (size_t ti = 0; ti < targets.size(); ++ti) {
         rep.targets[ti].name = targets[ti].name;
         if (opts.collectMetrics)
@@ -431,6 +462,27 @@ runCampaign(const std::vector<Target> &targets,
         rep.vmRuns += 1 + (opts.differential ? 1 : 0) +
                       ((opts.fusedDifferential && !o.diverged) ? 1 : 0);
 
+        if (opts.collectCoverage) {
+            bool novel = false;
+            for (const obs::cov::Edge &e : o.coverage)
+                novel |= covKeys[j.target].insert(e.key).second;
+            if (novel) {
+                ++tr.coverageNovelSchedules;
+                tr.coverageGrowth.emplace_back(
+                    tr.schedules, covKeys[j.target].size());
+                if (tr.coverageGrowth.size() > 512) {
+                    // Thin by two, keeping the newest point exact.
+                    auto &g = tr.coverageGrowth;
+                    std::vector<std::pair<uint64_t, uint64_t>> kept;
+                    for (size_t k = 0; k < g.size(); k += 2)
+                        kept.push_back(g[k]);
+                    if (kept.back() != g.back())
+                        kept.push_back(g.back());
+                    g.swap(kept);
+                }
+            }
+        }
+
         if (o.unhardenedInconclusive) {
             ++tr.inconclusive;
         } else if (!o.unhardenedCorrect) {
@@ -445,6 +497,10 @@ runCampaign(const std::vector<Target> &targets,
                 tr.foundFailure = true;
                 tr.firstFailure = o.spec;
                 tr.firstFailureSeedBudget = j.seedOrdinal;
+                // Includes the failing schedule's own edges — the
+                // coverage block above ran first.
+                tr.coverageEdgesAtFirstFailure =
+                    covKeys[j.target].size();
             }
         }
 
@@ -490,6 +546,17 @@ runCampaign(const std::vector<Target> &targets,
         rep.totalSteps += tr.totalSteps;
         rep.divergences += tr.divergences;
         rep.unrecovered += tr.unrecovered;
+        if (opts.collectCoverage) {
+            tr.hasCoverage = true;
+            tr.coverageDistinctEdges = covKeys[ti].size();
+            if (tr.schedules > 0)
+                tr.coverageNoveltyRate =
+                    double(tr.coverageNovelSchedules) /
+                    double(tr.schedules);
+            std::vector<uint64_t> keys(covKeys[ti].begin(),
+                                       covKeys[ti].end());
+            tr.coverageDigest = obs::cov::coverageDigest(keys);
+        }
     }
     // Post-aggregation observability passes.  Both replay one schedule
     // per target *outside* the worker pool, so every aggregate above
@@ -633,6 +700,12 @@ runCampaign(const std::vector<Target> &targets,
             tr.hasReplayLog = true;
             if (!res.ok)
                 tr.replayError = res.err;
+        }
+        if (opts.telemetry) {
+            uint64_t corpus = 0;
+            for (const TargetReport &tr : rep.targets)
+                corpus += tr.hasReplayLog;
+            opts.telemetry->noteCorpusSize(corpus);
         }
     }
 

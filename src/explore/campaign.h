@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "explore/schedule.h"
+#include "obs/coverage/coverage.h"
 #include "obs/metrics.h"
 #include "obs/postmortem/diagnosis.h"
 #include "vm/stats.h"
@@ -41,6 +42,8 @@ class FlightRecorder;
 }
 
 namespace conair::explore {
+
+class CampaignTelemetry;
 
 /** One program entered in a campaign (modules are borrowed and must
  *  outlive the run; they are read-only and shared across workers). */
@@ -148,6 +151,26 @@ struct CampaignOptions
      * diagnosis pass.  Empty = off.
      */
     std::string replayLogDir;
+
+    /**
+     * Fold an interleaving-coverage edge set out of every unhardened
+     * Decoded leg (src/obs/coverage/): the leg runs with a private
+     * FlightRecorder attached — recording is passive, and the bare
+     * Reference/Fused replicas re-verify that on every schedule — and
+     * the post-run fold lands in ScheduleOutcome::coverage.  Per-target
+     * aggregates (distinct edges, novelty, digest, growth curve) are
+     * computed in matrix order like every other report field.
+     */
+    bool collectCoverage = false;
+
+    /**
+     * Live telemetry sink for the embedded /metrics, /status, and
+     * /coverage endpoints (src/explore/telemetry.h).  Borrowed, may be
+     * null.  Workers publish each finished schedule into it as they
+     * go; it never feeds back into the campaign, so the deterministic
+     * report is unaffected.
+     */
+    CampaignTelemetry *telemetry = nullptr;
 };
 
 /** Everything one explored schedule produced. */
@@ -185,6 +208,11 @@ struct ScheduleOutcome
 
     /** Hardened-leg metrics (populated when opts.collectMetrics). */
     obs::MetricsRegistry metrics;
+
+    /** Interleaving-coverage edges folded from the unhardened Decoded
+     *  leg's trace (populated when opts.collectCoverage): deduplicated
+     *  per run, each stamped with its first discovery, sorted by key. */
+    std::vector<obs::cov::Edge> coverage;
 };
 
 /**
@@ -323,6 +351,30 @@ struct TargetReport
      *  engine (record-under-Decoded, replay-under-Fused oracle). */
     bool replayCrossEngineVerified = false;
     std::string replayError; ///< non-empty when the pass failed
+    /** @} */
+
+    /**
+     * @name Interleaving coverage (only when
+     * CampaignOptions::collectCoverage): per-target aggregates over
+     * the schedules' edge sets, computed in matrix order — identical
+     * for any worker count, pinned by the campaign coverage test.
+     * @{
+     */
+    bool hasCoverage = false;
+    uint64_t coverageDistinctEdges = 0;
+    /** Schedules that contributed at least one never-seen edge. */
+    uint64_t coverageNovelSchedules = 0;
+    /** coverageNovelSchedules / schedules (0 when no schedules ran). */
+    double coverageNoveltyRate = 0;
+    /** Distinct edges accumulated when the first failing schedule (in
+     *  matrix order) finished; 0 when no failure was found. */
+    uint64_t coverageEdgesAtFirstFailure = 0;
+    /** FNV-1a over the sorted distinct edge keys — deterministic
+     *  across runs and worker counts. */
+    uint64_t coverageDigest = 0;
+    /** (schedule#, distinctEdges) samples in matrix order, one per
+     *  novel schedule (thinned to stay bounded). */
+    std::vector<std::pair<uint64_t, uint64_t>> coverageGrowth;
     /** @} */
 
     /** Fix-synthesis pass results (filled by bench_explore after the

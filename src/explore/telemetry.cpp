@@ -1,0 +1,214 @@
+#include "explore/telemetry.h"
+
+#include <algorithm>
+
+#include "explore/campaign.h"
+#include "support/json.h"
+#include "support/str.h"
+
+namespace conair::explore {
+
+namespace {
+
+/** Growth-curve cap: beyond it every other sample is dropped, so the
+ *  curve stays a bounded sketch however long the campaign runs. */
+constexpr size_t kMaxGrowthSamples = 512;
+
+} // namespace
+
+void
+CampaignTelemetry::beginCampaign(uint64_t totalJobs, unsigned workers)
+{
+    total_.store(totalJobs, std::memory_order_relaxed);
+    done_.store(0, std::memory_order_relaxed);
+    failures_.store(0, std::memory_order_relaxed);
+    workerCount_ = std::max(1u, workers);
+    workers_ = std::make_unique<WorkerCell[]>(workerCount_);
+    start_ = std::chrono::steady_clock::now();
+}
+
+void
+CampaignTelemetry::noteSchedule(unsigned worker,
+                                const ScheduleOutcome &o)
+{
+    uint64_t done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (worker < workerCount_ && workers_)
+        workers_[worker].schedules.fetch_add(
+            1, std::memory_order_relaxed);
+    if (o.ran && !o.unhardenedCorrect && !o.unhardenedInconclusive)
+        failures_.fetch_add(1, std::memory_order_relaxed);
+
+    uint64_t novel = coverage_.insertAll(o.coverage);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!o.metrics.empty())
+        metrics_.merge(o.metrics);
+    if (novel > 0) {
+        growth_.emplace_back(done, coverage_.distinctEdges());
+        if (growth_.size() > kMaxGrowthSamples) {
+            // Thin by two, keeping the newest point exact.
+            std::vector<std::pair<uint64_t, uint64_t>> kept;
+            kept.reserve(growth_.size() / 2 + 1);
+            for (size_t i = 0; i < growth_.size(); i += 2)
+                kept.push_back(growth_[i]);
+            if (kept.back() != growth_.back())
+                kept.push_back(growth_.back());
+            growth_.swap(kept);
+        }
+    }
+}
+
+void
+CampaignTelemetry::noteCorpusSize(uint64_t n)
+{
+    corpus_.store(n, std::memory_order_relaxed);
+}
+
+uint64_t
+CampaignTelemetry::schedulesDone() const
+{
+    return done_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+CampaignTelemetry::failuresFound() const
+{
+    return failures_.load(std::memory_order_relaxed);
+}
+
+std::string
+CampaignTelemetry::statusJson() const
+{
+    double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    uint64_t done = done_.load(std::memory_order_relaxed);
+
+    JsonWriter w(2);
+    w.beginObject();
+    w.key("campaign").beginObject();
+    w.key("schedules_done").value(done);
+    w.key("schedules_total")
+        .value(total_.load(std::memory_order_relaxed));
+    w.key("failures_found")
+        .value(failures_.load(std::memory_order_relaxed));
+    w.key("corpus_size").value(corpus_.load(std::memory_order_relaxed));
+    w.key("elapsed_seconds").value(elapsed, "%.3f");
+    w.key("schedules_per_sec")
+        .value(elapsed > 0 ? double(done) / elapsed : 0.0, "%.1f");
+    w.key("workers").beginArray();
+    for (unsigned i = 0; i < workerCount_; ++i) {
+        uint64_t n =
+            workers_ ? workers_[i].schedules.load(
+                           std::memory_order_relaxed)
+                     : 0;
+        w.beginObject();
+        w.key("worker").value(uint64_t(i));
+        w.key("schedules").value(n);
+        w.key("schedules_per_sec")
+            .value(elapsed > 0 ? double(n) / elapsed : 0.0, "%.1f");
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.key("coverage").beginObject();
+    w.key("distinct_edges").value(coverage_.distinctEdges());
+    w.key("dropped_edges").value(coverage_.dropped());
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        w.key("growth").beginArray();
+        for (const auto &[sched, edges] : growth_) {
+            w.beginArray();
+            w.value(sched);
+            w.value(edges);
+            w.endArray();
+        }
+        w.endArray();
+    }
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+CampaignTelemetry::coverageJson() const
+{
+    std::vector<obs::cov::Edge> edges = coverage_.snapshot();
+    JsonWriter w(2);
+    w.beginObject();
+    w.key("distinct_edges").value(uint64_t(edges.size()));
+    w.key("dropped_edges").value(coverage_.dropped());
+    w.key("digest").value(
+        strfmt("%016llx",
+               (unsigned long long)obs::cov::coverageDigest(edges)));
+    w.key("edges").beginArray();
+    for (const obs::cov::Edge &e : edges) {
+        w.beginObject();
+        w.key("key").value(
+            strfmt("%016llx", (unsigned long long)e.key));
+        w.key("kind").value(obs::cov::edgeKindName(e.kind));
+        w.key("from").value(
+            strfmt("%016llx", (unsigned long long)e.from));
+        w.key("to").value(strfmt("%016llx", (unsigned long long)e.to));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+CampaignTelemetry::prometheusText() const
+{
+    std::string out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out = metrics_.toPrometheusText();
+    }
+    double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+
+    auto gauge = [&out](const char *name, const char *help,
+                        uint64_t v) {
+        out += strfmt("# HELP %s %s\n# TYPE %s gauge\n%s %llu\n", name,
+                      help, name, name, (unsigned long long)v);
+    };
+    gauge("conair_campaign_schedules_total",
+          "Schedules in the campaign matrix.",
+          total_.load(std::memory_order_relaxed));
+    gauge("conair_campaign_schedules_done",
+          "Schedules finished so far.",
+          done_.load(std::memory_order_relaxed));
+    gauge("conair_campaign_failures_found",
+          "Failing schedules discovered so far.",
+          failures_.load(std::memory_order_relaxed));
+    gauge("conair_campaign_corpus_size",
+          "Minimised replay logs in the corpus.",
+          corpus_.load(std::memory_order_relaxed));
+    gauge("conair_coverage_distinct_edges",
+          "Distinct interleaving-coverage edges observed.",
+          coverage_.distinctEdges());
+    gauge("conair_coverage_dropped_edges",
+          "Coverage edges lost to map overflow.",
+          coverage_.dropped());
+    out += strfmt("# HELP conair_campaign_elapsed_seconds Campaign "
+                  "wall-clock time.\n"
+                  "# TYPE conair_campaign_elapsed_seconds gauge\n"
+                  "conair_campaign_elapsed_seconds %.3f\n",
+                  elapsed);
+    out += "# HELP conair_worker_schedules Schedules finished per "
+           "worker.\n# TYPE conair_worker_schedules gauge\n";
+    for (unsigned i = 0; i < workerCount_; ++i)
+        out += strfmt(
+            "conair_worker_schedules{worker=\"%u\"} %llu\n", i,
+            (unsigned long long)(workers_ ? workers_[i].schedules.load(
+                                                std::memory_order_relaxed)
+                                          : 0));
+    return out;
+}
+
+} // namespace conair::explore

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Live campaign telemetry: the shared state behind the embedded
+ * `/metrics`, `/status`, and `/coverage` endpoints while a campaign
+ * runs (docs/OBSERVABILITY.md, "Live telemetry endpoints").
+ *
+ * A CampaignTelemetry is *observational only*: workers publish into
+ * it after each finished schedule (atomic counters, a lock-free
+ * CoverageMap merge, a short mutex-guarded metrics fold), and the
+ * HTTP handlers render snapshots out of it.  Nothing a reader does
+ * can perturb the campaign — the deterministic campaign report is
+ * still aggregated from the results matrix in matrix order, exactly
+ * as without telemetry.  The only live-vs-final caveat: the order in
+ * which workers merge coverage is timing-dependent, so the *growth
+ * curve* sampled here is a live view; the per-target curves in
+ * BENCH_explore.json are recomputed deterministically in matrix
+ * order (the final distinct-edge count and digest agree between the
+ * two by set-union invariance).
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/coverage/coverage.h"
+#include "obs/metrics.h"
+
+namespace conair::explore {
+
+struct ScheduleOutcome;
+
+class CampaignTelemetry
+{
+  public:
+    CampaignTelemetry() = default;
+
+    CampaignTelemetry(const CampaignTelemetry &) = delete;
+    CampaignTelemetry &operator=(const CampaignTelemetry &) = delete;
+
+    /** Arms the telemetry for a campaign of @p totalJobs schedules on
+     *  @p workers workers (runCampaign calls this). */
+    void beginCampaign(uint64_t totalJobs, unsigned workers);
+
+    /** Publishes one finished schedule from worker @p worker:
+     *  counters, the outcome's coverage fold, and its hardened-leg
+     *  metrics.  Thread-safe. */
+    void noteSchedule(unsigned worker, const ScheduleOutcome &o);
+
+    /** Replay-corpus size (set by the post-aggregation pass). */
+    void noteCorpusSize(uint64_t n);
+
+    /** The campaign-global live coverage map. */
+    const obs::cov::CoverageMap &coverage() const { return coverage_; }
+    obs::cov::CoverageMap &coverage() { return coverage_; }
+
+    uint64_t schedulesDone() const;
+    uint64_t failuresFound() const;
+
+    /** GET /status body: live campaign JSON (schedules done/total,
+     *  failures, corpus size, per-worker schedules/sec, coverage
+     *  growth curve samples). */
+    std::string statusJson() const;
+
+    /** GET /coverage body: the full edge dump as JSON. */
+    std::string coverageJson() const;
+
+    /** GET /metrics body: the live-merged MetricsRegistry in
+     *  Prometheus text exposition plus campaign/coverage gauges. */
+    std::string prometheusText() const;
+
+  private:
+    struct WorkerCell
+    {
+        // Padded so neighbouring workers never share a cache line.
+        alignas(64) std::atomic<uint64_t> schedules{0};
+    };
+
+    std::atomic<uint64_t> total_{0};
+    std::atomic<uint64_t> done_{0};
+    std::atomic<uint64_t> failures_{0};
+    std::atomic<uint64_t> corpus_{0};
+    std::unique_ptr<WorkerCell[]> workers_; ///< workerCount_ cells
+    unsigned workerCount_ = 0;
+    std::chrono::steady_clock::time_point start_{};
+
+    obs::cov::CoverageMap coverage_;
+
+    mutable std::mutex mutex_; ///< guards metrics_ and growth_
+    obs::MetricsRegistry metrics_;
+    /** (schedule#, distinctEdges) samples, appended whenever a merge
+     *  grew the map; thinned to stay bounded. */
+    std::vector<std::pair<uint64_t, uint64_t>> growth_;
+};
+
+} // namespace conair::explore

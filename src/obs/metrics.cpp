@@ -191,6 +191,55 @@ promLabelValue(const std::string &v)
     return out;
 }
 
+/** HELP text escapes backslash and newline (exposition format 0.0.4
+ *  leaves double quotes alone outside label values). */
+std::string
+promHelpText(const std::string &v)
+{
+    std::string out;
+    for (char c : v) {
+        if (c == '\\') {
+            out += "\\\\";
+            continue;
+        }
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+/** Stable HELP strings for the stock instruments; unknown families
+ *  get a generic line so every exposed family carries one. */
+std::string
+helpFor(const std::string &family)
+{
+    static const std::map<std::string, std::string> kHelp = {
+        {"checkpoints", "Checkpoints executed by the hardened run."},
+        {"rollbacks", "ConAir rollbacks (idempotent re-executions)."},
+        {"recoveries", "Completed recovery episodes."},
+        {"backoffs", "Retry back-off sleeps during recovery."},
+        {"compensation_frees",
+         "Heap blocks compensation-freed on rollback."},
+        {"compensation_unlocks",
+         "Mutexes compensation-unlocked on rollback."},
+        {"chaos_rollbacks", "Fault-injected (chaos) rollbacks."},
+        {"retries_by_site",
+         "Recovery retries attributed to a failure site."},
+        {"recovery_latency_us",
+         "Recovery episode latency in virtual microseconds."},
+        {"recovery_retries", "Retries needed per recovery episode."},
+        {"ckpt_to_failure_ticks",
+         "Checkpoint-to-failure distance in scheduling ticks."},
+    };
+    auto it = kHelp.find(family);
+    if (it != kHelp.end())
+        return it->second;
+    return "ConAir metric " + family + ".";
+}
+
 } // namespace
 
 std::string
@@ -206,6 +255,8 @@ MetricsRegistry::toPrometheusText() const
         size_t slash = name.find('/');
         std::string family = promName(name.substr(0, slash));
         if (family != lastFamily) {
+            out += strfmt("# HELP %s %s\n", family.c_str(),
+                          promHelpText(helpFor(family)).c_str());
             out += strfmt("# TYPE %s counter\n", family.c_str());
             lastFamily = family;
         }
@@ -217,9 +268,14 @@ MetricsRegistry::toPrometheusText() const
                           promLabelValue(name.substr(slash + 1)).c_str(),
                           (unsigned long long)v);
     }
-    // Histograms: cumulative buckets + sum + count, Prometheus style.
+    // Histograms: cumulative buckets + sum + count (the 0.0.4
+    // histogram series), then the estimated quantiles as companion
+    // gauge families for consumers that can't run
+    // histogram_quantile() themselves.
     for (const auto &[name, h] : hists_) {
         std::string family = promName(name);
+        out += strfmt("# HELP %s %s\n", family.c_str(),
+                      promHelpText(helpFor(family)).c_str());
         out += strfmt("# TYPE %s histogram\n", family.c_str());
         uint64_t cum = 0;
         for (size_t i = 0; i < h.bounds.size(); ++i) {
@@ -235,6 +291,21 @@ MetricsRegistry::toPrometheusText() const
                       (unsigned long long)h.sum);
         out += strfmt("%s_count %llu\n", family.c_str(),
                       (unsigned long long)h.count);
+        const struct
+        {
+            const char *suffix;
+            double q;
+        } quantiles[] = {{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}};
+        for (const auto &qd : quantiles) {
+            out += strfmt("# HELP %s_%s Estimated %g-quantile of "
+                          "%s.\n",
+                          family.c_str(), qd.suffix, qd.q,
+                          family.c_str());
+            out += strfmt("# TYPE %s_%s gauge\n", family.c_str(),
+                          qd.suffix);
+            out += strfmt("%s_%s %.3f\n", family.c_str(), qd.suffix,
+                          h.quantile(qd.q));
+        }
     }
     return out;
 }

@@ -108,11 +108,15 @@ class MetricsRegistry
     std::string toJson(int indent = 2) const;
 
     /**
-     * Prometheus text exposition format (version 0.0.4): counters as
-     * `# TYPE <name> counter` samples, histograms as cumulative
-     * `_bucket{le="..."}` series plus `_sum` and `_count`.  Metric
-     * names are sanitised to [a-zA-Z0-9_:] (so `retries_by_site/<tag>`
-     * becomes a `site="<tag>"` label on `retries_by_site`).
+     * Prometheus text exposition format (version 0.0.4): every family
+     * carries `# HELP` (backslash/newline escaped) and `# TYPE`
+     * lines; counters as plain samples, histograms as cumulative
+     * `_bucket{le="..."}` series plus `_sum` / `_count`, followed by
+     * `_p50` / `_p95` / `_p99` estimated-quantile gauge families.
+     * Metric names are sanitised to [a-zA-Z0-9_:] (so
+     * `retries_by_site/<tag>` becomes a `site="<tag>"` label on
+     * `retries_by_site`); label values escape `\`, `"`, and newline.
+     * Byte-pinned by tests/obs/metrics_prom_golden_test.cpp.
      */
     std::string toPrometheusText() const;
 

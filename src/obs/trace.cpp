@@ -24,6 +24,8 @@ eventKindName(EventKind k)
       case EventKind::RecoveryDone: return "recovery-done";
       case EventKind::SharedLoad: return "shared-load";
       case EventKind::SharedStore: return "shared-store";
+      case EventKind::CoverageNovel: return "coverage-novel";
+      case EventKind::CoverageSnapshot: return "coverage-snapshot";
     }
     return "unknown";
 }

@@ -52,6 +52,8 @@ namespace conair::obs {
  *  RecoveryDone         retries in the episode   episode start clock
  *  SharedLoad           packed cell address      value bits read
  *  SharedStore          packed cell address      value bits written
+ *  CoverageNovel        interleaving edge key    cov::EdgeKind as int
+ *  CoverageSnapshot     distinct edges so far    novel edges this run
  *
  * `tag` carries the failure-site / lock-site tag when the instruction
  * has one (Rollback, FailureSite, RecoveryDone, Lock*, Shared*).
@@ -64,6 +66,12 @@ namespace conair::obs {
  * uninitialised cells as 0).  The postmortem diagnosis engine
  * (src/obs/postmortem/) joins these with the static backward slice to
  * reconstruct the racy access pair behind a recovery episode.
+ *
+ * CoverageNovel / CoverageSnapshot are *annotation* events: the VM
+ * never emits them.  The coverage folder (src/obs/coverage/) appends
+ * them after a run, stamped with the clock/step/tid at which the run
+ * discovered each new interleaving edge, so exported traces and
+ * timelines show when coverage grew.
  */
 enum class EventKind : uint8_t {
     ThreadSpawn,
@@ -82,10 +90,12 @@ enum class EventKind : uint8_t {
     RecoveryDone,
     SharedLoad,
     SharedStore,
+    CoverageNovel,
+    CoverageSnapshot,
 };
 
 inline constexpr size_t kEventKindCount =
-    size_t(EventKind::SharedStore) + 1;
+    size_t(EventKind::CoverageSnapshot) + 1;
 
 /**
  * @name Packed cell addresses (SharedLoad / SharedStore payload `a`)

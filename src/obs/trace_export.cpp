@@ -1,7 +1,9 @@
 #include "obs/trace_export.h"
 
+#include <algorithm>
 #include <map>
 
+#include "obs/coverage/coverage.h"
 #include "support/json.h"
 #include "support/str.h"
 
@@ -35,6 +37,9 @@ kindCategory(EventKind k)
       case EventKind::SharedLoad:
       case EventKind::SharedStore:
         return "mem";
+      case EventKind::CoverageNovel:
+      case EventKind::CoverageSnapshot:
+        return "coverage";
     }
     return "misc";
 }
@@ -213,7 +218,17 @@ recoveryTimeline(const FlightRecorder &rec, double microsPerTick)
 {
     std::string out;
     uint64_t shown = 0;
-    for (const TraceEvent &ev : rec.merged()) {
+    // Chronological order: annotation events (coverage) are appended
+    // after the run with their discovery clocks, so a stable sort by
+    // clock interleaves them where they happened.  For VM-recorded
+    // events the clock is already non-decreasing in seq order, so
+    // this is the identity on unannotated traces.
+    std::vector<TraceEvent> events = rec.merged();
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &x, const TraceEvent &y) {
+                         return x.clock < y.clock;
+                     });
+    for (const TraceEvent &ev : events) {
         const char *cat = kindCategory(ev.kind);
         // The timeline is the recovery story: scheduling noise and
         // diagnosis-mode memory traffic stay in the full trace.
@@ -259,6 +274,16 @@ recoveryTimeline(const FlightRecorder &rec, double microsPerTick)
             out += strfmt("  retries=%llu span=%.1fus",
                           (unsigned long long)ev.a,
                           double(ev.clock - ev.b) * microsPerTick);
+            break;
+          case EventKind::CoverageNovel:
+            out += strfmt("  edge=%016llx kind=%s",
+                          (unsigned long long)ev.a,
+                          cov::edgeKindName(cov::EdgeKind(ev.b)));
+            break;
+          case EventKind::CoverageSnapshot:
+            out += strfmt("  distinct=%llu novel=%llu",
+                          (unsigned long long)ev.a,
+                          (unsigned long long)ev.b);
             break;
           default:
             break;

@@ -8,6 +8,7 @@
 
 #include "apps/harness.h"
 #include "explore/campaign.h"
+#include "explore/telemetry.h"
 
 namespace conair::explore {
 namespace {
@@ -126,6 +127,67 @@ TEST_F(CampaignFixture, ReportIsIndependentOfWorkerCount)
                       b.policyMetrics[pi].second.toJson())
                 << a.name << " " << a.policyMetrics[pi].first;
     }
+}
+
+TEST_F(CampaignFixture, CoverageIsIndependentOfWorkerCount)
+{
+    // The interleaving-coverage digest is FNV-1a over *sorted* edge
+    // keys — a set-union invariant — so any partition of the same
+    // schedule matrix over any number of workers must agree exactly,
+    // per target and in the live telemetry map.
+    auto prepared = prepare({"ZSNES", "Transmission"});
+    auto targets = targetsFor(prepared);
+
+    CampaignOptions opts = smallOptions();
+    opts.collectCoverage = true;
+
+    CampaignTelemetry serialTel;
+    opts.workers = 1;
+    opts.telemetry = &serialTel;
+    CampaignReport serial = runCampaign(targets, opts);
+
+    CampaignTelemetry parallelTel;
+    opts.workers = 4;
+    opts.telemetry = &parallelTel;
+    CampaignReport parallel = runCampaign(targets, opts);
+
+    ASSERT_EQ(serial.targets.size(), parallel.targets.size());
+    for (size_t i = 0; i < serial.targets.size(); ++i) {
+        const TargetReport &a = serial.targets[i];
+        const TargetReport &b = parallel.targets[i];
+        ASSERT_TRUE(a.hasCoverage) << a.name;
+        ASSERT_TRUE(b.hasCoverage) << b.name;
+        EXPECT_GT(a.coverageDistinctEdges, 0u) << a.name;
+        EXPECT_EQ(a.coverageDistinctEdges, b.coverageDistinctEdges)
+            << a.name;
+        EXPECT_EQ(a.coverageDigest, b.coverageDigest) << a.name;
+        EXPECT_EQ(a.coverageNovelSchedules, b.coverageNovelSchedules)
+            << a.name;
+        EXPECT_EQ(a.coverageGrowth, b.coverageGrowth) << a.name;
+        EXPECT_EQ(a.coverageEdgesAtFirstFailure,
+                  b.coverageEdgesAtFirstFailure)
+            << a.name;
+    }
+
+    // The live map accumulates the union over all targets; its digest
+    // must agree between the two runs too.
+    EXPECT_GT(serialTel.coverage().distinctEdges(), 0u);
+    EXPECT_EQ(serialTel.coverage().digest(),
+              parallelTel.coverage().digest());
+    EXPECT_EQ(serialTel.coverage().distinctEdges(),
+              parallelTel.coverage().distinctEdges());
+    EXPECT_EQ(serialTel.schedulesDone(), parallel.schedules);
+
+    // The telemetry renderers produce the documented shapes.
+    std::string status = parallelTel.statusJson();
+    EXPECT_NE(status.find("\"schedules_done\""), std::string::npos);
+    EXPECT_NE(status.find("\"distinct_edges\""), std::string::npos);
+    std::string prom = parallelTel.prometheusText();
+    EXPECT_NE(prom.find("conair_coverage_distinct_edges"),
+              std::string::npos);
+    std::string covDump = parallelTel.coverageJson();
+    EXPECT_NE(covDump.find("\"digest\""), std::string::npos);
+    EXPECT_NE(covDump.find("\"edges\""), std::string::npos);
 }
 
 TEST_F(CampaignFixture, OraclesHoldOnRealKernels)

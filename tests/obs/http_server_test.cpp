@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Embedded telemetry HTTP server tests (src/obs/serve/).  Pins the
+ * contract the header promises:
+ *
+ *  - >= 64 concurrent scrapes all answer 200 with consistent bodies;
+ *  - malformed and oversized requests answer 400, non-GET methods
+ *    405, unknown paths 404 — never a crash or a hang;
+ *  - stop() joins every thread cleanly, even with scrapers in flight;
+ *  - a /metrics body passes the Prometheus exposition line grammar.
+ */
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/serve/http_server.h"
+
+namespace conair {
+namespace {
+
+using obs::serve::HttpResponse;
+using obs::serve::HttpServer;
+using obs::serve::httpGet;
+
+/** Sends @p raw verbatim to 127.0.0.1:@p port and returns the full
+ *  response text ("" on transport failure) — the misbehaving client
+ *  httpGet() refuses to be. */
+std::string
+rawRequest(uint16_t port, const std::string &raw)
+{
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        close(fd);
+        return "";
+    }
+    size_t off = 0;
+    while (off < raw.size()) {
+        ssize_t n = send(fd, raw.data() + off, raw.size() - off, 0);
+        if (n <= 0)
+            break;
+        off += size_t(n);
+    }
+    std::string out;
+    char buf[4096];
+    ssize_t n;
+    while ((n = recv(fd, buf, sizeof(buf), 0)) > 0)
+        out.append(buf, size_t(n));
+    close(fd);
+    return out;
+}
+
+/** A started server with one stable route. */
+struct ServerFixture
+{
+    HttpServer server;
+
+    ServerFixture()
+    {
+        server.route("/metrics", [] {
+            HttpResponse r;
+            r.contentType = "text/plain; version=0.0.4; charset=utf-8";
+            r.body = "# HELP conair_up 1 when the campaign is live.\n"
+                     "# TYPE conair_up gauge\n"
+                     "conair_up 1\n";
+            return r;
+        });
+        std::string err;
+        EXPECT_TRUE(server.start(0, err)) << err;
+        EXPECT_NE(server.port(), 0);
+    }
+};
+
+TEST(HttpServer, SixtyFourConcurrentScrapesAreConsistent)
+{
+    ServerFixture f;
+    constexpr int kScrapers = 64;
+    constexpr int kRequestsEach = 4;
+
+    std::atomic<int> ok{0}, wrong{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kScrapers; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < kRequestsEach; ++i) {
+                int status = 0;
+                std::string body, err;
+                if (!httpGet(f.server.port(), "/metrics", status, body,
+                             err) ||
+                    status != 200 ||
+                    body.find("conair_up 1") == std::string::npos)
+                    ++wrong;
+                else
+                    ++ok;
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(wrong.load(), 0);
+    EXPECT_EQ(ok.load(), kScrapers * kRequestsEach);
+    EXPECT_GE(f.server.requestsServed(),
+              uint64_t(kScrapers * kRequestsEach));
+}
+
+TEST(HttpServer, MalformedAndOversizedRequestsAnswer400)
+{
+    ServerFixture f;
+
+    // No HTTP at all.
+    std::string resp = rawRequest(f.server.port(), "not http\r\n\r\n");
+    EXPECT_NE(resp.find("400"), std::string::npos) << resp;
+
+    // Bare newline torso.
+    resp = rawRequest(f.server.port(), "\r\n\r\n");
+    EXPECT_NE(resp.find("400"), std::string::npos) << resp;
+
+    // Oversized request (> 8 KiB) must be rejected, not buffered.
+    std::string huge = "GET /metrics HTTP/1.1\r\nX-Pad: ";
+    huge.append(16 * 1024, 'a');
+    huge += "\r\n\r\n";
+    resp = rawRequest(f.server.port(), huge);
+    EXPECT_NE(resp.find("400"), std::string::npos) << resp;
+
+    EXPECT_GE(f.server.badRequests(), 3u);
+
+    // The server still answers well-formed requests afterwards.
+    int status = 0;
+    std::string body, err;
+    ASSERT_TRUE(httpGet(f.server.port(), "/metrics", status, body, err))
+        << err;
+    EXPECT_EQ(status, 200);
+}
+
+TEST(HttpServer, UnknownPath404AndNonGet405)
+{
+    ServerFixture f;
+
+    int status = 0;
+    std::string body, err;
+    ASSERT_TRUE(httpGet(f.server.port(), "/nope", status, body, err))
+        << err;
+    EXPECT_EQ(status, 404);
+
+    std::string resp = rawRequest(
+        f.server.port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_NE(resp.find("405"), std::string::npos) << resp;
+
+    // Query strings are ignored for routing.
+    ASSERT_TRUE(
+        httpGet(f.server.port(), "/metrics?x=1", status, body, err))
+        << err;
+    EXPECT_EQ(status, 200);
+}
+
+TEST(HttpServer, StopJoinsCleanlyWithScrapersInFlight)
+{
+    ServerFixture f;
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> scrapers;
+    for (int t = 0; t < 8; ++t)
+        scrapers.emplace_back([&] {
+            while (!stop.load()) {
+                int status = 0;
+                std::string body, err;
+                // Failures are expected once the server goes down;
+                // the property under test is no crash and no hang.
+                httpGet(f.server.port(), "/metrics", status, body, err);
+            }
+        });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    f.server.stop();
+    EXPECT_FALSE(f.server.running());
+    stop.store(true);
+    for (std::thread &t : scrapers)
+        t.join();
+    // Idempotent: a second stop (and the destructor's) is a no-op.
+    f.server.stop();
+}
+
+/** Minimal Prometheus text-exposition (format 0.0.4) line check:
+ *  every line is a comment, blank, or `name{labels} value`. */
+bool
+promLineOk(const std::string &line)
+{
+    if (line.empty() || line[0] == '#')
+        return true;
+    size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0 || sp + 1 >= line.size())
+        return false;
+    std::string name = line.substr(0, sp);
+    size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+        if (name.back() != '}')
+            return false;
+        name = name.substr(0, brace);
+    }
+    if (!isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_')
+        return false;
+    for (char c : name)
+        if (!isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+            c != ':')
+            return false;
+    // The value parses as a double (inf/nan spellings included).
+    char *end = nullptr;
+    std::string value = line.substr(sp + 1);
+    strtod(value.c_str(), &end);
+    return end && *end == '\0';
+}
+
+TEST(HttpServer, MetricsBodyPassesExpositionGrammar)
+{
+    // A real registry behind the route, with awkward label values the
+    // exposition escaping must handle.
+    obs::MetricsRegistry reg;
+    reg.add("rollbacks", 3);
+    reg.add("retries_by_site/site\"with\\odd\nchars");
+    reg.observe("recovery_latency_us", 12,
+                obs::MetricsRegistry::latencyBucketsUs());
+    reg.observe("recovery_latency_us", 80,
+                obs::MetricsRegistry::latencyBucketsUs());
+
+    HttpServer server;
+    server.route("/metrics", [&reg] {
+        HttpResponse r;
+        r.contentType = "text/plain; version=0.0.4; charset=utf-8";
+        r.body = reg.toPrometheusText();
+        return r;
+    });
+    std::string err;
+    ASSERT_TRUE(server.start(0, err)) << err;
+
+    int status = 0;
+    std::string body;
+    ASSERT_TRUE(httpGet(server.port(), "/metrics", status, body, err))
+        << err;
+    EXPECT_EQ(status, 200);
+    ASSERT_FALSE(body.empty());
+    EXPECT_EQ(body.back(), '\n') << "exposition must end with newline";
+
+    std::istringstream lines(body);
+    std::string line;
+    while (std::getline(lines, line))
+        EXPECT_TRUE(promLineOk(line)) << "bad exposition line: " << line;
+}
+
+} // namespace
+} // namespace conair

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Byte-for-byte golden regression test for the Prometheus text
+ * exposition renderer (MetricsRegistry::toPrometheusText).
+ *
+ * Builds one registry holding every stock instrument plus a
+ * pathological `retries_by_site/<tag>` whose tag exercises all three
+ * escape cases (backslash, double quote, newline), renders it, and
+ * compares against metrics_prom.golden byte for byte.  This pins the
+ * exposition-format conformance work: HELP/TYPE lines per family,
+ * label-value escaping, cumulative `_bucket`/`_sum`/`_count` series,
+ * and the `_p50`/`_p95`/`_p99` estimated-quantile gauge families.
+ *
+ * Re-bless after an *intentional* format change with
+ * `obs_metrics_prom_golden_test --update`; a mismatch prints a unified
+ * diff plus that exact command (tests/support/golden_util.h).
+ */
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "tests/support/golden_util.h"
+
+namespace conair {
+namespace {
+
+std::string
+goldenPath()
+{
+    return std::string(GOLDEN_DIR) + "/metrics_prom.golden";
+}
+
+/** One registry shaped like a real hardened campaign run: every stock
+ *  counter and histogram populated, plus tagged retry counters with
+ *  characters the exposition format must escape. */
+std::string
+currentGolden()
+{
+    obs::MetricsRegistry reg;
+
+    reg.add("checkpoints", 240);
+    reg.add("rollbacks", 7);
+    reg.add("recoveries", 6);
+    reg.add("backoffs", 2);
+    reg.add("compensation_frees", 1);
+    reg.add("compensation_unlocks", 3);
+    reg.add("chaos_rollbacks", 0);
+    reg.add("retries_by_site/apache1.log_write", 4);
+    // The escaping gauntlet: backslash, quote, and newline in a label
+    // value, all of which 0.0.4 requires escaped as \\ \" \n.
+    reg.add("retries_by_site/odd\\site\"quoted\"\nsecond_line", 3);
+
+    for (uint64_t v : {3u, 12u, 45u, 45u, 220u, 1800u})
+        reg.observe("recovery_latency_us", v,
+                    obs::MetricsRegistry::latencyBucketsUs());
+    for (uint64_t v : {1u, 1u, 2u, 5u})
+        reg.observe("recovery_retries", v,
+                    obs::MetricsRegistry::retryBuckets());
+    for (uint64_t v : {8u, 90u, 400u})
+        reg.observe("ckpt_to_failure_ticks", v,
+                    obs::MetricsRegistry::tickDistanceBuckets());
+
+    return reg.toPrometheusText();
+}
+
+TEST(MetricsPromGolden, MatchesGoldenFile)
+{
+    testutil::checkGolden(currentGolden(), goldenPath());
+}
+
+} // namespace
+} // namespace conair
+
+int
+main(int argc, char **argv)
+{
+    return conair::testutil::goldenMain(argc, argv);
+}
