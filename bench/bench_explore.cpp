@@ -97,6 +97,20 @@
  *   --serve-port-file FILE
  *                 write the bound telemetry port to FILE (CI uses
  *                 this with --serve 0)
+ *   --profile [FILE]
+ *                 print the recovery-cost profile: the top hot-phase
+ *                 table over the deterministic per-(kernel, policy)
+ *                 phase/episode aggregates, plus the campaign's
+ *                 wall-clock self-time cells.  With FILE, also write
+ *                 the speedscope JSON there and the folded flamegraph
+ *                 stacks next to it (FILE with a .folded extension).
+ *                 Works in campaign mode, with --repro (profiles that
+ *                 schedule's hardened leg), and with --replay
+ *                 (profiles the replayed run).  Campaign mode always
+ *                 *collects* the profile — kernels[].profile in
+ *                 BENCH_explore.json and the full-mode recovery-tax
+ *                 gate depend on it — the flag only controls printing
+ *                 and export.  See docs/OBSERVABILITY.md, "Profiling".
  *
  * Campaign mode additionally runs the fix pass on every kernel whose
  * failure it rediscovered and diagnosed; the per-kernel result lands
@@ -117,6 +131,7 @@
 #include "fix/validate.h"
 #include "obs/coverage/coverage.h"
 #include "obs/postmortem/diagnosis.h"
+#include "obs/profile/profile_export.h"
 #include "obs/serve/http_server.h"
 #include "obs/replay/minimize.h"
 #include "obs/replay/replay_export.h"
@@ -178,6 +193,42 @@ writeFile(const std::string &path, const std::string &content)
         return false;
     }
     f << content;
+    return true;
+}
+
+/** A flag whose value is optional ("--profile" vs "--profile FILE"):
+ *  returns (present, value), the value empty when the next argv entry
+ *  is absent or another flag. */
+std::pair<bool, std::string>
+argOptValue(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0) {
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                return {true, argv[i + 1]};
+            return {true, std::string()};
+        }
+    return {false, std::string()};
+}
+
+/** Writes the profile artifacts: speedscope JSON at @p path, folded
+ *  flamegraph stacks next to it (.folded extension). */
+bool
+writeProfileArtifacts(const obs::prof::ProfileDoc &doc,
+                      const std::string &name, const std::string &path)
+{
+    if (!writeFile(path, obs::prof::speedscopeJson(doc, name) + "\n"))
+        return false;
+    std::printf("wrote %s (speedscope JSON)\n", path.c_str());
+    std::string folded = path;
+    size_t dot = folded.rfind('.');
+    if (dot != std::string::npos &&
+        folded.find('/', dot) == std::string::npos)
+        folded.resize(dot);
+    folded += ".folded";
+    if (!writeFile(folded, obs::prof::foldedStacks(doc)))
+        return false;
+    std::printf("wrote %s (folded stacks)\n", folded.c_str());
     return true;
 }
 
@@ -435,7 +486,8 @@ int
 runRepro(const std::string &appName, const std::string &token,
          const std::string &tracePath, const std::string &metricsPath,
          bool timeline, bool diagnose, const std::string &diagJsonPath,
-         const std::string &recordReplayPath, bool minimize)
+         const std::string &recordReplayPath, bool minimize,
+         bool profile, const std::string &profilePath)
 {
     const AppSpec *spec = findApp(appName);
     if (!spec) {
@@ -451,6 +503,7 @@ runRepro(const std::string &appName, const std::string &token,
     CampaignApp app = prepareCampaignApp(*spec);
     Target target = campaignTarget(app);
     CampaignOptions opts;
+    opts.collectProfile = profile;
     ScheduleOutcome o = runOneSchedule(target, s, opts);
 
     std::printf("=== repro %s %s ===\n", appName.c_str(),
@@ -474,6 +527,29 @@ runRepro(const std::string &appName, const std::string &token,
     else
         std::printf("engines: Decoded == Reference (tick-identical)\n");
 
+    bool profileOk = true;
+    if (profile) {
+        obs::prof::ProfileDoc doc;
+        if (o.hasProfile)
+            doc.phaseGroups.emplace_back(appName + " " + token,
+                                         o.profile);
+        auto wallCell = [&](const char *leg, uint64_t us) {
+            if (us)
+                doc.wall.push_back({appName, token, leg, us, 1});
+        };
+        wallCell("unhardened", o.wallUnhardenedUs);
+        wallCell("differential", o.wallDifferentialUs);
+        wallCell("hardened", o.wallHardenedUs);
+        wallCell("hardened_diff", o.wallHardenedDiffUs);
+        std::printf("%s", obs::prof::hotPhaseTable(doc).c_str());
+        if (!o.hasProfile)
+            std::printf("(hardened leg did not run — no "
+                        "deterministic phase profile)\n");
+        if (!profilePath.empty())
+            profileOk = writeProfileArtifacts(
+                doc, appName + " " + token, profilePath);
+    }
+
     bool traceOk = true;
     if (!tracePath.empty() || !metricsPath.empty() || timeline)
         traceOk = traceSchedule(target, s, opts, appName, tracePath,
@@ -486,7 +562,9 @@ runRepro(const std::string &appName, const std::string &token,
     if (!recordReplayPath.empty())
         recordOk = recordReplayLog(target, s, opts, appName,
                                    recordReplayPath, minimize) == 0;
-    return o.diverged || !traceOk || !diagOk || !recordOk ? 1 : 0;
+    return o.diverged || !traceOk || !diagOk || !recordOk || !profileOk
+               ? 1
+               : 0;
 }
 
 /**
@@ -497,7 +575,8 @@ runRepro(const std::string &appName, const std::string &token,
  */
 int
 runReplay(const std::string &path, const std::string &engineArg,
-          bool timeline, bool diagnose, const std::string &tracePath)
+          bool timeline, bool diagnose, const std::string &tracePath,
+          bool profile, const std::string &profilePath)
 {
     obs::replay::ReplayLog log;
     std::string err;
@@ -544,10 +623,15 @@ runReplay(const std::string &path, const std::string &engineArg,
     // lock-order check, the optional trace artifact, and the optional
     // diagnosis.
     obs::FlightRecorder rec(4096, obs::RecorderMode::Grow);
+    obs::prof::PhaseProfiler prof;
     obs::replay::ReplayInstruments ins;
     ins.recorder = &rec;
     ins.recordSharedAccesses = diagnose || log.accessCount > 0;
     ins.checkLockOrder = true;
+    // Profiling rides the passivity contract: the profiled replay is
+    // still held to the byte-exact fingerprint below.
+    if (profile)
+        ins.profiler = &prof;
     obs::replay::ReplayRun rr =
         obs::replay::replayLog(*target.plain, log, engine, &ins);
 
@@ -562,6 +646,21 @@ runReplay(const std::string &path, const std::string &engineArg,
         obs::pm::RecoveryReport rep = obs::pm::diagnose(
             rec, *target.plain, log.program, log.scheduleToken);
         std::printf("%s", obs::pm::renderText(rep).c_str());
+    }
+    if (profile) {
+        obs::prof::ProfileDoc doc;
+        obs::prof::ProfileAgg agg;
+        agg.add(prof);
+        doc.phaseGroups.emplace_back(
+            log.program + " replay " +
+                (log.scheduleToken.empty() ? std::string("(no token)")
+                                           : log.scheduleToken),
+            agg);
+        std::printf("%s", obs::prof::hotPhaseTable(doc).c_str());
+        if (!profilePath.empty() &&
+            !writeProfileArtifacts(doc, log.program + " replay",
+                                   profilePath))
+            return 1;
     }
     if (timeline)
         std::printf("--- replay timeline (time travel) ---\n%s",
@@ -841,6 +940,8 @@ main(int argc, char **argv)
     const bool diagnose = hasFlag(argc, argv, "--diagnose");
     const std::string diagJsonPath =
         argString(argc, argv, "--diagnose-json", "");
+    const auto [profileOn, profilePath] =
+        argOptValue(argc, argv, "--profile");
 
     if (hasFlag(argc, argv, "--replay")) {
         const std::string path = argString(argc, argv, "--replay", "");
@@ -852,7 +953,8 @@ main(int argc, char **argv)
             return 2;
         }
         return runReplay(path, argString(argc, argv, "--engine", ""),
-                         timeline, diagnose, tracePath);
+                         timeline, diagnose, tracePath, profileOn,
+                         profilePath);
     }
 
     if (hasFlag(argc, argv, "--repro")) {
@@ -874,7 +976,8 @@ main(int argc, char **argv)
         return runRepro(app, tok, tracePath, metricsPath, timeline,
                         diagnose, diagJsonPath,
                         argString(argc, argv, "--record-replay", ""),
-                        hasFlag(argc, argv, "--minimize"));
+                        hasFlag(argc, argv, "--minimize"), profileOn,
+                        profilePath);
     }
 
     if (hasFlag(argc, argv, "--fix")) {
@@ -978,6 +1081,11 @@ main(int argc, char **argv)
     // kernels[].coverage aggregates below (and the full-mode gate on
     // them) want nonzero distinct-edge counts for every kernel.
     opts.collectCoverage = true;
+    // Same for the recovery-cost profile: kernels[].profile and the
+    // full-mode recovery-tax gate want it on every run, and every
+    // profiled hardened leg's bare replicas live-prove the profiler's
+    // passivity.  --profile only adds printing/export on top.
+    opts.collectProfile = true;
 
     // --serve: embedded telemetry endpoints for the campaign's
     // lifetime.  The telemetry sink is observational only — workers
@@ -986,11 +1094,14 @@ main(int argc, char **argv)
     CampaignTelemetry telemetry;
     obs::serve::HttpServer server;
     if (serve) {
-        server.route("/metrics", [&telemetry] {
+        server.route("/metrics", [&telemetry, &server] {
             obs::serve::HttpResponse r;
             r.contentType =
                 "text/plain; version=0.0.4; charset=utf-8";
-            r.body = telemetry.prometheusText();
+            // The campaign metrics plus the server's own request
+            // counters — the telemetry plane monitors itself.
+            r.body = telemetry.prometheusText() +
+                     server.prometheusCounters();
             return r;
         });
         server.route("/status", [&telemetry] {
@@ -1005,6 +1116,12 @@ main(int argc, char **argv)
             r.body = telemetry.coverageJson() + "\n";
             return r;
         });
+        server.route("/profile", [&telemetry] {
+            obs::serve::HttpResponse r;
+            r.contentType = "application/json";
+            r.body = telemetry.profileJson() + "\n";
+            return r;
+        });
         std::string err;
         if (servePort > 65535 ||
             !server.start(uint16_t(servePort), err)) {
@@ -1014,7 +1131,7 @@ main(int argc, char **argv)
             return 2;
         }
         std::printf("serving telemetry on 127.0.0.1:%u "
-                    "(/metrics /status /coverage)\n",
+                    "(/metrics /status /coverage /profile)\n",
                     unsigned(server.port()));
         if (!servePortFile.empty() &&
             !writeFile(servePortFile,
@@ -1203,6 +1320,31 @@ main(int argc, char **argv)
                     (unsigned long long)guard_scrapes);
     }
 
+    // Recovery-cost profile rollup: every kernel's per-policy
+    // aggregates (matrix order, so worker-count independent) plus the
+    // wall-clock cells, and a campaign-wide total.
+    obs::prof::ProfileAgg profTotal;
+    obs::prof::ProfileDoc profDoc;
+    bool profileArtifactsOk = true;
+    for (const TargetReport &tr : rep.targets) {
+        if (!tr.hasProfile)
+            continue;
+        profTotal.merge(tr.profile);
+        for (const auto &[label, agg] : tr.policyProfiles)
+            if (!agg.empty())
+                profDoc.phaseGroups.emplace_back(
+                    tr.name + "/" + label, agg);
+        for (const obs::prof::WallCell &c : tr.wall)
+            profDoc.wall.push_back(c);
+    }
+    if (profileOn) {
+        std::printf("\n=== recovery-cost profile ===\n%s",
+                    obs::prof::hotPhaseTable(profDoc).c_str());
+        if (!profilePath.empty())
+            profileArtifactsOk = writeProfileArtifacts(
+                profDoc, "campaign", profilePath);
+    }
+
     // BENCH_explore.json.
     JsonWriter w(2);
     w.beginObject();
@@ -1232,6 +1374,10 @@ main(int argc, char **argv)
         w.key("loaded_sched_per_sec").value(guard_load_sps, "%.1f");
         w.key("ratio").value(guard_ratio, "%.2f");
         w.endObject();
+    }
+    if (!profTotal.empty()) {
+        w.key("profile");
+        profTotal.writeJson(w);
     }
     w.key("kernels").beginArray();
     for (const TargetReport &tr : rep.targets) {
@@ -1271,6 +1417,28 @@ main(int argc, char **argv)
                 w.value(sched);
                 w.value(edges);
                 w.endArray();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        if (tr.hasProfile) {
+            w.key("profile").beginObject();
+            w.key("total");
+            tr.profile.writeJson(w);
+            w.key("policies").beginObject();
+            for (const auto &[label, agg] : tr.policyProfiles) {
+                w.key(label);
+                agg.writeJson(w);
+            }
+            w.endObject();
+            w.key("wall").beginArray();
+            for (const obs::prof::WallCell &c : tr.wall) {
+                w.beginObject();
+                w.key("policy").value(c.policy);
+                w.key("leg").value(c.leg);
+                w.key("micros").value(c.micros);
+                w.key("spans").value(c.spans);
+                w.endObject();
             }
             w.endArray();
             w.endObject();
@@ -1356,6 +1524,11 @@ main(int argc, char **argv)
                      "FAIL: trace totals mismatch RunStats\n");
         rc = 1;
     }
+    if (!profileArtifactsOk) {
+        std::fprintf(stderr, "FAIL: could not write the profile "
+                             "artifacts\n");
+        rc = 1;
+    }
     if (!opts.replayLogDir.empty()) {
         for (const TargetReport &tr : rep.targets) {
             if (tr.foundFailure && !tr.hasReplayLog) {
@@ -1391,6 +1564,25 @@ main(int argc, char **argv)
                              "FAIL: %s: zero distinct coverage "
                              "edges\n",
                              tr.name.c_str());
+                rc = 1;
+            }
+        // Recovery-tax gate: every kernel's profiled hardened legs
+        // must have paid a measurable recovery tax — recovery means
+        // rollback means re-execution, so zero episodes or zero
+        // re-executed steps says the profiler lost the recovery
+        // story, not that recovery was free.
+        for (const TargetReport &tr : rep.targets)
+            if (tr.hasProfile && (tr.profile.episodes == 0 ||
+                                  tr.profile.reexecSteps == 0)) {
+                std::fprintf(
+                    stderr,
+                    "FAIL: %s: zero recovery tax in the profile "
+                    "(%llu episodes, %llu reexec steps over %llu "
+                    "profiled runs)\n",
+                    tr.name.c_str(),
+                    (unsigned long long)tr.profile.episodes,
+                    (unsigned long long)tr.profile.reexecSteps,
+                    (unsigned long long)tr.profile.runs);
                 rc = 1;
             }
         // Close-the-loop gate: every rediscovered failure must end in

@@ -15,6 +15,14 @@
  *               wall time is reported (default 3)
  *   --smoke     shrink workloads for CI: verifies the harness and the
  *               JSON output without waiting on full-size runs
+ *   --profile [FILE]
+ *               print the per-workload phase profile (hot-phase
+ *               table) of the profiled Decoded row; with FILE, also
+ *               write the speedscope JSON there and folded flamegraph
+ *               stacks next to it.  The profiled row itself always
+ *               runs — its step-identity against the bare rows is
+ *               part of the divergence gate — the flag only controls
+ *               printing and export.
  */
 #include "bench/bench_util.h"
 
@@ -22,6 +30,7 @@
 #include <fstream>
 
 #include "frontend/compile.h"
+#include "obs/profile/profile_export.h"
 #include "obs/trace.h"
 #include "support/json.h"
 #include "vm/interp.h"
@@ -148,7 +157,8 @@ struct Cell
 Cell
 measure(const ir::Module &m, vm::VmConfig cfg, unsigned runs,
         obs::FlightRecorder *rec = nullptr,
-        bool recordSharedAccesses = false)
+        bool recordSharedAccesses = false,
+        obs::prof::PhaseProfiler *prof = nullptr)
 {
     Cell best;
     for (unsigned r = 0; r < runs; ++r) {
@@ -156,6 +166,13 @@ measure(const ir::Module &m, vm::VmConfig cfg, unsigned runs,
             rec->clear();
             cfg.recorder = rec;
             cfg.recordSharedAccesses = recordSharedAccesses;
+        }
+        if (prof) {
+            // Cleared per repetition: every run is identical, so the
+            // profiler ends holding exactly one run's (deterministic)
+            // phase attribution.
+            prof->clear();
+            cfg.profiler = prof;
         }
         auto t0 = std::chrono::steady_clock::now();
         vm::RunResult res = vm::runProgram(m, cfg);
@@ -182,10 +199,17 @@ main(int argc, char **argv)
     unsigned runs = argUnsigned(argc, argv, "--runs", 3);
     if (runs == 0)
         runs = 1;
-    bool smoke = false;
-    for (int i = 1; i < argc; ++i)
+    bool smoke = false, profileOn = false;
+    std::string profilePath;
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        if (std::strcmp(argv[i], "--profile") == 0) {
+            profileOn = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                profilePath = argv[i + 1];
+        }
+    }
 
     const unsigned scale = smoke ? 200 : 20000;
     std::vector<Workload> workloads = {
@@ -218,15 +242,17 @@ main(int argc, char **argv)
 
     Table t({"Workload", "Reference (steps/s)", "Decoded (steps/s)",
              "Speedup", "Fused (steps/s)", "Fused/Dec",
-             "Decoded+trace (steps/s)", "Trace cost", "Diag cost"});
+             "Decoded+trace (steps/s)", "Trace cost", "Diag cost",
+             "Prof cost"});
 
     struct Row
     {
         std::string name;
         bool singleThread;
-        Cell ref, dec, fus, traced, diag;
+        Cell ref, dec, fus, traced, diag, prof;
     };
     std::vector<Row> rows;
+    obs::prof::ProfileDoc profDoc;
 
     for (const Workload &w : workloads) {
         DiagEngine d;
@@ -256,22 +282,37 @@ main(int argc, char **argv)
         // across all four cells.
         obs::FlightRecorder diagRecorder(4096);
         row.diag = measure(*m, decoded, runs, &diagRecorder, true);
+        // The profiler-on row: same decoded config, phase profiler
+        // attached.  Its step identity against the bare rows is the
+        // passivity check; its distance from the plain decoded row is
+        // the enabled cost of profiling.
+        obs::prof::PhaseProfiler profiler;
+        row.prof = measure(*m, decoded, runs, nullptr, false,
+                           &profiler);
+        {
+            obs::prof::ProfileAgg agg;
+            agg.add(profiler);
+            profDoc.phaseGroups.emplace_back(w.name, agg);
+        }
         if (row.ref.outcome != vm::Outcome::Success ||
             row.dec.outcome != vm::Outcome::Success ||
             row.fus.outcome != vm::Outcome::Success ||
             row.ref.steps != row.dec.steps ||
             row.fus.steps != row.dec.steps ||
             row.traced.steps != row.dec.steps ||
-            row.diag.steps != row.dec.steps) {
+            row.diag.steps != row.dec.steps ||
+            row.prof.steps != row.dec.steps) {
             std::fprintf(stderr,
                          "engine divergence on %s: steps %llu vs %llu "
-                         "(fused %llu, traced %llu, diag %llu)\n",
+                         "(fused %llu, traced %llu, diag %llu, "
+                         "profiled %llu)\n",
                          w.name.c_str(),
                          (unsigned long long)row.ref.steps,
                          (unsigned long long)row.dec.steps,
                          (unsigned long long)row.fus.steps,
                          (unsigned long long)row.traced.steps,
-                         (unsigned long long)row.diag.steps);
+                         (unsigned long long)row.diag.steps,
+                         (unsigned long long)row.prof.steps);
             return 1;
         }
         rows.push_back(row);
@@ -281,6 +322,8 @@ main(int argc, char **argv)
             1.0 - row.traced.stepsPerSec / row.dec.stepsPerSec;
         double diagCost =
             1.0 - row.diag.stepsPerSec / row.dec.stepsPerSec;
+        double profCost =
+            1.0 - row.prof.stepsPerSec / row.dec.stepsPerSec;
         t.row({row.name, fmt("%.0f", row.ref.stepsPerSec),
                fmt("%.0f", row.dec.stepsPerSec),
                fmt("%.2fx", speedup),
@@ -288,9 +331,43 @@ main(int argc, char **argv)
                fmt("%.2fx", fusedSpeedup),
                fmt("%.0f", row.traced.stepsPerSec),
                fmt("%.1f%%", traceCost * 100),
-               fmt("%.1f%%", diagCost * 100)});
+               fmt("%.1f%%", diagCost * 100),
+               fmt("%.1f%%", profCost * 100)});
     }
     t.print();
+
+    if (profileOn) {
+        std::printf("\n%s",
+                    obs::prof::hotPhaseTable(profDoc).c_str());
+        if (!profilePath.empty()) {
+            std::ofstream pf(profilePath);
+            if (!pf) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             profilePath.c_str());
+                return 1;
+            }
+            pf << obs::prof::speedscopeJson(profDoc, "vm_throughput")
+               << "\n";
+            pf.close();
+            std::printf("wrote %s (speedscope JSON)\n",
+                        profilePath.c_str());
+            std::string folded = profilePath;
+            size_t dot = folded.rfind('.');
+            if (dot != std::string::npos &&
+                folded.find('/', dot) == std::string::npos)
+                folded.resize(dot);
+            folded += ".folded";
+            std::ofstream ff(folded);
+            if (!ff) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             folded.c_str());
+                return 1;
+            }
+            ff << obs::prof::foldedStacks(profDoc);
+            ff.close();
+            std::printf("wrote %s (folded stacks)\n", folded.c_str());
+        }
+    }
 
     JsonWriter w(2);
     w.beginObject();
@@ -320,6 +397,11 @@ main(int argc, char **argv)
             .value(r.diag.stepsPerSec, "%.0f");
         w.key("diag_overhead")
             .value(1.0 - r.diag.stepsPerSec / r.dec.stepsPerSec,
+                   "%.3f");
+        w.key("decoded_prof_steps_per_sec")
+            .value(r.prof.stepsPerSec, "%.0f");
+        w.key("prof_overhead")
+            .value(1.0 - r.prof.stepsPerSec / r.dec.stepsPerSec,
                    "%.3f");
         w.endObject();
     }

@@ -29,6 +29,14 @@
  *     --trace FILE         write a Chrome trace_event JSON of the run
  *                          (load in Perfetto; see docs/OBSERVABILITY.md)
  *     --metrics FILE       write the run's metrics registry JSON
+ *     --profile [FILE]     attach the recovery-cost phase profiler
+ *                          (passive — the run is tick-identical with
+ *                          or without it) and print the hot-phase
+ *                          table to stderr; with FILE, also write the
+ *                          speedscope JSON there and folded flamegraph
+ *                          stacks next to it (.folded extension).
+ *                          With --serve, adds a GET /profile endpoint.
+ *                          See docs/OBSERVABILITY.md, "Profiling".
  *     --timeline           print the recovery timeline to stderr
  *     --diagnose           run in diagnosis recording mode and print a
  *                          postmortem root-cause report (racy pair,
@@ -65,6 +73,7 @@
 #include "obs/coverage/coverage.h"
 #include "obs/metrics.h"
 #include "obs/postmortem/diagnosis.h"
+#include "obs/profile/profile_export.h"
 #include "obs/serve/http_server.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
@@ -87,7 +96,8 @@ usage()
                  "              [--no-interproc] [--no-optimize] "
                  "[--max-steps N]\n"
                  "              [--trace FILE] [--metrics FILE] "
-                 "[--timeline] [--diagnose]\n"
+                 "[--profile [FILE]]\n"
+                 "              [--timeline] [--diagnose]\n"
                  "              [--serve PORT [--serve-seconds N]]\n"
                  "              file.mc | --app NAME\n");
 }
@@ -117,7 +127,8 @@ int
 serveRunTelemetry(unsigned port, unsigned seconds,
                   const std::string &name, const vm::RunResult &run,
                   const obs::FlightRecorder &recorder,
-                  const obs::MetricsRegistry &metrics)
+                  const obs::MetricsRegistry &metrics,
+                  const obs::prof::ProfileDoc *profile)
 {
     obs::cov::CoverageFold cov = obs::cov::foldCoverage(recorder);
 
@@ -178,10 +189,12 @@ serveRunTelemetry(unsigned port, unsigned seconds,
     std::string coverage = cw.str() + "\n";
 
     obs::serve::HttpServer server;
-    server.route("/metrics", [prom] {
+    server.route("/metrics", [prom, &server] {
         obs::serve::HttpResponse r;
         r.contentType = "text/plain; version=0.0.4; charset=utf-8";
-        r.body = prom;
+        // The run's metrics plus the server's own request counters —
+        // the telemetry plane monitors itself.
+        r.body = prom + server.prometheusCounters();
         return r;
     });
     server.route("/status", [status] {
@@ -196,6 +209,18 @@ serveRunTelemetry(unsigned port, unsigned seconds,
         r.body = coverage;
         return r;
     });
+    std::string routes = "/metrics /status /coverage";
+    if (profile) {
+        std::string body =
+            obs::prof::speedscopeJson(*profile, name) + "\n";
+        server.route("/profile", [body] {
+            obs::serve::HttpResponse r;
+            r.contentType = "application/json";
+            r.body = body;
+            return r;
+        });
+        routes += " /profile";
+    }
     std::string err;
     if (port > 65535 || !server.start(uint16_t(port), err)) {
         std::fprintf(stderr, "minicc: --serve: %s\n",
@@ -204,13 +229,42 @@ serveRunTelemetry(unsigned port, unsigned seconds,
     }
     std::fprintf(stderr,
                  "; serving run telemetry on 127.0.0.1:%u for %u "
-                 "second(s) (/metrics /status /coverage)\n",
-                 unsigned(server.port()), seconds);
+                 "second(s) (%s)\n",
+                 unsigned(server.port()), seconds, routes.c_str());
     std::this_thread::sleep_for(std::chrono::seconds(seconds));
     server.stop();
     std::fprintf(stderr, "; telemetry server: %llu requests served\n",
                  (unsigned long long)server.requestsServed());
     return 0;
+}
+
+/** Folds the run's profiler into @p doc, prints the hot-phase table
+ *  to stderr, and (when @p path is set) writes the speedscope JSON
+ *  plus folded flamegraph stacks.  False on a write failure. */
+bool
+emitProfile(const obs::prof::PhaseProfiler &profiler,
+            const std::string &name, const std::string &path,
+            obs::prof::ProfileDoc &doc)
+{
+    obs::prof::ProfileAgg agg;
+    agg.add(profiler);
+    doc.phaseGroups.emplace_back(name, agg);
+    std::fprintf(stderr, "%s",
+                 obs::prof::hotPhaseTable(doc).c_str());
+    if (path.empty())
+        return true;
+    if (!writeArtifact(path,
+                       obs::prof::speedscopeJson(doc, name) + "\n",
+                       "profile"))
+        return false;
+    std::string folded = path;
+    size_t dot = folded.rfind('.');
+    if (dot != std::string::npos &&
+        folded.find('/', dot) == std::string::npos)
+        folded.resize(dot);
+    folded += ".folded";
+    return writeArtifact(folded, obs::prof::foldedStacks(doc),
+                         "folded stacks");
 }
 
 } // namespace
@@ -221,6 +275,8 @@ main(int argc, char **argv)
     std::string path, appName, tracePath, metricsPath;
     bool conair = false, print_ir = false, report = false;
     bool timeline = false, diagnose = false, fixSynth = false;
+    bool profileOn = false;
+    std::string profilePath;
     bool serve = false;
     unsigned servePort = 0, serveSeconds = 5;
     ca::ConAirOptions copts;
@@ -269,6 +325,12 @@ main(int argc, char **argv)
             tracePath = next();
         } else if (arg == "--metrics") {
             metricsPath = next();
+        } else if (arg == "--profile") {
+            // The FILE operand is optional: bare --profile prints the
+            // hot-phase table only.
+            profileOn = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                profilePath = argv[++i];
         } else if (arg == "--timeline") {
             timeline = true;
         } else if (arg == "--diagnose") {
@@ -308,8 +370,10 @@ main(int argc, char **argv)
     const bool recordShared = diagnose || serve;
     obs::FlightRecorder recorder(recordShared ? 65536 : 8192);
     obs::MetricsRegistry metrics;
+    obs::prof::PhaseProfiler profiler;
+    obs::prof::ProfileDoc profileDoc;
     const bool observe = !tracePath.empty() || !metricsPath.empty() ||
-                         timeline || diagnose || serve;
+                         timeline || diagnose || serve || profileOn;
 
     if (!appName.empty()) {
         // Bundled bug kernel under its failure-forcing schedule, with
@@ -376,7 +440,8 @@ main(int argc, char **argv)
             apps::prepareApp(*spec, apps::HardenOptions{});
         vm::RunResult run =
             apps::runBuggy(p, cfg.seed, observe ? &recorder : nullptr,
-                           observe ? &metrics : nullptr, recordShared);
+                           observe ? &metrics : nullptr, recordShared,
+                           profileOn ? &profiler : nullptr);
         std::fputs(run.output.c_str(), stdout);
         std::fprintf(stderr,
                      "; %s: %s, %llu rollback(s), %zu recovery "
@@ -402,9 +467,13 @@ main(int argc, char **argv)
             !writeArtifact(metricsPath, metrics.toJson() + "\n",
                            "metrics"))
             return 2;
+        if (profileOn &&
+            !emitProfile(profiler, appName, profilePath, profileDoc))
+            return 2;
         if (serve &&
             serveRunTelemetry(servePort, serveSeconds, appName, run,
-                              recorder, metrics) != 0)
+                              recorder, metrics,
+                              profileOn ? &profileDoc : nullptr) != 0)
             return 2;
         return run.outcome == vm::Outcome::Success
                    ? int(run.exitCode & 0xff)
@@ -449,6 +518,8 @@ main(int argc, char **argv)
         cfg.recorder = &recorder;
         cfg.metrics = &metrics;
         cfg.recordSharedAccesses = recordShared;
+        if (profileOn)
+            cfg.profiler = &profiler;
     }
     vm::RunResult run = vm::runProgram(*module, cfg);
     std::fputs(run.output.c_str(), stdout);
@@ -467,8 +538,13 @@ main(int argc, char **argv)
     if (!metricsPath.empty() &&
         !writeArtifact(metricsPath, metrics.toJson() + "\n", "metrics"))
         return 2;
+    if (profileOn &&
+        !emitProfile(profiler, path, profilePath, profileDoc))
+        return 2;
     if (serve && serveRunTelemetry(servePort, serveSeconds, path, run,
-                                   recorder, metrics) != 0)
+                                   recorder, metrics,
+                                   profileOn ? &profileDoc : nullptr) !=
+                     0)
         return 2;
     if (run.outcome != vm::Outcome::Success) {
         std::fprintf(stderr, "minicc: %s: %s\n",

@@ -47,16 +47,17 @@ vm::RunResult runClean(const PreparedApp &p, uint64_t seed);
 /** Runs one failure-forcing execution with @p seed. */
 vm::RunResult runBuggy(const PreparedApp &p, uint64_t seed);
 
-/** runBuggy with observability attached: @p rec / @p met (either may
- *  be null) receive the run's flight-recorder events and metrics —
- *  the minicc --app/--trace/--metrics path for the ten kernels.
- *  @p recordSharedAccesses additionally turns on diagnosis recording
- *  mode (SharedLoad/SharedStore events for the postmortem engine;
- *  requires @p rec). */
+/** runBuggy with observability attached: @p rec / @p met / @p prof
+ *  (any may be null) receive the run's flight-recorder events,
+ *  metrics, and phase profile — the minicc --app/--trace/--metrics/
+ *  --profile path for the ten kernels.  @p recordSharedAccesses
+ *  additionally turns on diagnosis recording mode (SharedLoad/
+ *  SharedStore events for the postmortem engine; requires @p rec). */
 vm::RunResult runBuggy(const PreparedApp &p, uint64_t seed,
                        obs::FlightRecorder *rec,
                        obs::MetricsRegistry *met,
-                       bool recordSharedAccesses = false);
+                       bool recordSharedAccesses = false,
+                       obs::prof::PhaseProfiler *prof = nullptr);
 
 /** Did this run behave correctly (outcome, output, exit code)? */
 bool runIsCorrect(const AppSpec &app, const vm::RunResult &r);

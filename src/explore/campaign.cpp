@@ -239,6 +239,22 @@ runOneSchedule(const Target &t, const ScheduleSpec &s,
     out.spec = s;
     out.ran = true;
 
+    // Wall-clock leg spans (profiling only): pure observation of this
+    // process, never fed back into any deterministic field.
+    using WallClock = std::chrono::steady_clock;
+    WallClock::time_point legStart;
+    auto legBegin = [&] {
+        if (opts.collectProfile)
+            legStart = WallClock::now();
+    };
+    auto legEnd = [&](uint64_t &us) {
+        if (opts.collectProfile)
+            us += uint64_t(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    WallClock::now() - legStart)
+                    .count());
+    };
+
     vm::VmConfig base = makeBaseConfig(t, s, opts);
 
     vm::VmConfig plainCfg = base;
@@ -259,7 +275,9 @@ runOneSchedule(const Target &t, const ScheduleSpec &s,
         plainCfg.recorder = &*covRec;
         plainCfg.recordSharedAccesses = true;
     }
+    legBegin();
     vm::RunResult u = vm::runProgram(*t.plain, plainCfg);
+    legEnd(out.wallUnhardenedUs);
     if (opts.collectCoverage && plainCfg.recorder)
         out.coverage =
             obs::cov::foldCoverage(*plainCfg.recorder).edges;
@@ -272,7 +290,9 @@ runOneSchedule(const Target &t, const ScheduleSpec &s,
     if (opts.differential) {
         vm::VmConfig refCfg = base;
         refCfg.engine = vm::ExecEngine::Reference;
+        legBegin();
         vm::RunResult r = vm::runProgram(*t.plain, refCfg);
+        legEnd(out.wallDifferentialUs);
         std::string d = tickDiff(u, r);
         if (!d.empty()) {
             out.diverged = true;
@@ -282,7 +302,9 @@ runOneSchedule(const Target &t, const ScheduleSpec &s,
     if (opts.fusedDifferential && !out.diverged) {
         vm::VmConfig fusedCfg = base;
         fusedCfg.engine = vm::ExecEngine::Fused;
+        legBegin();
         vm::RunResult r = vm::runProgram(*t.plain, fusedCfg);
+        legEnd(out.wallDifferentialUs);
         std::string d = tickDiff(u, r);
         if (!d.empty()) {
             out.diverged = true;
@@ -302,7 +324,21 @@ runOneSchedule(const Target &t, const ScheduleSpec &s,
         }
         if (opts.collectMetrics)
             hardCfg.metrics = &out.metrics;
+        // The profiler rides the instrumented Decoded leg only; the
+        // bare differential replicas below prove on every schedule
+        // that attaching it never perturbed the run.
+        std::optional<obs::prof::PhaseProfiler> prof;
+        if (opts.collectProfile) {
+            prof.emplace();
+            hardCfg.profiler = &*prof;
+        }
+        legBegin();
         vm::RunResult h = vm::runProgram(*t.hardened, hardCfg);
+        legEnd(out.wallHardenedUs);
+        if (prof) {
+            out.profile.add(*prof);
+            out.hasProfile = true;
+        }
         out.hardened = h.outcome;
         out.hardenedCorrect = correctRun(t, h);
         out.hardenedInconclusive = h.outcome == vm::Outcome::Timeout;
@@ -319,8 +355,11 @@ runOneSchedule(const Target &t, const ScheduleSpec &s,
             // (diagnosis mode included).
             refCfg.recorder = nullptr;
             refCfg.metrics = nullptr;
+            refCfg.profiler = nullptr;
             refCfg.recordSharedAccesses = false;
+            legBegin();
             vm::RunResult r = vm::runProgram(*t.hardened, refCfg);
+            legEnd(out.wallHardenedDiffUs);
             std::string d = tickDiff(h, r);
             if (!d.empty()) {
                 out.diverged = true;
@@ -335,8 +374,11 @@ runOneSchedule(const Target &t, const ScheduleSpec &s,
             // recording passivity in one comparison.
             fusedCfg.recorder = nullptr;
             fusedCfg.metrics = nullptr;
+            fusedCfg.profiler = nullptr;
             fusedCfg.recordSharedAccesses = false;
+            legBegin();
             vm::RunResult r = vm::runProgram(*t.hardened, fusedCfg);
+            legEnd(out.wallHardenedDiffUs);
             std::string d = tickDiff(h, r);
             if (!d.empty()) {
                 out.diverged = true;
@@ -403,7 +445,8 @@ runCampaign(const std::vector<Target> &targets,
                     opts.stopAfterFailures) {
                 results[i].spec = j.spec; // ran stays false
                 if (opts.telemetry)
-                    opts.telemetry->noteSchedule(worker, results[i]);
+                    opts.telemetry->noteSchedule(
+                        worker, targets[j.target].name, results[i]);
                 continue;
             }
             results[i] =
@@ -414,7 +457,8 @@ runCampaign(const std::vector<Target> &targets,
             // Live telemetry only — the deterministic report below
             // still aggregates from `results` in matrix order.
             if (opts.telemetry)
-                opts.telemetry->noteSchedule(worker, results[i]);
+                opts.telemetry->noteSchedule(
+                    worker, targets[j.target].name, results[i]);
         }
     };
 
@@ -440,12 +484,29 @@ runCampaign(const std::vector<Target> &targets,
     // matrix order — std::set iterates sorted, which is exactly the
     // order coverageDigest() wants.
     std::vector<std::set<uint64_t>> covKeys(targets.size());
+    // Wall-clock accumulation per (target, policy entry, leg) — the
+    // four legs of runOneSchedule in execution order.
+    struct WallAcc
+    {
+        uint64_t micros = 0;
+        uint64_t spans = 0;
+    };
+    static const char *const kWallLegs[4] = {
+        "unhardened", "differential", "hardened", "hardened_diff"};
+    std::vector<std::vector<WallAcc>> wallAcc;
+    if (opts.collectProfile)
+        wallAcc.assign(targets.size(),
+                       std::vector<WallAcc>(opts.policies.size() * 4));
     for (size_t ti = 0; ti < targets.size(); ++ti) {
         rep.targets[ti].name = targets[ti].name;
         if (opts.collectMetrics)
             for (const auto &[policy, depth] : opts.policies)
                 rep.targets[ti].policyMetrics.emplace_back(
                     policyLabel(policy, depth), obs::MetricsRegistry{});
+        if (opts.collectProfile)
+            for (const auto &[policy, depth] : opts.policies)
+                rep.targets[ti].policyProfiles.emplace_back(
+                    policyLabel(policy, depth), obs::prof::ProfileAgg{});
     }
 
     for (size_t i = 0; i < jobs.size(); ++i) {
@@ -481,6 +542,25 @@ runCampaign(const std::vector<Target> &targets,
                     g.swap(kept);
                 }
             }
+        }
+
+        if (opts.collectProfile) {
+            auto &wa = wallAcc[j.target];
+            auto span = [&](int leg, uint64_t us) {
+                wa[j.policyIdx * 4 + leg].micros += us;
+                ++wa[j.policyIdx * 4 + leg].spans;
+            };
+            span(0, o.wallUnhardenedUs);
+            if (opts.differential || opts.fusedDifferential)
+                span(1, o.wallDifferentialUs);
+            if (o.hardenedRan) {
+                span(2, o.wallHardenedUs);
+                if (!o.chaos && !o.diverged &&
+                    (opts.differential || opts.fusedDifferential))
+                    span(3, o.wallHardenedDiffUs);
+            }
+            if (o.hasProfile)
+                tr.policyProfiles[j.policyIdx].second.merge(o.profile);
         }
 
         if (o.unhardenedInconclusive) {
@@ -556,6 +636,25 @@ runCampaign(const std::vector<Target> &targets,
             std::vector<uint64_t> keys(covKeys[ti].begin(),
                                        covKeys[ti].end());
             tr.coverageDigest = obs::cov::coverageDigest(keys);
+        }
+        if (opts.collectProfile) {
+            tr.hasProfile = true;
+            for (const auto &[label, agg] : tr.policyProfiles)
+                tr.profile.merge(agg);
+            for (size_t pi = 0; pi < opts.policies.size(); ++pi)
+                for (int leg = 0; leg < 4; ++leg) {
+                    const WallAcc &a = wallAcc[ti][pi * 4 + leg];
+                    if (!a.spans)
+                        continue;
+                    obs::prof::WallCell c;
+                    c.kernel = tr.name;
+                    c.policy = policyLabel(opts.policies[pi].first,
+                                           opts.policies[pi].second);
+                    c.leg = kWallLegs[leg];
+                    c.micros = a.micros;
+                    c.spans = a.spans;
+                    tr.wall.push_back(std::move(c));
+                }
         }
     }
     // Post-aggregation observability passes.  Both replay one schedule

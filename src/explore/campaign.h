@@ -31,6 +31,8 @@
 #include "obs/coverage/coverage.h"
 #include "obs/metrics.h"
 #include "obs/postmortem/diagnosis.h"
+#include "obs/profile/profile.h"
+#include "obs/profile/profile_export.h"
 #include "vm/stats.h"
 
 namespace conair::ir {
@@ -164,11 +166,24 @@ struct CampaignOptions
     bool collectCoverage = false;
 
     /**
-     * Live telemetry sink for the embedded /metrics, /status, and
-     * /coverage endpoints (src/explore/telemetry.h).  Borrowed, may be
-     * null.  Workers publish each finished schedule into it as they
-     * go; it never feeds back into the campaign, so the deterministic
-     * report is unaffected.
+     * Recovery-cost profiling (src/obs/profile/): attach a
+     * PhaseProfiler to every hardened Decoded leg and fold the phase
+     * ticks plus per-episode recovery tax into
+     * TargetReport::policyProfiles / TargetReport::profile, in matrix
+     * order like the metrics — identical for any worker count.  The
+     * bare Reference/Fused replicas keep re-proving on every schedule
+     * that profiling is passive (tick identity against the profiled
+     * leg).  Also times each leg's wall-clock span into
+     * TargetReport::wall.
+     */
+    bool collectProfile = false;
+
+    /**
+     * Live telemetry sink for the embedded /metrics, /status,
+     * /coverage, and /profile endpoints (src/explore/telemetry.h).
+     * Borrowed, may be null.  Workers publish each finished schedule
+     * into it as they go; it never feeds back into the campaign, so
+     * the deterministic report is unaffected.
      */
     CampaignTelemetry *telemetry = nullptr;
 };
@@ -213,6 +228,21 @@ struct ScheduleOutcome
      *  leg's trace (populated when opts.collectCoverage): deduplicated
      *  per run, each stamped with its first discovery, sorted by key. */
     std::vector<obs::cov::Edge> coverage;
+
+    /** Hardened-leg phase profile + recovery tax (populated when
+     *  opts.collectProfile and the target has a hardened build). */
+    bool hasProfile = false;
+    obs::prof::ProfileAgg profile;
+
+    /** Wall-clock leg spans in microseconds (populated when
+     *  opts.collectProfile): the plain Decoded leg, its differential
+     *  replicas, the hardened leg, and its differential replicas.
+     *  Wall time is the only nondeterministic field in the outcome;
+     *  everything else stays byte-identical run to run. */
+    uint64_t wallUnhardenedUs = 0;
+    uint64_t wallDifferentialUs = 0;
+    uint64_t wallHardenedUs = 0;
+    uint64_t wallHardenedDiffUs = 0;
 };
 
 /**
@@ -326,6 +356,25 @@ struct TargetReport
      *  per opts.policies entry, in matrix order. */
     std::vector<std::pair<std::string, obs::MetricsRegistry>>
         policyMetrics;
+
+    /**
+     * @name Recovery-cost profile (only when
+     * CampaignOptions::collectProfile): hardened-leg phase ticks and
+     * per-episode recovery tax, aggregated in matrix order — identical
+     * for any worker count, pinned by the campaign profile test.
+     * @{
+     */
+    bool hasProfile = false;
+    /** Target-wide aggregate (sum of policyProfiles). */
+    obs::prof::ProfileAgg profile;
+    /** One ("pct:d2", agg) pair per opts.policies entry. */
+    std::vector<std::pair<std::string, obs::prof::ProfileAgg>>
+        policyProfiles;
+    /** Wall-clock cost per (policy, leg), summed in matrix order.
+     *  The micros are nondeterministic by nature; the cell set and
+     *  span counts are not. */
+    std::vector<obs::prof::WallCell> wall;
+    /** @} */
 
     /** Postmortem diagnosis of firstFailure (only when
      *  CampaignOptions::diagnoseFailures and foundFailure). */

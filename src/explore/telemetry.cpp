@@ -29,6 +29,7 @@ CampaignTelemetry::beginCampaign(uint64_t totalJobs, unsigned workers)
 
 void
 CampaignTelemetry::noteSchedule(unsigned worker,
+                                const std::string &target,
                                 const ScheduleOutcome &o)
 {
     uint64_t done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -43,6 +44,27 @@ CampaignTelemetry::noteSchedule(unsigned worker,
     std::lock_guard<std::mutex> lock(mutex_);
     if (!o.metrics.empty())
         metrics_.merge(o.metrics);
+    if (o.hasProfile) {
+        const std::string policy =
+            policyLabel(o.spec.policy, o.spec.depth);
+        profiles_[target + "/" + policy].merge(o.profile);
+        auto span = [&](const char *leg, uint64_t us, bool ran) {
+            if (!ran)
+                return;
+            obs::prof::WallCell &c =
+                wall_[target + ";" + policy + ";" + leg];
+            c.kernel = target;
+            c.policy = policy;
+            c.leg = leg;
+            c.micros += us;
+            ++c.spans;
+        };
+        span("unhardened", o.wallUnhardenedUs, true);
+        span("differential", o.wallDifferentialUs, true);
+        span("hardened", o.wallHardenedUs, true);
+        span("hardened_diff", o.wallHardenedDiffUs,
+             !o.chaos && !o.diverged);
+    }
     if (novel > 0) {
         growth_.emplace_back(done, coverage_.distinctEdges());
         if (growth_.size() > kMaxGrowthSamples) {
@@ -157,6 +179,20 @@ CampaignTelemetry::coverageJson() const
     w.endArray();
     w.endObject();
     return w.str();
+}
+
+std::string
+CampaignTelemetry::profileJson() const
+{
+    obs::prof::ProfileDoc doc;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[group, agg] : profiles_)
+            doc.phaseGroups.emplace_back(group, agg);
+        for (const auto &[key, cell] : wall_)
+            doc.wall.push_back(cell);
+    }
+    return obs::prof::speedscopeJson(doc, "campaign (live)");
 }
 
 std::string

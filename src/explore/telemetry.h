@@ -22,6 +22,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -29,6 +30,8 @@
 
 #include "obs/coverage/coverage.h"
 #include "obs/metrics.h"
+#include "obs/profile/profile.h"
+#include "obs/profile/profile_export.h"
 
 namespace conair::explore {
 
@@ -46,10 +49,12 @@ class CampaignTelemetry
      *  @p workers workers (runCampaign calls this). */
     void beginCampaign(uint64_t totalJobs, unsigned workers);
 
-    /** Publishes one finished schedule from worker @p worker:
-     *  counters, the outcome's coverage fold, and its hardened-leg
-     *  metrics.  Thread-safe. */
-    void noteSchedule(unsigned worker, const ScheduleOutcome &o);
+    /** Publishes one finished schedule of target @p target from
+     *  worker @p worker: counters, the outcome's coverage fold, its
+     *  hardened-leg metrics, and its phase profile / wall spans (when
+     *  the campaign collects profiles).  Thread-safe. */
+    void noteSchedule(unsigned worker, const std::string &target,
+                      const ScheduleOutcome &o);
 
     /** Replay-corpus size (set by the post-aggregation pass). */
     void noteCorpusSize(uint64_t n);
@@ -73,6 +78,11 @@ class CampaignTelemetry
      *  Prometheus text exposition plus campaign/coverage gauges. */
     std::string prometheusText() const;
 
+    /** GET /profile body: the live phase profile + wall spans as
+     *  speedscope JSON (one "kernel/policy" frame group per hardened
+     *  profile merged so far).  Valid mid-campaign at any time. */
+    std::string profileJson() const;
+
   private:
     struct WorkerCell
     {
@@ -90,11 +100,17 @@ class CampaignTelemetry
 
     obs::cov::CoverageMap coverage_;
 
-    mutable std::mutex mutex_; ///< guards metrics_ and growth_
+    mutable std::mutex mutex_; ///< guards metrics_, growth_, profiles_,
+                               ///< and wall_
     obs::MetricsRegistry metrics_;
     /** (schedule#, distinctEdges) samples, appended whenever a merge
      *  grew the map; thinned to stay bounded. */
     std::vector<std::pair<uint64_t, uint64_t>> growth_;
+    /** Live phase profile per "kernel/policy" group (sorted map =
+     *  deterministic group order in /profile). */
+    std::map<std::string, obs::prof::ProfileAgg> profiles_;
+    /** Live wall spans per (kernel, policy, leg). */
+    std::map<std::string, obs::prof::WallCell> wall_;
 };
 
 } // namespace conair::explore

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cctype>
 
 #include "support/diag.h"
@@ -86,8 +87,18 @@ MetricsRegistry::observe(const std::string &name, uint64_t v,
                          const std::vector<uint64_t> &bounds)
 {
     auto it = hists_.find(name);
-    if (it == hists_.end())
+    if (it == hists_.end()) {
         it = hists_.emplace(name, Histogram(bounds)).first;
+    } else {
+        // First-use-wins contract: the ladder a histogram was created
+        // with is the ladder it keeps.  Passing different bounds for
+        // the same name is a caller bug — merge() would later fail on
+        // the mismatch — so it is fatal in debug builds and ignored
+        // (the original ladder is kept) in release builds.
+        assert(it->second.bounds == bounds &&
+               "MetricsRegistry::observe: bucket bounds differ from "
+               "the histogram's first use");
+    }
     it->second.observe(v);
 }
 

@@ -1,0 +1,249 @@
+#include "obs/profile/profile.h"
+
+#include <algorithm>
+
+#include "support/json.h"
+
+namespace conair::obs::prof {
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::Dispatch: return "dispatch";
+      case Phase::Memory: return "memory";
+      case Phase::Sync: return "sync";
+      case Phase::LockWait: return "lock_wait";
+      case Phase::CheckpointSave: return "checkpoint_save";
+      case Phase::Rollback: return "rollback";
+      case Phase::Reexec: return "reexec";
+      case Phase::Backoff: return "backoff";
+    }
+    return "?";
+}
+
+Phase
+classifyPhase(ir::Opcode op, ir::Builtin builtin)
+{
+    switch (op) {
+      case ir::Opcode::Load:
+      case ir::Opcode::Store:
+        return Phase::Memory;
+      case ir::Opcode::Call:
+        switch (builtin) {
+          case ir::Builtin::ThreadCreate:
+          case ir::Builtin::ThreadJoin:
+          case ir::Builtin::MutexLock:
+          case ir::Builtin::MutexUnlock:
+          case ir::Builtin::MutexTimedLock:
+          case ir::Builtin::Yield:
+          case ir::Builtin::Sleep:
+            return Phase::Sync;
+          case ir::Builtin::Malloc:
+          case ir::Builtin::Free:
+            return Phase::Memory;
+          case ir::Builtin::CaCheckpoint:
+          case ir::Builtin::CaCheckpointLocals:
+            return Phase::CheckpointSave;
+          case ir::Builtin::CaTryRollback:
+            return Phase::Rollback;
+          case ir::Builtin::CaBackoff:
+            return Phase::Backoff;
+          default:
+            return Phase::Dispatch;
+        }
+      default:
+        return Phase::Dispatch;
+    }
+}
+
+PhaseProfiler::ThreadState &
+PhaseProfiler::thread(uint32_t tid)
+{
+    if (tid >= threads_.size())
+        threads_.resize(tid + 1);
+    return threads_[tid];
+}
+
+void
+PhaseProfiler::onStep(uint32_t tid, Phase p)
+{
+    onSteps(tid, p, 1);
+}
+
+void
+PhaseProfiler::onSteps(uint32_t tid, Phase p, uint64_t n)
+{
+    ticks_[size_t(p)] += n;
+    ThreadState &ts = thread(tid);
+    ts.stepsSinceCkpt += n;
+    if (p == Phase::Reexec && ts.episodeActive)
+        ts.reexecSteps += n;
+}
+
+void
+PhaseProfiler::onWait(Phase p, uint64_t ticks)
+{
+    ticks_[size_t(p)] += ticks;
+}
+
+void
+PhaseProfiler::onCheckpoint(uint32_t tid)
+{
+    thread(tid).stepsSinceCkpt = 0;
+}
+
+void
+PhaseProfiler::onRollback(uint32_t tid, const std::string &siteTag,
+                          uint64_t ckptDistanceTicks)
+{
+    ThreadState &ts = thread(tid);
+    if (!ts.episodeActive) {
+        ts.episodeActive = true;
+        ts.siteTag = siteTag;
+        ts.retries = 0;
+        ts.ckptDistanceTicks = ckptDistanceTicks;
+        ts.reexecSteps = 0;
+        ts.wastedSteps = 0;
+        ts.backoffTicks = 0;
+    }
+    ++ts.retries;
+    // The rollback discards everything executed since the checkpoint:
+    // that work is the episode's waste.  Re-execution restarts the
+    // window, so the counter resets with it.
+    ts.wastedSteps += ts.stepsSinceCkpt;
+    ts.stepsSinceCkpt = 0;
+}
+
+void
+PhaseProfiler::onBackoff(uint32_t tid, uint64_t ticks)
+{
+    ticks_[size_t(Phase::Backoff)] += ticks;
+    ThreadState &ts = thread(tid);
+    if (ts.episodeActive)
+        ts.backoffTicks += ticks;
+}
+
+void
+PhaseProfiler::onRecovered(uint32_t tid, uint64_t retries,
+                           uint64_t startClock, uint64_t endClock)
+{
+    ThreadState &ts = thread(tid);
+    if (!ts.episodeActive)
+        return; // CaRecovered without a preceding rollback: no episode
+    EpisodeCost ep;
+    ep.siteTag = ts.siteTag;
+    ep.tid = tid;
+    ep.retries = std::max(retries, ts.retries);
+    ep.ckptDistanceTicks = ts.ckptDistanceTicks;
+    ep.reexecSteps = ts.reexecSteps;
+    ep.wastedSteps = ts.wastedSteps;
+    ep.backoffTicks = ts.backoffTicks;
+    ep.startClock = startClock;
+    ep.endClock = endClock;
+    episodes_.push_back(std::move(ep));
+    ts.episodeActive = false;
+}
+
+uint64_t
+PhaseProfiler::totalTicks() const
+{
+    uint64_t sum = 0;
+    for (uint64_t t : ticks_)
+        sum += t;
+    return sum;
+}
+
+bool
+PhaseProfiler::empty() const
+{
+    return totalTicks() == 0 && episodes_.empty();
+}
+
+void
+PhaseProfiler::clear()
+{
+    ticks_.fill(0);
+    threads_.clear();
+    episodes_.clear();
+}
+
+void
+ProfileAgg::add(const PhaseProfiler &p)
+{
+    for (size_t i = 0; i < kPhaseCount; ++i)
+        ticks[i] += p.phaseTicks(Phase(i));
+    ++runs;
+    for (const EpisodeCost &ep : p.episodes()) {
+        ++episodes;
+        retries += ep.retries;
+        reexecSteps += ep.reexecSteps;
+        wastedSteps += ep.wastedSteps;
+        backoffTicks += ep.backoffTicks;
+        ckptDistanceTicks += ep.ckptDistanceTicks;
+        episodesBySite[ep.siteTag] += 1;
+        reexecBySite[ep.siteTag] += ep.reexecSteps;
+    }
+}
+
+void
+ProfileAgg::merge(const ProfileAgg &o)
+{
+    for (size_t i = 0; i < kPhaseCount; ++i)
+        ticks[i] += o.ticks[i];
+    runs += o.runs;
+    episodes += o.episodes;
+    retries += o.retries;
+    reexecSteps += o.reexecSteps;
+    wastedSteps += o.wastedSteps;
+    backoffTicks += o.backoffTicks;
+    ckptDistanceTicks += o.ckptDistanceTicks;
+    for (const auto &[site, n] : o.episodesBySite)
+        episodesBySite[site] += n;
+    for (const auto &[site, n] : o.reexecBySite)
+        reexecBySite[site] += n;
+}
+
+uint64_t
+ProfileAgg::totalTicks() const
+{
+    uint64_t sum = 0;
+    for (uint64_t t : ticks)
+        sum += t;
+    return sum;
+}
+
+void
+ProfileAgg::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("runs").value(runs);
+    w.key("total_ticks").value(totalTicks());
+    w.key("phases").beginObject();
+    for (size_t i = 0; i < kPhaseCount; ++i)
+        w.key(phaseName(Phase(i))).value(ticks[i]);
+    w.endObject();
+    w.key("recovery_tax").beginObject();
+    w.key("episodes").value(episodes);
+    w.key("retries").value(retries);
+    w.key("reexec_steps").value(reexecSteps);
+    w.key("reexec_steps_per_episode")
+        .value(reexecPerEpisode(), "%.3f");
+    w.key("wasted_steps").value(wastedSteps);
+    w.key("backoff_ticks").value(backoffTicks);
+    w.key("ckpt_distance_ticks").value(ckptDistanceTicks);
+    w.key("by_site").beginObject();
+    for (const auto &[site, n] : episodesBySite) {
+        w.key(site).beginObject();
+        w.key("episodes").value(n);
+        auto it = reexecBySite.find(site);
+        w.key("reexec_steps")
+            .value(it == reexecBySite.end() ? 0 : it->second);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace conair::obs::prof

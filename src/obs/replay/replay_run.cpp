@@ -89,6 +89,7 @@ replayLog(const ir::Module &m, const ReplayLog &log,
         cfg.recorder = ins->recorder;
         cfg.recordSharedAccesses =
             ins->recorder && ins->recordSharedAccesses;
+        cfg.profiler = ins->profiler;
     }
 
     ReplayRun rr;

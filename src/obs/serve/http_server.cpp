@@ -1,7 +1,9 @@
 #include "obs/serve/http_server.h"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -252,12 +254,14 @@ HttpServer::handleConnection(int fd)
         target.resize(query);
 
     if (method != "GET") {
+        methodNotAllowed_.fetch_add(1, std::memory_order_relaxed);
         sendResponse(fd, 405, "text/plain; charset=utf-8",
                      "method not allowed\n", /*allowHeader=*/true);
         return;
     }
     auto it = routes_.find(target);
     if (it == routes_.end()) {
+        notFound_.fetch_add(1, std::memory_order_relaxed);
         sendResponse(fd, 404, "text/plain; charset=utf-8",
                      "not found\n");
         return;
@@ -268,16 +272,67 @@ HttpServer::handleConnection(int fd)
         served_.fetch_add(1, std::memory_order_relaxed);
 }
 
+std::string
+HttpServer::prometheusCounters() const
+{
+    std::string out;
+    auto counter = [&out](const char *name, const char *help,
+                          uint64_t v) {
+        out += strfmt("# HELP %s %s\n# TYPE %s counter\n%s %llu\n",
+                      name, help, name, name, (unsigned long long)v);
+    };
+    counter("conair_http_requests_served",
+            "HTTP requests answered with 200.", requestsServed());
+    counter("conair_http_bad_requests",
+            "HTTP requests answered with 400 (malformed/oversized).",
+            badRequests());
+    counter("conair_http_not_found",
+            "HTTP requests answered with 404 (unknown path).",
+            notFound());
+    counter("conair_http_method_not_allowed",
+            "HTTP requests answered with 405 (non-GET method).",
+            methodNotAllowed());
+    return out;
+}
+
 bool
 httpGet(uint16_t port, const std::string &path, int &status,
-        std::string &body, std::string &err)
+        std::string &body, std::string &err, int deadlineMs)
 {
+    // The overall deadline bounds the whole exchange; each socket
+    // operation additionally stays under the 2 s per-op cap, clamped
+    // to whatever remains.
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(deadlineMs);
+    auto remainingMs = [&deadline]() -> long long {
+        return std::chrono::duration_cast<std::chrono::milliseconds>(
+                   deadline - Clock::now())
+            .count();
+    };
+    auto armTimeouts = [&](int sock) -> bool {
+        long long rem = remainingMs();
+        if (rem <= 0)
+            return false;
+        long long ms = std::min<long long>(rem, 2000);
+        timeval tv{};
+        tv.tv_sec = time_t(ms / 1000);
+        tv.tv_usec = suseconds_t((ms % 1000) * 1000);
+        setsockopt(sock, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        setsockopt(sock, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        return true;
+    };
+
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
         err = strfmt("socket: %s", std::strerror(errno));
         return false;
     }
-    setIoTimeouts(fd);
+    if (!armTimeouts(fd)) {
+        err = strfmt("deadline of %d ms exceeded", deadlineMs);
+        ::close(fd);
+        return false;
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -297,14 +352,28 @@ httpGet(uint16_t port, const std::string &path, int &status,
 
     std::string resp;
     char buf[4096];
+    bool timedOut = false;
     for (;;) {
+        if (!armTimeouts(fd)) {
+            timedOut = true; // overall deadline spent
+            break;
+        }
         ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            timedOut = true; // a single read stalled past its cap
+            break;
+        }
         if (n <= 0)
             break;
         resp.append(buf, size_t(n));
     }
     ::close(fd);
 
+    if (timedOut && resp.empty()) {
+        err = strfmt("no response within the %d ms deadline",
+                     deadlineMs);
+        return false;
+    }
     if (resp.compare(0, 5, "HTTP/") != 0) {
         err = "malformed response";
         return false;

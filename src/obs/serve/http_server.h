@@ -90,6 +90,23 @@ class HttpServer
         return bad_.load(std::memory_order_relaxed);
     }
 
+    /** Requests answered with 404 (unknown path). */
+    uint64_t notFound() const
+    {
+        return notFound_.load(std::memory_order_relaxed);
+    }
+
+    /** Requests answered with 405 (non-GET method). */
+    uint64_t methodNotAllowed() const
+    {
+        return methodNotAllowed_.load(std::memory_order_relaxed);
+    }
+
+    /** The four request counters in Prometheus text exposition
+     *  (conair_http_* counters) — appended to /metrics bodies so the
+     *  telemetry plane monitors itself. */
+    std::string prometheusCounters() const;
+
   private:
     void acceptLoop();
     void handlerLoop();
@@ -109,6 +126,8 @@ class HttpServer
 
     std::atomic<uint64_t> served_{0};
     std::atomic<uint64_t> bad_{0};
+    std::atomic<uint64_t> notFound_{0};
+    std::atomic<uint64_t> methodNotAllowed_{0};
 };
 
 /**
@@ -116,8 +135,15 @@ class HttpServer
  * half the server tests and the scrape-guard bench share.  Returns
  * false (with @p err) on connect/transport failure; HTTP error
  * statuses are returned in @p status, not treated as failure.
+ *
+ * @p deadlineMs bounds the WHOLE call (connect + send + receive): a
+ * server that accepts the connection but never answers — or trickles
+ * bytes forever — fails the call with a deadline error instead of
+ * holding the client indefinitely.  Individual socket operations stay
+ * capped at 2 s, clamped down to whatever remains of the deadline.
  */
 bool httpGet(uint16_t port, const std::string &path, int &status,
-             std::string &body, std::string &err);
+             std::string &body, std::string &err,
+             int deadlineMs = 10'000);
 
 } // namespace conair::obs::serve

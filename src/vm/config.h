@@ -15,6 +15,10 @@ class FlightRecorder;
 class MetricsRegistry;
 }
 
+namespace conair::obs::prof {
+class PhaseProfiler;
+}
+
 namespace conair::vm {
 
 /** Thread scheduling policies. */
@@ -268,6 +272,13 @@ struct VmConfig
     /** Metrics registry receiving counters and histograms (recovery
      *  latency, retries per site, checkpoint-to-failure distance). */
     obs::MetricsRegistry *metrics = nullptr;
+
+    /** Phase profiler attributing retired steps and waited ticks to
+     *  VM phases plus per-recovery-episode cost breakdowns
+     *  (src/obs/profile/).  Same passivity contract as the recorder:
+     *  a profiled run is tick- and memDigest-identical to a bare one
+     *  on all three engines (tests/obs/vm_profile_test.cpp). */
+    obs::prof::PhaseProfiler *profiler = nullptr;
 
     /**
      * Diagnosis recording mode: additionally record a SharedLoad /

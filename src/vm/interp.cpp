@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "obs/metrics.h"
+#include "obs/profile/profile.h"
 #include "obs/trace.h"
 #include "support/str.h"
 
@@ -95,6 +96,7 @@ Interp::Interp(const ir::Module &m, VmConfig cfg)
     rec_ = cfg_.recorder;
     met_ = cfg_.metrics;
     diag_ = rec_ != nullptr && cfg_.recordSharedAccesses;
+    prof_ = cfg_.profiler;
 
     // Replay mode: the recorded switch list *is* the schedule, so the
     // exploration machinery stays dormant — no scheduling points are
@@ -278,6 +280,42 @@ Interp::run()
 //
 
 void
+Interp::profStep(const Thread &t, Opcode op, Builtin builtin)
+{
+    // CaRecovered is the zero-cost measurement hook: execConAir
+    // refunds its clock tick and step, so it must not be attributed.
+    if (op == Opcode::Call && builtin == Builtin::CaRecovered)
+        return;
+    obs::prof::Phase p = obs::prof::classifyPhase(op, builtin);
+    // Inside an open recovery episode, ordinary work is re-execution
+    // toward the resume point; the recovery machinery's own steps
+    // (rollback, back-off, checkpoint) keep their class.
+    if (t.episode.active &&
+        (p == obs::prof::Phase::Dispatch ||
+         p == obs::prof::Phase::Memory || p == obs::prof::Phase::Sync))
+        p = obs::prof::Phase::Reexec;
+    prof_->onStep(t.id, p);
+}
+
+void
+Interp::profFusedSegment(const Thread &t, uint64_t steps,
+                         uint64_t memSteps)
+{
+    using obs::prof::Phase;
+    // Within one deferred segment the episode flag is constant: only
+    // Solo-delegated instructions can open or close an episode, and
+    // those settle the segment first.
+    if (t.episode.active) {
+        prof_->onSteps(t.id, Phase::Reexec, steps);
+        return;
+    }
+    if (memSteps)
+        prof_->onSteps(t.id, Phase::Memory, memSteps);
+    if (steps > memSteps)
+        prof_->onSteps(t.id, Phase::Dispatch, steps - memSteps);
+}
+
+void
 Interp::stepThread(Thread &t)
 {
     Frame &f = t.frames.back();
@@ -286,6 +324,8 @@ Interp::stepThread(Thread &t)
     if (f.dfn) {
         const DecodedInst &di = f.dfn->insts[f.dPc];
         ++f.dPc; // terminators re-aim it; calls rely on it pointing past
+        if (prof_)
+            profStep(t, di.op, di.builtin);
         execDecoded(t, di);
         if (cfg_.chaosRollbackEveryN > 0 && running_) {
             if (di.dirties)
@@ -295,6 +335,8 @@ Interp::stepThread(Thread &t)
     } else {
         const Instruction &inst = **f.pc;
         ++f.pc;
+        if (prof_)
+            profStep(t, inst.opcode(), inst.builtin());
         execInst(t, inst);
         if (cfg_.chaosRollbackEveryN > 0 && running_) {
             if (dirtiesWindow(inst))
@@ -515,11 +557,15 @@ Interp::runBurstFused(Thread &t)
     // steps only.
     uint64_t comps = 0;
     uint64_t phiTicks = 0;
+    // Deferred profiler attribution: memory fast-path charges retired
+    // since the last flush (the rest of a segment is plain dispatch).
+    // Only ever nonzero when prof_ is set.
+    uint64_t profMem = 0;
 
 // Settles the deferred charges into the member counters, in the same
 // aggregate as stepwise execution: each component is one runBurst loop
 // body plus stepThread, each phi tick one clock/step pair.
-#define VM_FLUSH()                                                     \
+#define VM_FLUSH_ACCT()                                                \
     do {                                                               \
         quantumLeft_ -= comps;                                         \
         hangCheckCountdown_ -= comps;                                  \
@@ -529,6 +575,27 @@ Interp::runBurstFused(Thread &t)
         result_.stats.steps += comps + phiTicks;                       \
         comps = 0;                                                     \
         phiTicks = 0;                                                  \
+    } while (0)
+
+// Attributes the deferred segment to the profiler, excluding the last
+// @p excl charges (a delegated instruction the caller attributes by
+// class through profStep instead).  Must run before VM_FLUSH_ACCT()
+// zeroes the locals.
+#define VM_PROF_SEG(excl)                                              \
+    do {                                                               \
+        if (prof_ && comps + phiTicks > (excl)) {                      \
+            profFusedSegment(t, comps + phiTicks - (excl), profMem);   \
+            profMem = 0;                                               \
+        } else {                                                       \
+            profMem = 0;                                               \
+        }                                                              \
+    } while (0)
+
+// The common settle: attribute the whole segment, then account it.
+#define VM_FLUSH()                                                     \
+    do {                                                               \
+        VM_PROF_SEG(0);                                                \
+        VM_FLUSH_ACCT();                                               \
     } while (0)
 
 // One retired component; settled by the next VM_FLUSH().
@@ -633,7 +700,10 @@ resync:
     {
         frp->dPc = idx + 1;
         VM_CHARGE();
-        VM_FLUSH();
+        VM_PROF_SEG(1); // the solo step classifies by opcode below
+        if (prof_)
+            profStep(t, insts[idx].op, insts[idx].builtin);
+        VM_FLUSH_ACCT();
         execDecoded(t, insts[idx]);
         goto resync; // may have changed frames, state, or scheduler
     }
@@ -641,7 +711,10 @@ resync:
     {
         frp->dPc = idx + 1;
         VM_CHARGE();
-        VM_FLUSH();
+        VM_PROF_SEG(1); // see Solo
+        if (prof_)
+            profStep(t, insts[idx].op, insts[idx].builtin);
+        VM_FLUSH_ACCT();
         execDecoded(t, insts[idx]);
         if (!running_ || wpPendingRestore_)
             goto resync; // trapping SDiv/SRem and friends
@@ -734,9 +807,15 @@ resync:
     {
         frp->dPc = idx + 1;
         VM_CHARGE();
-        if (fusedTryLoad(t, insts[idx], regs, consts) == FastMem::Done)
+        if (fusedTryLoad(t, insts[idx], regs, consts) == FastMem::Done) {
+            if (prof_)
+                ++profMem;
             VM_NEXT();
-        VM_FLUSH();
+        }
+        VM_PROF_SEG(1); // the load classifies by opcode below
+        if (prof_)
+            profStep(t, insts[idx].op, insts[idx].builtin);
+        VM_FLUSH_ACCT();
         doLoadDecoded(t, insts[idx]);
         if (!running_ || wpPendingRestore_)
             goto resync;
@@ -747,14 +826,22 @@ resync:
         frp->dPc = idx + 1;
         VM_CHARGE();
         const FastMem fm = fusedTryStore(t, insts[idx], regs, consts);
-        if (fm == FastMem::Done)
+        if (fm == FastMem::Done) {
+            if (prof_)
+                ++profMem;
             VM_NEXT();
+        }
         if (fm == FastMem::SharedDone) {
+            if (prof_)
+                ++profMem;
             if (result_.stats.schedTicks >= nextSchedPointAt_)
                 goto resync; // the store crossed a scheduling point
             VM_NEXT();
         }
-        VM_FLUSH();
+        VM_PROF_SEG(1); // the store classifies by opcode below
+        if (prof_)
+            profStep(t, insts[idx].op, insts[idx].builtin);
+        VM_FLUSH_ACCT();
         doStoreDecoded(t, insts[idx]);
         if (!running_ || wpPendingRestore_)
             goto resync;
@@ -767,10 +854,15 @@ resync:
         frp->dPc = idx + 1;
         VM_CHARGE();
         if (fusedTryLoad(t, insts[idx], regs, consts) != FastMem::Done) {
-            VM_FLUSH();
+            VM_PROF_SEG(1); // see Load
+            if (prof_)
+                profStep(t, insts[idx].op, insts[idx].builtin);
+            VM_FLUSH_ACCT();
             doLoadDecoded(t, insts[idx]);
             if (!running_ || wpPendingRestore_)
                 goto resync;
+        } else if (prof_) {
+            ++profMem;
         }
         if (budget <= 0)
             VM_NEXT(); // the Alu record at idx+1 resumes the pair
@@ -794,14 +886,22 @@ resync:
         VM_CHARGE();
         const FastMem fm =
             fusedTryStore(t, insts[idx + 1], regs, consts);
-        if (fm == FastMem::Done)
+        if (fm == FastMem::Done) {
+            if (prof_)
+                ++profMem;
             VM_NEXT();
+        }
         if (fm == FastMem::SharedDone) {
+            if (prof_)
+                ++profMem;
             if (result_.stats.schedTicks >= nextSchedPointAt_)
                 goto resync;
             VM_NEXT();
         }
-        VM_FLUSH();
+        VM_PROF_SEG(1); // see Store
+        if (prof_)
+            profStep(t, insts[idx + 1].op, insts[idx + 1].builtin);
+        VM_FLUSH_ACCT();
         doStoreDecoded(t, insts[idx + 1]);
         if (!running_ || wpPendingRestore_)
             goto resync;
@@ -819,6 +919,8 @@ resync:
 #undef VM_CHARGE
 #undef VM_FUSED_JUMP
 #undef VM_FLUSH
+#undef VM_PROF_SEG
+#undef VM_FLUSH_ACCT
 }
 
 //
@@ -970,6 +1072,8 @@ Interp::jumpTo(Thread &t, const ir::BasicBlock *target)
         ++f.pc;
         ++clock_;
         ++result_.stats.steps;
+        if (prof_)
+            profStep(t, Opcode::Phi, Builtin::None);
     }
     for (auto &[inst, v] : updates)
         setReg(f, inst, v);
@@ -1017,6 +1121,8 @@ Interp::jumpToDecoded(Thread &t, uint32_t target)
         ++j;
         ++clock_;
         ++result_.stats.steps;
+        if (prof_)
+            profStep(t, Opcode::Phi, Builtin::None);
     }
     for (uint32_t k = 0; k < db.phiCount; ++k)
         f.regs[dfn.phiCopies[edge->begin + k].dst] = phiScratch_[k];
@@ -1404,6 +1510,9 @@ Interp::grantLock(MutexState &m)
         if (rec_)
             rec_->record(wid, obs::EventKind::LockAcquire, clock_,
                          result_.stats.steps, w.lockKey.block, 1);
+        if (prof_)
+            prof_->onWait(obs::prof::Phase::LockWait,
+                          clock_ - w.blockStart);
         if (w.lockWantsResult) {
             w.frames.back().regs[w.lockResultReg] = RtValue::ofInt(0);
             w.lockWantsResult = false;
@@ -2067,11 +2176,15 @@ Interp::doCheckpoint(Thread &t, const Instruction &inst)
         uint64_t cost = cells / 4;
         clock_ += cost;
         result_.stats.steps += cost;
+        if (prof_ && cost)
+            prof_->onSteps(t.id, obs::prof::Phase::CheckpointSave, cost);
     }
     t.ckpt.schedTicksAt = result_.stats.schedTicks;
     t.cleanSinceCkpt = true;
     ++t.epoch;
     ++result_.stats.checkpointsExecuted;
+    if (prof_)
+        prof_->onCheckpoint(t.id);
     if (rec_)
         rec_->record(t.id, obs::EventKind::Checkpoint, clock_,
                      result_.stats.steps,
@@ -2196,6 +2309,9 @@ Interp::doTryRollback(Thread &t, const Instruction &inst, int64_t site_id)
                       result_.stats.schedTicks - t.ckpt.schedTicksAt,
                       obs::MetricsRegistry::tickDistanceBuckets());
     }
+    if (prof_)
+        prof_->onRollback(t.id, t.episode.siteTag,
+                          result_.stats.schedTicks - t.ckpt.schedTicksAt);
 
     runCompensation(t);
     restoreCheckpoint(t);
@@ -2224,6 +2340,8 @@ Interp::doTryRollback(Thread &t, const Instruction &inst, int64_t site_id)
                          result_.stats.steps, t.wakeAt - clock_, 1);
         if (met_)
             met_->add("backoffs");
+        if (prof_)
+            prof_->onBackoff(t.id, t.wakeAt - clock_);
     }
 }
 
@@ -2278,6 +2396,8 @@ Interp::execConAir(Thread &t, const Instruction &inst,
                          result_.stats.steps, ticks, 0);
         if (met_)
             met_->add("backoffs");
+        if (prof_)
+            prof_->onBackoff(t.id, ticks);
         break;
       }
       case Builtin::CaNoteAlloc: {
@@ -2330,6 +2450,9 @@ Interp::execConAir(Thread &t, const Instruction &inst,
                 met_->observe("recovery_retries", ev.retries,
                               obs::MetricsRegistry::retryBuckets());
             }
+            if (prof_)
+                prof_->onRecovered(t.id, ev.retries, ev.startClock,
+                                   ev.endClock);
             result_.stats.recoveries.push_back(std::move(ev));
             t.episode.active = false;
         }
@@ -2709,6 +2832,10 @@ Interp::wpTakeSnapshot()
     result_.stats.steps += cost;
     result_.stats.wpSnapshotCost += cost;
     ++result_.stats.wpSnapshots;
+    // Whole-program snapshots are global (no owning thread): charge
+    // the main thread, which always exists.
+    if (prof_)
+        prof_->onSteps(0, obs::prof::Phase::CheckpointSave, cost);
 }
 
 void

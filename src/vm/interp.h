@@ -441,6 +441,23 @@ class Interp
     /** Diagnosis recording mode: rec_ set AND cfg_.recordSharedAccesses
      *  — shared loads/stores also emit SharedLoad/SharedStore events. */
     bool diag_ = false;
+    /** Phase profiler (alias of cfg_.profiler; nullptr = disabled).
+     *  Same passivity contract as rec_: all profiler state lives in
+     *  the profiler object, never in the VM. */
+    obs::prof::PhaseProfiler *prof_ = nullptr;
+
+    /** Attributes one retired step about to execute (opcode already
+     *  fetched): classifies the phase, redirecting plain work inside
+     *  an open recovery episode to Phase::Reexec.  CaRecovered steps
+     *  are refunded by execConAir and never reach attribution. */
+    void profStep(const Thread &t, ir::Opcode op, ir::Builtin builtin);
+
+    /** Attributes a deferred fused-burst segment: @p memSteps retired
+     *  memory fast-path charges, the remainder plain dispatch (both
+     *  redirected to Phase::Reexec inside an open episode).  Only
+     *  called with prof_ set and steps > 0. */
+    void profFusedSegment(const Thread &t, uint64_t steps,
+                          uint64_t memSteps);
 
     /** Records a SharedLoad/SharedStore event for a successful
      *  non-stack access (diagnosis mode only). */

@@ -190,6 +190,66 @@ TEST_F(CampaignFixture, CoverageIsIndependentOfWorkerCount)
     EXPECT_NE(covDump.find("\"edges\""), std::string::npos);
 }
 
+TEST_F(CampaignFixture, ProfileIsIndependentOfWorkerCount)
+{
+    // The recovery-cost profile is folded per (target, policy) in
+    // matrix order, so the deterministic axis — phase ticks, episode
+    // counts, the whole recovery tax — must be identical for any
+    // worker count.  Wall-clock cells are measured micros and thus
+    // excluded, but their *shape* (cell set, span counts) is not.
+    auto prepared = prepare({"MySQL1", "ZSNES"});
+    auto targets = targetsFor(prepared);
+
+    CampaignOptions opts = smallOptions();
+    opts.collectProfile = true;
+    opts.workers = 1;
+    CampaignReport serial = runCampaign(targets, opts);
+    opts.workers = 4;
+    CampaignReport parallel = runCampaign(targets, opts);
+
+    ASSERT_EQ(serial.targets.size(), parallel.targets.size());
+    uint64_t episodes = 0, reexec = 0;
+    for (size_t i = 0; i < serial.targets.size(); ++i) {
+        const TargetReport &a = serial.targets[i];
+        const TargetReport &b = parallel.targets[i];
+        ASSERT_TRUE(a.hasProfile) << a.name;
+        ASSERT_TRUE(b.hasProfile) << b.name;
+
+        EXPECT_GT(a.profile.runs, 0u) << a.name;
+        episodes += a.profile.episodes;
+        reexec += a.profile.reexecSteps;
+
+        EXPECT_EQ(a.profile, b.profile) << a.name;
+        ASSERT_EQ(a.policyProfiles.size(), opts.policies.size())
+            << a.name;
+        EXPECT_EQ(a.policyProfiles, b.policyProfiles) << a.name;
+
+        // The target-wide aggregate is exactly the sum of the policy
+        // cells.
+        obs::prof::ProfileAgg summed;
+        for (const auto &[label, agg] : a.policyProfiles)
+            summed.merge(agg);
+        EXPECT_EQ(summed, a.profile) << a.name;
+
+        // Wall cells: same (policy, leg) set with the same span
+        // counts, whatever the measured micros were.
+        ASSERT_EQ(a.wall.size(), b.wall.size()) << a.name;
+        for (size_t wi = 0; wi < a.wall.size(); ++wi) {
+            EXPECT_EQ(a.wall[wi].kernel, b.wall[wi].kernel);
+            EXPECT_EQ(a.wall[wi].policy, b.wall[wi].policy);
+            EXPECT_EQ(a.wall[wi].leg, b.wall[wi].leg);
+            EXPECT_EQ(a.wall[wi].spans, b.wall[wi].spans)
+                << a.name << " " << a.wall[wi].policy << " "
+                << a.wall[wi].leg;
+        }
+    }
+    // The matrix really paid a recovery tax somewhere (ZSNES trips
+    // within the first couple of PCT seeds), so the equality checks
+    // above compared nonzero profiles, not all-zero ones.
+    EXPECT_GT(episodes, 0u);
+    EXPECT_GT(reexec, 0u);
+}
+
 TEST_F(CampaignFixture, OraclesHoldOnRealKernels)
 {
     // Order-violation kernels trip on priority orderings alone, so a

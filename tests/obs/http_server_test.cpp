@@ -260,5 +260,90 @@ TEST(HttpServer, MetricsBodyPassesExpositionGrammar)
         EXPECT_TRUE(promLineOk(line)) << "bad exposition line: " << line;
 }
 
+TEST(HttpServer, CountersCoverEveryResponseClass)
+{
+    // 404 and 405 get their own counters next to served/bad, and the
+    // exposition block appended to /metrics carries all four with the
+    // conair_http_ prefix.
+    ServerFixture f;
+
+    int status = 0;
+    std::string body, err;
+    ASSERT_TRUE(httpGet(f.server.port(), "/missing", status, body, err))
+        << err;
+    EXPECT_EQ(status, 404);
+    rawRequest(f.server.port(),
+               "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    rawRequest(f.server.port(),
+               "DELETE /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    rawRequest(f.server.port(), "junk\r\n\r\n");
+    ASSERT_TRUE(httpGet(f.server.port(), "/metrics", status, body, err))
+        << err;
+
+    EXPECT_EQ(f.server.notFound(), 1u);
+    EXPECT_EQ(f.server.methodNotAllowed(), 2u);
+    EXPECT_GE(f.server.badRequests(), 1u);
+    // Served counts successfully routed responses only — the one
+    // well-formed /metrics scrape above.
+    EXPECT_GE(f.server.requestsServed(), 1u);
+
+    std::string prom = f.server.prometheusCounters();
+    EXPECT_NE(prom.find("# TYPE conair_http_requests_served counter"),
+              std::string::npos);
+    EXPECT_NE(prom.find("# TYPE conair_http_bad_requests counter"),
+              std::string::npos);
+    EXPECT_NE(prom.find("conair_http_not_found 1"), std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("conair_http_method_not_allowed 2"),
+              std::string::npos)
+        << prom;
+
+    // The block itself passes the exposition grammar, so appending it
+    // to a /metrics body keeps the whole scrape parseable.
+    std::istringstream lines(prom);
+    std::string line;
+    while (std::getline(lines, line))
+        EXPECT_TRUE(promLineOk(line)) << "bad exposition line: " << line;
+}
+
+TEST(HttpGet, DeadlineCoversServerThatNeverResponds)
+{
+    // A bare listening socket: the kernel completes the TCP handshake
+    // into the backlog, but nothing ever reads the request or writes a
+    // byte back.  Per-operation timeouts alone would let httpGet hang
+    // forever on such a peer; the overall deadline must not.
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_EQ(bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)),
+              0);
+    ASSERT_EQ(listen(fd, 8), 0);
+    socklen_t len = sizeof(addr);
+    ASSERT_EQ(getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len),
+              0);
+    uint16_t port = ntohs(addr.sin_port);
+
+    int status = 0;
+    std::string body, err;
+    auto t0 = std::chrono::steady_clock::now();
+    bool ok = httpGet(port, "/metrics", status, body, err,
+                      /*deadlineMs=*/300);
+    double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    close(fd);
+
+    EXPECT_FALSE(ok);
+    EXPECT_NE(err.find("deadline"), std::string::npos) << err;
+    // Returned promptly: well under the per-operation 2 s cap, let
+    // alone the old unbounded wait.
+    EXPECT_LT(elapsed, 2.0);
+}
+
 } // namespace
 } // namespace conair

@@ -70,6 +70,32 @@ TEST(MetricsRegistry, ObserveCreatesHistogramOnFirstUse)
     EXPECT_EQ(h->max, 300u);
 }
 
+TEST(MetricsRegistry, ObserveBoundsAreFirstUseWins)
+{
+    // The bucket ladder is fixed by the first observe() of a name:
+    // later observes with the *same* ladder fold in normally, and a
+    // mismatched ladder is a caller bug — debug builds assert, release
+    // builds keep the original ladder (counts stay coherent either
+    // way).
+    MetricsRegistry reg;
+    reg.observe("lat", 7, MetricsRegistry::latencyBucketsUs());
+    reg.observe("lat", 300, MetricsRegistry::latencyBucketsUs());
+    const Histogram *h = reg.histogram("lat");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->bounds, MetricsRegistry::latencyBucketsUs());
+    EXPECT_EQ(h->count, 2u);
+
+    EXPECT_DEBUG_DEATH(
+        reg.observe("lat", 1, MetricsRegistry::retryBuckets()),
+        "bucket bounds differ from the histogram's first use");
+#ifdef NDEBUG
+    // Release builds took the observation into the original ladder.
+    EXPECT_EQ(reg.histogram("lat")->bounds,
+              MetricsRegistry::latencyBucketsUs());
+    EXPECT_EQ(reg.histogram("lat")->count, 3u);
+#endif
+}
+
 TEST(MetricsRegistry, MergeCombinesCountersAndHistograms)
 {
     MetricsRegistry a, b;
