@@ -111,6 +111,25 @@
  *                 BENCH_explore.json and the full-mode recovery-tax
  *                 gate depend on it — the flag only controls printing
  *                 and export.  See docs/OBSERVABILITY.md, "Profiling".
+ *   --guided      campaign mode: run the coverage-guided search pass
+ *                 (src/explore/guided.h) after the blind matrix and
+ *                 report it as kernels[].guided.  Always on outside
+ *                 smoke mode — the committed BENCH_explore.json pins
+ *                 the guided-vs-blind seeds-to-first-failure budgets
+ *                 and the full-mode gates below compare them.  Guided
+ *                 mode also appends the challenge kernels
+ *                 (challengeApps()): each gets a dedicated blind
+ *                 pct:d2 probe (1000 seeds full / 40 smoke) that must
+ *                 come up empty plus the same guided pass, which must
+ *                 find the failure within its budget (full-mode gate).
+ *                 See docs/EXPLORATION.md, "Guided exploration".
+ *   --guided-budget N
+ *                 schedules per kernel for the guided pass (default
+ *                 250)
+ *   --corpus-dir DIR
+ *                 persist each kernel's mutation corpus as
+ *                 DIR/<kernel>.corpus ("conair-corpus v1" — see
+ *                 docs/EXPLORATION.md for the format)
  *
  * Campaign mode additionally runs the fix pass on every kernel whose
  * failure it rediscovered and diagnosed; the per-kernel result lands
@@ -125,6 +144,7 @@
 #include <thread>
 
 #include "explore/campaign.h"
+#include "explore/guided.h"
 #include "explore/telemetry.h"
 #include "fix/fix.h"
 #include "fix/report.h"
@@ -1015,8 +1035,16 @@ main(int argc, char **argv)
 
     const bool smoke = hasFlag(argc, argv, "--smoke");
     const bool doSpeedup = !hasFlag(argc, argv, "--no-speedup");
+    // Guided search always runs in full mode (the committed artifact
+    // pins guided-vs-blind budgets and the gates below compare them);
+    // smoke opts in with --guided.
+    const bool guided = !smoke || hasFlag(argc, argv, "--guided");
+    const uint64_t guidedBudget =
+        argUnsigned(argc, argv, "--guided-budget", smoke ? 250 : 1500);
+    const std::string corpusDir =
+        argString(argc, argv, "--corpus-dir", "");
     unsigned seeds =
-        argUnsigned(argc, argv, "--seeds", smoke ? 40 : 250);
+        argUnsigned(argc, argv, "--seeds", smoke ? 40 : 1250);
     unsigned workers = argUnsigned(argc, argv, "--workers", 4);
     const bool serve = hasFlag(argc, argv, "--serve");
     const unsigned servePort = argUnsigned(argc, argv, "--serve", 0);
@@ -1025,9 +1053,25 @@ main(int argc, char **argv)
 
     std::vector<std::string> names =
         splitList(argString(argc, argv, "--apps", ""));
+    const bool explicitApps = !names.empty();
     if (names.empty())
         for (const AppSpec &a : allApps())
             names.push_back(a.name);
+    // Challenge kernels never join the Table 2 matrix (its per-kernel
+    // gates — rediscovery, recovery tax, fix validation — are about
+    // the paper's ten bugs); guided mode runs them through a dedicated
+    // probe-plus-guided campaign below.  An explicit --apps list is
+    // taken literally.
+    std::vector<std::string> challengeNames;
+    if (guided && !explicitApps)
+        for (const AppSpec &a : challengeApps())
+            challengeNames.push_back(a.name);
+    auto isChallenge = [&](const std::string &n) {
+        for (const std::string &c : challengeNames)
+            if (c == n)
+                return true;
+        return false;
+    };
 
     std::printf("=== schedule-exploration campaign (%s) ===\n\n",
                 smoke ? "smoke" : "full");
@@ -1076,6 +1120,11 @@ main(int argc, char **argv)
         // CI cares about the oracle plumbing, not exhaustiveness.
         opts.stopAfterFailures = 1;
         opts.maxSteps = 2'000'000;
+    }
+    if (guided) {
+        opts.searchMode = SearchMode::Guided;
+        opts.guidedBudget = guidedBudget;
+        opts.corpusDir = corpusDir;
     }
     // Interleaving coverage is always folded in campaign mode: the
     // kernels[].coverage aggregates below (and the full-mode gate on
@@ -1141,9 +1190,10 @@ main(int argc, char **argv)
     }
 
     std::printf("campaign: %zu kernels x %zu policies x %u seeds, "
-                "%u workers\n\n",
+                "%u workers%s\n\n",
                 targets.size(), opts.policies.size(),
-                opts.seedsPerPolicy, opts.workers);
+                opts.seedsPerPolicy, opts.workers,
+                guided ? ", guided pass on" : "");
 
     CampaignReport rep = runCampaign(targets, opts);
     std::printf("%s\n", rep.summary().c_str());
@@ -1230,6 +1280,73 @@ main(int argc, char **argv)
         if (!val.ok() && tr.fix.error.empty())
             tr.fix.error = val.error;
         std::printf("%s", fix::renderPatchText(plan, &val).c_str());
+    }
+
+    // Challenge kernels: the explorer's hard mode.  Each one gets a
+    // dedicated blind pct:d2 probe — the single-change-point schedule
+    // family that structurally cannot trigger a two-window bug — plus
+    // the same guided pass as the Table 2 kernels.  The full-mode gate
+    // below pins both sides: blind must come up empty over the whole
+    // probe budget while guided finds the failure within its own.
+    const unsigned probeSeeds = smoke ? 40 : 1000;
+    // The challenge bar is fixed: guided must find the two-window
+    // failure within 250 schedules, whatever budget the Table 2
+    // kernels run with.
+    const uint64_t challengeBudget = std::min<uint64_t>(guidedBudget, 250);
+    if (!challengeNames.empty()) {
+        std::printf("\n=== challenge kernels ===\n");
+        std::printf("blind probe pct:d2 x %u seeds + guided budget "
+                    "%llu per kernel\n",
+                    probeSeeds, (unsigned long long)challengeBudget);
+        std::vector<CampaignApp> cprep;
+        std::vector<Target> ctargets;
+        for (const std::string &n : challengeNames)
+            cprep.push_back(prepareCampaignApp(*findApp(n)));
+        for (const CampaignApp &app : cprep)
+            ctargets.push_back(campaignTarget(app));
+        CampaignOptions copts = opts;
+        copts.policies = {{vm::SchedPolicy::Pct, 2}};
+        copts.seedsPerPolicy = probeSeeds;
+        copts.guidedBudget = challengeBudget;
+        // A probe hit fails the gate anyway — no point finishing the
+        // probe, diagnosing the fluke, or minimising a replay for it.
+        copts.stopAfterFailures = 1;
+        copts.diagnoseFailures = false;
+        copts.replayLogDir.clear();
+        // No failure means no recovery episodes: the recovery-tax
+        // gate has nothing to measure here, so don't collect.
+        copts.collectProfile = false;
+        CampaignReport crep = runCampaign(ctargets, copts);
+        std::printf("%s\n", crep.summary().c_str());
+        rep.divergences += crep.divergences;
+        rep.unrecovered += crep.unrecovered;
+        for (TargetReport &ctr : crep.targets)
+            rep.targets.push_back(std::move(ctr));
+    }
+
+    if (guided) {
+        std::printf("\n=== guided search ===\n");
+        for (const TargetReport &tr : rep.targets) {
+            if (!tr.hasGuided)
+                continue;
+            const GuidedSummary &gs = tr.guided;
+            std::printf("%-14s %4llu/%llu schedules  corpus %3llu  "
+                        "yield %.3f",
+                        tr.name.c_str(),
+                        (unsigned long long)gs.schedules,
+                        (unsigned long long)gs.budget,
+                        (unsigned long long)gs.corpusEntries,
+                        gs.mutationYield);
+            if (gs.foundFailure)
+                std::printf("  found %s @ %llu (blind %llu)",
+                            gs.firstFailure.token().c_str(),
+                            (unsigned long long)gs.seedsToFirstFailure,
+                            (unsigned long long)
+                                gs.blindSeedsToFirstFailure);
+            else
+                std::printf("  no failure");
+            std::printf("\n");
+        }
     }
 
     // Parallel speedup: a fixed sub-campaign, 1 worker vs N.  The
@@ -1421,6 +1538,59 @@ main(int argc, char **argv)
             w.endArray();
             w.endObject();
         }
+        if (isChallenge(tr.name)) {
+            // For a challenge kernel the blind matrix above *is* the
+            // probe: pct:d2 only, over probeSeeds seeds.
+            w.key("challenge").value(true);
+            w.key("blind_probe").beginObject();
+            w.key("policy").value("pct:d2");
+            w.key("seeds").value(probeSeeds);
+            w.key("found").value(tr.foundFailure);
+            w.key("schedules").value(tr.schedules);
+            w.endObject();
+        }
+        if (tr.hasGuided) {
+            const GuidedSummary &gs = tr.guided;
+            w.key("guided").beginObject();
+            w.key("budget").value(gs.budget);
+            w.key("schedules").value(gs.schedules);
+            w.key("fresh_schedules").value(gs.freshSchedules);
+            w.key("mutated_schedules").value(gs.mutatedSchedules);
+            w.key("fresh_novel").value(gs.freshNovel);
+            w.key("mutation_novel").value(gs.mutationNovel);
+            w.key("mutation_yield").value(gs.mutationYield, "%.4f");
+            w.key("ops").beginObject();
+            for (size_t op = 0; op < kMutOpCount; ++op) {
+                w.key(mutOpName(MutOp(op))).beginObject();
+                w.key("tried").value(gs.perOp[op]);
+                w.key("novel").value(gs.perOpNovel[op]);
+                w.endObject();
+            }
+            w.endObject();
+            w.key("corpus_entries").value(gs.corpusEntries);
+            w.key("corpus_digest")
+                .value(strfmt("%016llx",
+                              (unsigned long long)gs.corpusDigest));
+            if (!gs.corpusPath.empty())
+                w.key("corpus_path").value(gs.corpusPath);
+            w.key("found_failure").value(gs.foundFailure);
+            w.key("first_failure")
+                .value(gs.foundFailure ? gs.firstFailure.token()
+                                       : std::string());
+            w.key("seeds_to_first_failure")
+                .value(gs.seedsToFirstFailure);
+            w.key("blind_seeds_to_first_failure")
+                .value(gs.blindSeedsToFirstFailure);
+            w.key("distinct_edges").value(gs.distinctEdges);
+            w.key("coverage_digest")
+                .value(strfmt("%016llx",
+                              (unsigned long long)gs.coverageDigest));
+            w.key("divergences").value(gs.divergences);
+            w.key("unrecovered").value(gs.unrecovered);
+            if (!gs.error.empty())
+                w.key("error").value(gs.error);
+            w.endObject();
+        }
         if (tr.hasProfile) {
             w.key("profile").beginObject();
             w.key("total");
@@ -1547,9 +1717,25 @@ main(int argc, char **argv)
             }
         }
     }
-    if (!smoke) {
+    // Corpus persistence is an artifact obligation like the profile
+    // export: asking for --corpus-dir and not getting the files is a
+    // failure in any mode.
+    if (!corpusDir.empty()) {
         for (const TargetReport &tr : rep.targets)
-            if (!tr.foundFailure) {
+            if (tr.hasGuided && !tr.guided.error.empty()) {
+                std::fprintf(stderr,
+                             "FAIL: %s: corpus not persisted (%s)\n",
+                             tr.name.c_str(),
+                             tr.guided.error.c_str());
+                rc = 1;
+            }
+    }
+    if (!smoke) {
+        // Challenge kernels are exempt: their blind leg is a probe
+        // that is *supposed* to come up empty (gated the other way
+        // below).
+        for (const TargetReport &tr : rep.targets)
+            if (!tr.foundFailure && !isChallenge(tr.name)) {
                 std::fprintf(stderr,
                              "FAIL: %s: no failing schedule found\n",
                              tr.name.c_str());
@@ -1594,6 +1780,75 @@ main(int argc, char **argv)
                              tr.name.c_str(), tr.fix.error.c_str());
                 rc = 1;
             }
+        if (guided) {
+            // Guided efficiency gate over the Table 2 kernels: every
+            // failure rediscovered, and the mean seeds-to-first-
+            // failure at most half the blind matrix's (integer form:
+            // 2 * sum(guided) <= sum(blind), same kernel count on
+            // both sides).
+            uint64_t blindSum = 0, guidedSum = 0, nGated = 0;
+            bool gateable = true;
+            for (const TargetReport &tr : rep.targets) {
+                if (!tr.hasGuided || isChallenge(tr.name))
+                    continue;
+                if (!tr.guided.foundFailure) {
+                    std::fprintf(stderr,
+                                 "FAIL: %s: guided search found no "
+                                 "failing schedule within %llu\n",
+                                 tr.name.c_str(),
+                                 (unsigned long long)tr.guided.budget);
+                    rc = 1;
+                    gateable = false;
+                    continue;
+                }
+                blindSum += tr.guided.blindSeedsToFirstFailure;
+                guidedSum += tr.guided.seedsToFirstFailure;
+                ++nGated;
+            }
+            if (gateable && nGated > 0) {
+                double gMean = double(guidedSum) / double(nGated);
+                double bMean = double(blindSum) / double(nGated);
+                if (2 * guidedSum > blindSum) {
+                    std::fprintf(stderr,
+                                 "FAIL: guided mean seeds-to-first-"
+                                 "failure %.1f exceeds 0.5x the blind "
+                                 "mean %.1f\n",
+                                 gMean, bMean);
+                    rc = 1;
+                } else {
+                    std::printf("guided efficiency: mean %.1f vs "
+                                "blind %.1f seeds-to-first-failure "
+                                "(<= 0.5x: ok)\n",
+                                gMean, bMean);
+                }
+            }
+            // Challenge gates: blind probe empty, guided finds it.
+            for (const TargetReport &tr : rep.targets) {
+                if (!isChallenge(tr.name))
+                    continue;
+                if (tr.foundFailure) {
+                    std::fprintf(stderr,
+                                 "FAIL: %s: the blind pct:d2 probe "
+                                 "found the failure (%s, seed budget "
+                                 "%llu) — the kernel no longer needs "
+                                 "guidance\n",
+                                 tr.name.c_str(),
+                                 tr.firstFailure.token().c_str(),
+                                 (unsigned long long)
+                                     tr.firstFailureSeedBudget);
+                    rc = 1;
+                }
+                if (!tr.hasGuided || !tr.guided.foundFailure) {
+                    std::fprintf(stderr,
+                                 "FAIL: %s: guided search missed the "
+                                 "challenge failure within %llu "
+                                 "schedules\n",
+                                 tr.name.c_str(),
+                                 (unsigned long long)challengeBudget);
+                    rc = 1;
+                }
+            }
+        }
     }
     if (serve) {
         std::printf("telemetry server: %llu requests served, %llu "

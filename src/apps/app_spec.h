@@ -68,7 +68,18 @@ struct AppSpec
 /** All ten applications, in Table 2 order. */
 const std::vector<AppSpec> &allApps();
 
-/** Looks an application up by name; nullptr when unknown. */
+/**
+ * Challenge kernels: synthetic bugs built to stress the *explorer*
+ * rather than reproduce a Table 2 row — deep interleavings that blind
+ * schedule sampling essentially never reaches but coverage-guided
+ * search does.  Kept out of allApps() so the Table 2 experiments and
+ * their fixtures keep iterating exactly the paper's ten kernels;
+ * bench_explore appends these in guided/full campaign modes.
+ */
+const std::vector<AppSpec> &challengeApps();
+
+/** Looks an application up by name across allApps() and
+ *  challengeApps(); nullptr when unknown. */
 const AppSpec *findApp(const std::string &name);
 
 /// @{ Individual app constructors (one translation unit each).
@@ -82,6 +93,7 @@ AppSpec makeMysql2();
 AppSpec makeTransmission();
 AppSpec makeSqlite();
 AppSpec makeZsnes();
+AppSpec makeRelay3(); ///< challenge kernel (not Table 2)
 /// @}
 
 } // namespace conair::apps

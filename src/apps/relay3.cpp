@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Relay3 challenge kernel (not a Table 2 row — see challengeApps()).
+ *
+ * A three-stage pipeline handoff with a *two-window* order violation:
+ * the producer publishes its stage flag in two steps (x = 1 ...work...
+ * x = 2), the relay does the same with y when it catches the producer
+ * mid-publication, and the checker asserts it never observes a
+ * half-published stage (y == 1).  Failing therefore needs two
+ * independent preemptions — one inside the producer's publication
+ * window and one inside the relay's — plus the right thread order
+ * after each.  A single-change-point schedule (blind pct:d2) can
+ * never do that: without a preemption inside the producer's window
+ * the relay reads x as 0 or 2 and publishes y atomically, so the
+ * checker's window does not even exist.  The coverage-guided explorer
+ * climbs the gradient instead: any schedule preempting the producer
+ * mid-window makes the relay execute its never-before-seen slow path
+ * (novel interleaving edges -> corpus energy), and point add/nudge
+ * mutations of that schedule walk the second change point into the
+ * relay's window.
+ */
+#include "apps/app_spec.h"
+
+namespace conair::apps {
+
+namespace {
+
+const char *source = R"MINIC(
+// ---- three-stage pipeline kernel ----------------------------------
+int x;                      // stage-1 flag: 0 -> 1 (partial) -> 2
+int y;                      // stage-2 flag: 0 -> 1 (partial) -> 2
+int feed[32];               // producer's input batch
+int stage_a[16];            // stage-1 payload (producer's window)
+int stage_b[16];            // stage-2 payload (relay's window)
+int scratch_b[16];          // relay's private warm-up
+int scratch_c[16];          // checker's private warm-up
+int checked;
+
+int producer(int tag) {
+    // Ingest the feed batch: tick noise that keeps the publication
+    // window a small slice of the schedule.
+    for (int i = 0; i < 48; i++) {
+        feed[i % 32] = (i * 7 + 5) % 256;
+    }
+    x = 1;                  // stage 1 partially published (window opens)
+    for (int i = 0; i < 7; i++) {
+        stage_a[i] = feed[i] + i;
+    }
+    hint(1);                // bug window A: stage-1 payload in flight
+    for (int i = 7; i < 14; i++) {
+        stage_a[i] = feed[i] + i;
+    }
+    x = 2;                  // stage 1 fully published (window closes)
+    return 0;
+}
+
+int relay(int rounds) {
+    hint(3);                // (delay site: stagger after the producer)
+    for (int i = 0; i < 24; i++) {
+        scratch_b[i % 16] = (i * 11 + 3) % 512;
+    }
+    int seen = x;
+    if (seen == 1) {
+        // Caught the producer mid-publication: take over stage 2 the
+        // same two-step way (the second half of the bug).
+        y = 1;              // stage 2 partially published
+        for (int i = 0; i < 7; i++) {
+            stage_b[i] = stage_a[i] * 2 + rounds;
+        }
+        hint(2);            // bug window B: stage-2 payload in flight
+        for (int i = 7; i < 14; i++) {
+            stage_b[i] = i * 2 + rounds;
+        }
+        y = 2;              // stage 2 fully published
+    } else {
+        y = 2;              // producer was done (or idle): publish atomically
+    }
+    return 0;
+}
+
+int checker(int tag) {
+    hint(4);                // (delay site: stagger after the relay)
+    for (int i = 0; i < 24; i++) {
+        scratch_c[i % 16] = (i * 13 + 1) % 512;
+    }
+    int v = y;
+    assert(v != 1);         // a half-published stage must never be seen
+    checked = checked + 1;
+    return 0;
+}
+
+int main() {
+    int a = spawn(producer, 0);
+    int b = spawn(relay, 1);
+    int c = spawn(checker, 0);
+    join(a);
+    join(b);
+    join(c);
+    assert(x == 2);
+    assert(y == 2);
+    print("stages=", x + y, " checked=", checked, "\n");
+    return 0;
+}
+)MINIC";
+
+} // namespace
+
+AppSpec
+makeRelay3()
+{
+    AppSpec app;
+    app.name = "Relay3";
+    app.appType = "Pipeline handoff (challenge)";
+    app.description =
+        "checker observes a half-published stage flag; needs "
+        "preemptions inside two distinct publication windows "
+        "(3-thread order violation)";
+    app.rootCause = RootCause::OrderViolation;
+    app.source = source;
+    app.expectedFailure = vm::Outcome::AssertFail;
+    app.expectedOutput = "stages=4 checked=1\n";
+    app.expectedExit = 0;
+
+    app.cleanConfig.quantum = 5'000;
+    app.cleanConfig.policy = vm::SchedPolicy::RoundRobin;
+    // The forcing delays stagger the three threads into the failing
+    // order: the producer stalls inside window A until well after the
+    // relay (held back briefly at its start) has read x == 1 and
+    // stalled inside window B, which in turn outlasts the checker's
+    // start delay — so the checker reads y mid-publication.
+    app.buggyConfig.quantum = 60;
+    app.buggyConfig.delays = {
+        {1, 40'000}, // producer: hold window A open
+        {2, 24'000}, // relay: hold window B open
+        {3, 4'000},  // relay starts after the producer opened A
+        {4, 12'000}, // checker reads y while B is still open
+    };
+    return app;
+}
+
+} // namespace conair::apps

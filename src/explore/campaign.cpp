@@ -11,6 +11,7 @@
 #include <set>
 #include <thread>
 
+#include "explore/guided.h"
 #include "explore/telemetry.h"
 #include "ir/module.h"
 #include "obs/replay/minimize.h"
@@ -30,6 +31,7 @@ ScheduleSpec::applyTo(vm::VmConfig &cfg) const
 {
     cfg.policy = policy;
     cfg.seed = seed;
+    cfg.schedPoints = points;
     if (policy == vm::SchedPolicy::Pct)
         cfg.pctDepth = std::max<uint32_t>(depth, 1);
     else if (policy == vm::SchedPolicy::PreemptBound)
@@ -41,9 +43,17 @@ ScheduleSpec::token() const
 {
     const char *name = vm::schedPolicyName(policy);
     if (policy == vm::SchedPolicy::Pct ||
-        policy == vm::SchedPolicy::PreemptBound)
-        return strfmt("%s:d%u:s%llu", name, depth,
-                      (unsigned long long)seed);
+        policy == vm::SchedPolicy::PreemptBound) {
+        std::string t = strfmt("%s:d%u:s%llu", name, depth,
+                               (unsigned long long)seed);
+        if (!points.empty()) {
+            t += ":c";
+            for (size_t i = 0; i < points.size(); ++i)
+                t += strfmt("%s%llu", i ? "," : "",
+                            (unsigned long long)points[i]);
+        }
+        return t;
+    }
     return strfmt("%s:s%llu", name, (unsigned long long)seed);
 }
 
@@ -94,11 +104,43 @@ parseScheduleToken(const std::string &tok, ScheduleSpec &out,
                     "' (want rr, random, pct, or pb)");
 
     s.depth = 0;
-    bool sawSeed = false, sawDepth = false;
+    bool sawSeed = false, sawDepth = false, sawPoints = false;
     for (size_t next = 1; next < parts.size(); ++next) {
         const std::string &p = parts[next];
-        if (p.size() < 2 || (p[0] != 'd' && p[0] != 's'))
-            return fail("field '" + p + "' is not dN or sN");
+        if (p.size() < 2 || (p[0] != 'd' && p[0] != 's' && p[0] != 'c'))
+            return fail("field '" + p + "' is not dN, sN, or cN,N");
+        if (p[0] == 'c') {
+            if (sawPoints)
+                return fail("duplicate points field '" + p + "'");
+            if (s.policy != vm::SchedPolicy::Pct &&
+                s.policy != vm::SchedPolicy::PreemptBound)
+                return fail(
+                    std::string(vm::schedPolicyName(s.policy)) +
+                    " does not take explicit change points (c field)");
+            // Split the comma list ourselves so empty items ("c1,,2")
+            // fail in parseTokenNumber instead of being skipped.
+            std::string item;
+            std::vector<uint64_t> pts;
+            for (char ch : p.substr(1) + ",") {
+                if (ch != ',') {
+                    item += ch;
+                    continue;
+                }
+                uint64_t v;
+                if (!parseTokenNumber(item, v) || v == 0)
+                    return fail("change point '" + item +
+                                "' is not a valid tick (digits only, "
+                                ">= 1, no overflow)");
+                if (!pts.empty() && v <= pts.back())
+                    return fail("change points not strictly "
+                                "increasing at '" + item + "'");
+                pts.push_back(v);
+                item.clear();
+            }
+            s.points = std::move(pts);
+            sawPoints = true;
+            continue;
+        }
         uint64_t v;
         if (!parseTokenNumber(p.substr(1), v))
             return fail("field '" + p +
@@ -431,8 +473,14 @@ runCampaign(const std::vector<Target> &targets,
     std::atomic<size_t> next{0};
 
     unsigned workers = std::max(1u, opts.workers);
-    if (opts.telemetry)
-        opts.telemetry->beginCampaign(jobs.size(), workers);
+    if (opts.telemetry) {
+        // The guided pass's budget is an upper bound: it may stop at
+        // the first failure, so done may finish below total.
+        uint64_t totalJobs = jobs.size();
+        if (opts.searchMode == SearchMode::Guided)
+            totalJobs += targets.size() * opts.guidedBudget;
+        opts.telemetry->beginCampaign(totalJobs, workers);
+    }
 
     auto work = [&](unsigned worker) {
         for (;;) {
@@ -577,6 +625,7 @@ runCampaign(const std::vector<Target> &targets,
                 tr.foundFailure = true;
                 tr.firstFailure = o.spec;
                 tr.firstFailureSeedBudget = j.seedOrdinal;
+                tr.firstFailureScheduleOrdinal = tr.schedules;
                 // Includes the failing schedule's own edges — the
                 // coverage block above ran first.
                 tr.coverageEdgesAtFirstFailure =
@@ -805,6 +854,73 @@ runCampaign(const std::vector<Target> &targets,
             for (const TargetReport &tr : rep.targets)
                 corpus += tr.hasReplayLog;
             opts.telemetry->noteCorpusSize(corpus);
+        }
+    }
+
+    // Guided search pass: one coverage-guided run per target
+    // (src/explore/guided.h).  The driver batches its own worker
+    // phases and folds in batch order, so — like every pass above —
+    // the summary is identical for any worker count.  Targets run
+    // sequentially so corpora never interleave.
+    if (opts.searchMode == SearchMode::Guided) {
+        for (size_t ti = 0; ti < targets.size(); ++ti) {
+            TargetReport &tr = rep.targets[ti];
+            const Target &t = targets[ti];
+
+            GuidedOptions g;
+            g.budget = opts.guidedBudget;
+            g.batch = opts.guidedBatch;
+            g.mutationSeed = opts.guidedMutationSeed;
+            g.nudgeMax = opts.guidedNudgeMax;
+            // Fresh seeds use the matrix's first point-taking policy
+            // entry (the schedule family the corpus mutates).
+            for (const auto &[policy, depth] : opts.policies)
+                if (policy == vm::SchedPolicy::Pct ||
+                    policy == vm::SchedPolicy::PreemptBound) {
+                    g.basePolicy = policy;
+                    g.baseDepth = depth;
+                    break;
+                }
+
+            GuidedResult gr = runGuided(t, opts, g);
+
+            tr.hasGuided = true;
+            GuidedSummary &gs = tr.guided;
+            gs.budget = g.budget;
+            gs.schedules = gr.schedules;
+            gs.freshSchedules = gr.freshSchedules;
+            gs.mutatedSchedules = gr.mutatedSchedules;
+            gs.freshNovel = gr.freshNovel;
+            gs.mutationNovel = gr.mutationNovel;
+            gs.mutationYield = gr.mutationYield();
+            for (size_t op = 0; op < kMutOpCount; ++op) {
+                gs.perOp[op] = gr.perOp[op];
+                gs.perOpNovel[op] = gr.perOpNovel[op];
+            }
+            gs.corpusEntries = gr.corpus.entries.size();
+            gs.corpusDigest = gr.corpus.digest();
+            gs.foundFailure = gr.foundFailure;
+            gs.firstFailure = gr.firstFailure;
+            gs.seedsToFirstFailure = gr.seedsToFirstFailure;
+            gs.firstFailureTag = gr.firstFailureTag;
+            gs.blindSeedsToFirstFailure =
+                tr.foundFailure ? tr.firstFailureScheduleOrdinal : 0;
+            gs.distinctEdges = gr.distinctEdges;
+            gs.coverageDigest = gr.coverageDigest;
+            // The guided schedules answer to the same oracles as the
+            // blind matrix — their verdicts gate the campaign too.
+            gs.divergences = gr.divergences;
+            gs.unrecovered = gr.unrecovered;
+            rep.divergences += gr.divergences;
+            rep.unrecovered += gr.unrecovered;
+
+            if (!opts.corpusDir.empty()) {
+                std::filesystem::create_directories(opts.corpusDir);
+                std::string path =
+                    opts.corpusDir + "/" + t.name + ".corpus";
+                if (saveCorpus(path, gr.corpus, gs.error))
+                    gs.corpusPath = path;
+            }
         }
     }
 

@@ -73,6 +73,17 @@ struct Target
     uint64_t quantum = 50;
 };
 
+/** How a campaign searches the schedule space. */
+enum class SearchMode {
+    /** The classic independent (policy, seed) matrix. */
+    Blind,
+    /** The matrix plus, per target, a coverage-guided search pass
+     *  (src/explore/guided.h): novel-coverage schedules enter a
+     *  mutation corpus and the budget is split between fresh seeds
+     *  and corpus mutations. */
+    Guided,
+};
+
 /** Campaign shape: which schedules, how many workers, which legs. */
 struct CampaignOptions
 {
@@ -177,6 +188,30 @@ struct CampaignOptions
      * TargetReport::wall.
      */
     bool collectProfile = false;
+
+    /**
+     * @name Guided search (only when searchMode == SearchMode::Guided)
+     * @{
+     */
+    SearchMode searchMode = SearchMode::Blind;
+
+    /** Schedules the guided pass may run per target. */
+    uint64_t guidedBudget = 250;
+
+    /** Guided batch size (worker-phase granularity; results fold in
+     *  batch order, so reports stay worker-count independent). */
+    unsigned guidedBatch = 16;
+
+    /** Base seed of the guided mutation RNG streams. */
+    uint64_t guidedMutationSeed = 1;
+
+    /** Nudge mutation radius in scheduling ticks. */
+    uint64_t guidedNudgeMax = 24;
+
+    /** Persist each target's mutation corpus as DIR/<kernel>.corpus
+     *  (created if missing).  Empty = don't persist. */
+    std::string corpusDir;
+    /** @} */
 
     /**
      * Live telemetry sink for the embedded /metrics, /status,
@@ -306,6 +341,59 @@ struct FixSummary
     bool validated = false; ///< every obligation above passed
 };
 
+/**
+ * What one target's guided search pass produced (a plain-data
+ * projection of GuidedResult, kept here so campaign.h does not depend
+ * on guided.h; runCampaign fills it when
+ * CampaignOptions::searchMode == SearchMode::Guided).
+ */
+struct GuidedSummary
+{
+    uint64_t budget = 0;    ///< schedules the pass was allowed
+    uint64_t schedules = 0; ///< schedules it actually ran
+    uint64_t freshSchedules = 0;
+    uint64_t mutatedSchedules = 0;
+    uint64_t freshNovel = 0;
+    uint64_t mutationNovel = 0;
+    /** mutationNovel / mutatedSchedules (0 when none ran). */
+    double mutationYield = 0;
+
+    /** Mutated schedules tried / admitted per operator, in MutOp
+     *  order (nudge, add, drop, depth, policy, near). */
+    uint64_t perOp[6] = {};
+    uint64_t perOpNovel[6] = {};
+
+    uint64_t corpusEntries = 0;
+    /** Corpus fingerprint — identical for any worker count. */
+    uint64_t corpusDigest = 0;
+    /** DIR/<kernel>.corpus when CampaignOptions::corpusDir is set. */
+    std::string corpusPath;
+
+    bool foundFailure = false;
+    ScheduleSpec firstFailure;
+    /** 1-based ordinal of the first failing schedule in guided
+     *  generation order — the guided "seeds to first failure". */
+    uint64_t seedsToFirstFailure = 0;
+    std::string firstFailureTag;
+
+    /** The blind matrix's schedules-to-first-failure for the same
+     *  target (matrix order, 1-based; 0 = the matrix found none) —
+     *  the apples-to-apples budget the guided number is gated
+     *  against. */
+    uint64_t blindSeedsToFirstFailure = 0;
+
+    uint64_t distinctEdges = 0;
+    uint64_t coverageDigest = 0;
+
+    /** Oracle verdicts over the guided schedules — folded into the
+     *  campaign-wide totals, so the exit gate covers guided runs the
+     *  same way it covers the blind matrix. */
+    uint64_t divergences = 0;
+    uint64_t unrecovered = 0;
+
+    std::string error; ///< non-empty when corpus persistence failed
+};
+
 /** Per-target aggregation. */
 struct TargetReport
 {
@@ -328,6 +416,11 @@ struct TargetReport
      *  (policy, depth) entry — the "seed budget" the acceptance bound
      *  talks about. */
     uint64_t firstFailureSeedBudget = 0;
+    /** 1-based ordinal of the first failing schedule across the whole
+     *  matrix for this target (schedules actually run, in matrix
+     *  order) — what the guided pass's seeds-to-first-failure is
+     *  compared against. */
+    uint64_t firstFailureScheduleOrdinal = 0;
 
     // Oracle 2: hardened recovery.
     uint64_t hardenedSchedules = 0;
@@ -425,6 +518,11 @@ struct TargetReport
      *  novel schedule (thinned to stay bounded). */
     std::vector<std::pair<uint64_t, uint64_t>> coverageGrowth;
     /** @} */
+
+    /** Guided search pass results (only when
+     *  CampaignOptions::searchMode == SearchMode::Guided). */
+    bool hasGuided = false;
+    GuidedSummary guided;
 
     /** Fix-synthesis pass results (filled by bench_explore after the
      *  campaign, never by runCampaign itself — see FixSummary). */

@@ -1,13 +1,15 @@
 /**
  * @file
  * One point in the schedule-exploration space: a (policy, seed, depth)
- * triple.  Specs serialise to compact tokens ("pct:d3:s17") so a
- * divergent schedule found by a campaign can be reproduced from one
+ * triple, optionally pinned to explicit change points.  Specs
+ * serialise to compact tokens ("pct:d3:s17", "pct:d3:s17:c120,340") so
+ * a divergent schedule found by a campaign can be reproduced from one
  * command line.
  */
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "vm/config.h"
 
@@ -23,11 +25,24 @@ struct ScheduleSpec
      *  bound; ignored by Random/RoundRobin. */
     uint32_t depth = 3;
 
-    /** Writes the schedule knobs into @p cfg (policy, seed, depth);
-     *  horizon/quantum stay as the caller set them. */
+    /**
+     * Explicit change/preemption points (scheduling ticks, strictly
+     * increasing, each >= 1).  Empty = the scheduler samples depth-1
+     * (PCT) / depth (PreemptBound) points from the seed as usual.
+     * Non-empty = the points are pinned verbatim
+     * (VmConfig::schedPoints) while priorities still derive from the
+     * seed — the representation the coverage-guided mutation engine
+     * nudges (src/explore/guided.h).  Only meaningful for
+     * Pct/PreemptBound.
+     */
+    std::vector<uint64_t> points;
+
+    /** Writes the schedule knobs into @p cfg (policy, seed, depth,
+     *  points); horizon/quantum stay as the caller set them. */
     void applyTo(vm::VmConfig &cfg) const;
 
-    /** Compact token: "pct:d3:s17", "pb:d2:s5", "random:s9". */
+    /** Compact token: "pct:d3:s17", "pb:d2:s5", "random:s9"; pinned
+     *  points append a c field: "pct:d3:s17:c120,340". */
     std::string token() const;
 
     bool operator==(const ScheduleSpec &) const = default;
@@ -37,9 +52,11 @@ struct ScheduleSpec
  * Parses a token produced by ScheduleSpec::token(); returns false with
  * a one-line @p err on malformed input.  The numeric fields are parsed
  * strictly: digits only (no sign, no whitespace, no trailing junk),
- * overflow is rejected rather than silently wrapped, and d/s fields
+ * overflow is rejected rather than silently wrapped, and d/s/c fields
  * may appear at most once — so a mistyped repro token fails loudly
- * instead of quietly exploring a different schedule.
+ * instead of quietly exploring a different schedule.  A c field
+ * (explicit change points) must be a strictly increasing,
+ * comma-separated list of ticks >= 1 and is only accepted for pct/pb.
  */
 bool parseScheduleToken(const std::string &tok, ScheduleSpec &out,
                         std::string &err);

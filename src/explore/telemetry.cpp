@@ -86,6 +86,21 @@ CampaignTelemetry::noteCorpusSize(uint64_t n)
     corpus_.store(n, std::memory_order_relaxed);
 }
 
+void
+CampaignTelemetry::addGuided(uint64_t corpusEntries,
+                             uint64_t mutationsTried,
+                             uint64_t mutationsNovel,
+                             uint64_t freshTried, uint64_t freshNovel)
+{
+    guidedCorpus_.fetch_add(corpusEntries, std::memory_order_relaxed);
+    guidedMutTried_.fetch_add(mutationsTried,
+                              std::memory_order_relaxed);
+    guidedMutNovel_.fetch_add(mutationsNovel,
+                              std::memory_order_relaxed);
+    guidedFreshTried_.fetch_add(freshTried, std::memory_order_relaxed);
+    guidedFreshNovel_.fetch_add(freshNovel, std::memory_order_relaxed);
+}
+
 uint64_t
 CampaignTelemetry::schedulesDone() const
 {
@@ -134,6 +149,28 @@ CampaignTelemetry::statusJson() const
     }
     w.endArray();
     w.endObject();
+
+    {
+        // Guided-search progress: corpus size and mutation yield
+        // (novel mutated schedules / mutated schedules tried).
+        uint64_t mutTried =
+            guidedMutTried_.load(std::memory_order_relaxed);
+        uint64_t mutNovel =
+            guidedMutNovel_.load(std::memory_order_relaxed);
+        w.key("guided").beginObject();
+        w.key("corpus_entries")
+            .value(guidedCorpus_.load(std::memory_order_relaxed));
+        w.key("mutations_tried").value(mutTried);
+        w.key("mutations_novel").value(mutNovel);
+        w.key("fresh_tried")
+            .value(guidedFreshTried_.load(std::memory_order_relaxed));
+        w.key("fresh_novel")
+            .value(guidedFreshNovel_.load(std::memory_order_relaxed));
+        w.key("mutation_yield")
+            .value(mutTried ? double(mutNovel) / double(mutTried) : 0.0,
+                   "%.4f");
+        w.endObject();
+    }
 
     w.key("coverage").beginObject();
     w.key("distinct_edges").value(coverage_.distinctEdges());
@@ -225,6 +262,21 @@ CampaignTelemetry::prometheusText() const
     gauge("conair_campaign_corpus_size",
           "Minimised replay logs in the corpus.",
           corpus_.load(std::memory_order_relaxed));
+    gauge("conair_guided_corpus_entries",
+          "Mutation-corpus entries admitted by the guided search.",
+          guidedCorpus_.load(std::memory_order_relaxed));
+    gauge("conair_guided_mutations_tried",
+          "Mutated schedules tried by the guided search.",
+          guidedMutTried_.load(std::memory_order_relaxed));
+    gauge("conair_guided_mutations_novel",
+          "Mutated schedules that contributed novel coverage.",
+          guidedMutNovel_.load(std::memory_order_relaxed));
+    gauge("conair_guided_fresh_tried",
+          "Fresh seed schedules tried by the guided search.",
+          guidedFreshTried_.load(std::memory_order_relaxed));
+    gauge("conair_guided_fresh_novel",
+          "Fresh seed schedules that contributed novel coverage.",
+          guidedFreshNovel_.load(std::memory_order_relaxed));
     gauge("conair_coverage_distinct_edges",
           "Distinct interleaving-coverage edges observed.",
           coverage_.distinctEdges());

@@ -59,6 +59,14 @@ class CampaignTelemetry
     /** Replay-corpus size (set by the post-aggregation pass). */
     void noteCorpusSize(uint64_t n);
 
+    /** Accumulates guided-search progress (runGuided publishes one
+     *  delta per folded batch): mutation-corpus entries admitted,
+     *  mutated / fresh schedules tried and how many of each were
+     *  novel.  Campaign-wide — sums across targets.  Thread-safe. */
+    void addGuided(uint64_t corpusEntries, uint64_t mutationsTried,
+                   uint64_t mutationsNovel, uint64_t freshTried,
+                   uint64_t freshNovel);
+
     /** The campaign-global live coverage map. */
     const obs::cov::CoverageMap &coverage() const { return coverage_; }
     obs::cov::CoverageMap &coverage() { return coverage_; }
@@ -94,6 +102,13 @@ class CampaignTelemetry
     std::atomic<uint64_t> done_{0};
     std::atomic<uint64_t> failures_{0};
     std::atomic<uint64_t> corpus_{0};
+
+    // Guided-search progress (0 in blind campaigns).
+    std::atomic<uint64_t> guidedCorpus_{0};
+    std::atomic<uint64_t> guidedMutTried_{0};
+    std::atomic<uint64_t> guidedMutNovel_{0};
+    std::atomic<uint64_t> guidedFreshTried_{0};
+    std::atomic<uint64_t> guidedFreshNovel_{0};
     std::unique_ptr<WorkerCell[]> workers_; ///< workerCount_ cells
     unsigned workerCount_ = 0;
     std::chrono::steady_clock::time_point start_{};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "obs/trace.h"
 
@@ -92,9 +93,27 @@ foldCoverage(const FlightRecorder &rec)
 {
     CoverageFold fold;
     std::unordered_map<uint64_t, size_t> seen; // key -> edges index
+    // A preemption between two sync-relevant sites shows up in *both*
+    // folds: the SchedSwitch window closes on the same (from, to) site
+    // pair the cross-thread sync fold records.  Two kinds mean two
+    // distinct keys, so without this set one interleaving fact would
+    // be charged twice — inflating novelty counts and, downstream,
+    // the mutation energy the guided explorer assigns to a schedule.
+    // Dedup per run on the bare (from, to) pair: whichever of the two
+    // folds sees the pair first owns it (SwitchWindow, since the
+    // window check runs before the sync fold).  RacyPair edges have
+    // different endpoint semantics (store site on the same cell) and
+    // stay separate.
+    std::unordered_set<uint64_t> pairSeen;
 
     auto addEdge = [&](EdgeKind kind, uint64_t from, uint64_t to,
                        const TraceEvent &at) {
+        if (kind == EdgeKind::SyncSync ||
+            kind == EdgeKind::SwitchWindow) {
+            uint64_t pair = fnvWord(fnvWord(kFnvOffset, from), to);
+            if (!pairSeen.insert(pair).second)
+                return;
+        }
         Edge e;
         e.kind = kind;
         e.from = from;

@@ -21,6 +21,13 @@
  *                -> (this shared access): only observable in diagnosis
  *                recording mode (VmConfig::recordSharedAccesses).
  *
+ * A preemption between two sync-relevant sites is one interleaving
+ * fact even though both the SwitchWindow and the SyncSync fold see it;
+ * foldCoverage() dedups those two kinds per run on the bare
+ * (from, to) site pair (first fold to see the pair owns it), so
+ * novelty counts — and the mutation energy the guided explorer
+ * (src/explore/guided.h) charges from them — count each pair once.
+ *
  * Each endpoint is a *site signature* — an FNV-1a hash of the event
  * kind, its stable payload word, and its site tag — so edges are
  * independent of when in the run they occurred and can be compared

@@ -184,6 +184,20 @@ struct VmConfig
     /** Forced preemptions for SchedPolicy::PreemptBound. */
     uint64_t preemptBound = 2;
 
+    /**
+     * Explicit change/preemption points (scheduling-tick counts) for
+     * Pct/PreemptBound: when non-empty, the scheduler uses exactly
+     * these points instead of sampling them from the seed.  Thread
+     * priorities and per-thread decision streams still derive from
+     * @ref seed, so (seed, points) pins the schedule completely — the
+     * coverage-guided explorer mutates this list while keeping the
+     * rest of a corpus schedule fixed (src/explore/guided.h).  The
+     * list need not be sorted or duplicate-free; the scheduler sorts
+     * a copy and consumes colliding points together, exactly like the
+     * sampled path.
+     */
+    std::vector<uint64_t> schedPoints;
+
     /** @} */
 
     /** Interleaving forcing (empty = natural scheduling). */

@@ -111,13 +111,21 @@ Interp::Interp(const ir::Module &m, VmConfig cfg)
     // schedule is a pure function of (seed, depth/bound, horizon).
     if (cfg_.policy == SchedPolicy::Pct ||
         cfg_.policy == SchedPolicy::PreemptBound) {
-        Rng pointRng(cfg_.seed ^ 0x8f14f4e7c3a2c9b1ull);
-        uint64_t n = cfg_.policy == SchedPolicy::Pct
-                         ? (cfg_.pctDepth > 0 ? cfg_.pctDepth - 1 : 0)
-                         : cfg_.preemptBound;
-        uint64_t horizon = std::max<uint64_t>(cfg_.pctHorizon, 1);
-        for (uint64_t i = 0; i < n; ++i)
-            schedPoints_.push_back(1 + pointRng.range(horizon));
+        if (!cfg_.schedPoints.empty()) {
+            // Explicit override (coverage-guided exploration): the
+            // caller pins the points; priorities and decision streams
+            // still come from the seed, so (seed, points) is a full
+            // schedule identity.
+            schedPoints_ = cfg_.schedPoints;
+        } else {
+            Rng pointRng(cfg_.seed ^ 0x8f14f4e7c3a2c9b1ull);
+            uint64_t n = cfg_.policy == SchedPolicy::Pct
+                             ? (cfg_.pctDepth > 0 ? cfg_.pctDepth - 1 : 0)
+                             : cfg_.preemptBound;
+            uint64_t horizon = std::max<uint64_t>(cfg_.pctHorizon, 1);
+            for (uint64_t i = 0; i < n; ++i)
+                schedPoints_.push_back(1 + pointRng.range(horizon));
+        }
         std::sort(schedPoints_.begin(), schedPoints_.end());
         if (!schedPoints_.empty())
             nextSchedPointAt_ = schedPoints_[0];

@@ -74,6 +74,60 @@ TEST(ScheduleTokenStrict, RejectsMalformedWithOneLineError)
     }
 }
 
+TEST(ScheduleTokenStrict, PointsFieldRoundTripsOnSystematicPolicies)
+{
+    // The c field pins explicit change points (VmConfig::schedPoints):
+    // strictly increasing ticks >= 1, pct/pb only, at most once.
+    ScheduleSpec s{vm::SchedPolicy::Pct, 17, 3};
+    s.points = {120, 340};
+    EXPECT_EQ(s.token(), "pct:d3:s17:c120,340");
+
+    ScheduleSpec parsed;
+    std::string err;
+    ASSERT_TRUE(parseScheduleToken(s.token(), parsed, err)) << err;
+    EXPECT_EQ(parsed, s);
+
+    ScheduleSpec pb{vm::SchedPolicy::PreemptBound, 5, 2};
+    pb.points = {1};
+    ASSERT_TRUE(parseScheduleToken("pb:d2:s5:c1", parsed, err)) << err;
+    EXPECT_EQ(parsed, pb);
+
+    // Field order is free, like d and s.
+    ASSERT_TRUE(parseScheduleToken("pct:c9,10:d2:s3", parsed, err))
+        << err;
+    EXPECT_EQ(parsed.points, (std::vector<uint64_t>{9, 10}));
+
+    // applyTo carries the points into the VM config.
+    vm::VmConfig cfg;
+    s.applyTo(cfg);
+    EXPECT_EQ(cfg.schedPoints, s.points);
+}
+
+TEST(ScheduleTokenStrict, RejectsMalformedPointsField)
+{
+    const char *bad[] = {
+        "pct:d3:s1:c",            // empty list
+        "pct:d3:s1:c0",           // tick 0
+        "pct:d3:s1:c5,5",         // not strictly increasing
+        "pct:d3:s1:c9,3",         // decreasing
+        "pct:d3:s1:c1,,2",        // empty item
+        "pct:d3:s1:c1,",          // trailing comma
+        "pct:d3:s1:c1x",          // junk in a tick
+        "pct:d3:s1:c-1",          // sign
+        "pct:d3:s1:c1:c2",        // duplicate c field
+        "random:s1:c1",           // random takes no points
+        "rr:s1:c1",               // rr takes no points
+        "pct:d3:s1:c18446744073709551616", // overflow
+    };
+    for (const char *tok : bad) {
+        ScheduleSpec s;
+        std::string err;
+        EXPECT_FALSE(parseScheduleToken(tok, s, err)) << tok;
+        EXPECT_FALSE(err.empty()) << tok;
+        EXPECT_EQ(err.find('\n'), std::string::npos) << err;
+    }
+}
+
 // Property sweep: random mutations of valid tokens either parse to a
 // spec whose canonical token parses back to the same spec, or fail
 // cleanly with a one-line error.  The parser must never produce a

@@ -152,6 +152,49 @@ TEST(CoverageFold, DedupKeepsFirstDiscoveryAndSortsByKey)
         EXPECT_NE(e.key, 0u) << "0 is the map's empty-slot sentinel";
 }
 
+TEST(CoverageFold, SwitchWindowAndSyncSyncNeverDoubleCountOnePair)
+{
+    // One interleaving fact, two candidate folds: a SchedSwitch
+    // between a sync-relevant event on t0 and one on t1 closes the
+    // switch window on exactly the (from, to) site pair the
+    // cross-thread sync fold would also record.  Two kinds mean two
+    // distinct keys, so without the per-run pair dedup the same fact
+    // would be charged twice — inflating novelty counts and the
+    // guided explorer's mutation energy downstream.
+    FlightRecorder rec(256);
+    rec.record(0, EventKind::SharedStore, 10, 1, 5, 0, "w.x");
+    rec.record(0, EventKind::SchedSwitch, 11, 1, 0, 1);
+    // Different cell so RacyPair (distinct endpoint semantics, store
+    // site on the same address) stays out of the picture.
+    rec.record(1, EventKind::SharedLoad, 12, 2, 6, 0, "r.y");
+
+    CoverageFold fold = foldCoverage(rec);
+    ASSERT_EQ(fold.edges.size(), 1u);
+    // The window check runs first, so SwitchWindow owns the pair.
+    EXPECT_EQ(fold.edges[0].kind, EdgeKind::SwitchWindow);
+    EXPECT_EQ(fold.perKind[size_t(EdgeKind::SwitchWindow)], 1u);
+    EXPECT_EQ(fold.perKind[size_t(EdgeKind::SyncSync)], 0u);
+}
+
+TEST(CoverageFold, DistinctPairsKeepBothWindowAndSyncEdges)
+{
+    // Control for the dedup above: when the window closes on a
+    // *different* from-site than the last sync event (a non-sync
+    // event slid in between), the two folds record genuinely
+    // different pairs and both edges survive.
+    FlightRecorder rec(256);
+    rec.record(0, EventKind::LockAcquire, 10, 1, 7, 0, "site.a");
+    rec.record(0, EventKind::Checkpoint, 11, 2, 3, 0, "site.b");
+    rec.record(0, EventKind::SchedSwitch, 12, 2, 0, 1);
+    rec.record(1, EventKind::LockAcquire, 13, 3, 8, 0, "site.c");
+
+    CoverageFold fold = foldCoverage(rec);
+    // SwitchWindow: b -> c; SyncSync: a -> c.
+    ASSERT_EQ(fold.edges.size(), 2u);
+    EXPECT_EQ(fold.perKind[size_t(EdgeKind::SwitchWindow)], 1u);
+    EXPECT_EQ(fold.perKind[size_t(EdgeKind::SyncSync)], 1u);
+}
+
 TEST(CoverageFold, RefoldingAnnotatedTraceIsStable)
 {
     FlightRecorder rec(256);
